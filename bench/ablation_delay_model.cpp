@@ -1,0 +1,74 @@
+// Ablation (extension): sensitivity of the P0/P1 split to the delay model.
+// The paper's motivation for enrichment is that "small errors in the
+// computation of the path lengths can result in a path that was placed in P1
+// being longer than a path placed in P0". This experiment makes that
+// concrete: build P0 under the unit line-counting model, then re-rank the
+// paths under perturbed per-gate delays and measure how many of the
+// "really critical" paths (top-|P0| under the perturbed model) the unit
+// model had relegated to P1 — exactly the faults that only the enrichment
+// procedure has a chance of covering for free.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench/common.hpp"
+#include "paths/path.hpp"
+
+using namespace pdf;
+using namespace pdf::bench;
+
+int main(int argc, char** argv) {
+  Options o = parse_options(argc, argv, {"s1423_like", "s953_like"});
+  print_header("Ablation: delay-model perturbation vs the P0/P1 split", o);
+
+  for (const auto& name : o.circuits) {
+    const Netlist nl = benchmark_circuit(name);
+    const TargetSets unit = build_target_sets(nl, target_config(o));
+    if (unit.p0.empty()) continue;
+
+    Table t("circuit " + name + "  (|P0| = " + std::to_string(unit.p0.size()) +
+            ", |P1| = " + std::to_string(unit.p1.size()) + ")");
+    t.columns({"perturbation", "misplaced critical faults", "share of |P0|"});
+
+    for (const auto& [label, lo, hi] : {std::tuple<const char*, int, int>{
+                                            "none (unit)", 1, 1},
+                                        {"mild (1..2)", 1, 2},
+                                        {"moderate (1..4)", 1, 4},
+                                        {"strong (1..9)", 1, 9}}) {
+      const LineDelayModel weighted =
+          random_delay_model(nl, lo, hi, o.seed + 17);
+      // Re-rank all P faults under the perturbed model.
+      struct Item {
+        int weighted_len;
+        bool was_p0;
+      };
+      std::vector<Item> items;
+      for (const auto& tf : unit.p0) {
+        items.push_back({weighted.complete_length(tf.fault.path.nodes), true});
+      }
+      for (const auto& tf : unit.p1) {
+        items.push_back({weighted.complete_length(tf.fault.path.nodes), false});
+      }
+      std::stable_sort(items.begin(), items.end(),
+                       [](const Item& a, const Item& b) {
+                         return a.weighted_len > b.weighted_len;
+                       });
+      std::size_t misplaced = 0;
+      for (std::size_t i = 0; i < unit.p0.size() && i < items.size(); ++i) {
+        if (!items[i].was_p0) ++misplaced;
+      }
+      char share[32];
+      std::snprintf(share, sizeof share, "%.1f%%",
+                    100.0 * static_cast<double>(misplaced) /
+                        static_cast<double>(unit.p0.size()));
+      t.row(label, misplaced, share);
+    }
+    emit(t, o);
+  }
+  std::printf(
+      "reading: under delay perturbation a sizable share of the truly\n"
+      "critical faults live in P1 — the paper's motivation for detecting P1\n"
+      "faults without extra tests.\n");
+  return 0;
+}

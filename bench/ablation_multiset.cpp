@@ -1,0 +1,57 @@
+// Ablation (paper future-work): partitioning P into more than two subsets.
+// The paper uses P0/P1 and notes "It is possible to partition P into a
+// larger number of subsets." This sweep compares 2-way and 3-way partitions
+// at identical total budgets: the 3-way split offers the longer opportunistic
+// faults first, trading some coverage of the short tail for better coverage
+// of the near-critical band.
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace pdf;
+using namespace pdf::bench;
+
+int main(int argc, char** argv) {
+  Options o = parse_options(argc, argv, {"s953_like", "s1423_like"});
+  print_header("Ablation: number of target-fault subsets", o);
+
+  for (const auto& name : o.circuits) {
+    const Netlist nl = benchmark_circuit(name);
+    TargetSetConfig tcfg = target_config(o);
+
+    Table t("circuit " + name);
+    t.columns({"partition", "tests", "set sizes", "detected per set",
+               "total det", "seconds"});
+
+    auto run = [&](const char* label, std::span<const std::size_t> thresholds) {
+      const MultiTargetSets m = build_target_sets_multi(nl, tcfg, thresholds);
+      std::vector<std::span<const TargetFault>> spans;
+      for (const auto& s : m.sets) spans.emplace_back(s);
+      GeneratorConfig g;
+      g.heuristic = CompactionHeuristic::Value;
+      g.seed = o.seed;
+      const GenerationResult r = generate_tests_multi(nl, spans, g);
+      std::string sizes, dets;
+      std::size_t total = 0;
+      for (std::size_t k = 0; k < m.sets.size(); ++k) {
+        if (k) {
+          sizes += "/";
+          dets += "/";
+        }
+        sizes += std::to_string(m.sets[k].size());
+        dets += std::to_string(r.detected_count(k));
+        total += r.detected_count(k);
+      }
+      t.row(label, r.tests.size(), sizes, dets, total, r.stats.seconds);
+    };
+
+    const std::size_t two[] = {o.n_p0};
+    const std::size_t three[] = {o.n_p0, o.n_p0 * 3};
+    const std::size_t four[] = {o.n_p0, o.n_p0 * 2, o.n_p0 * 4};
+    run("P0|P1 (paper)", two);
+    run("P0|P1a|P1b", three);
+    run("P0|..|P1c", four);
+    emit(t, o);
+  }
+  return 0;
+}

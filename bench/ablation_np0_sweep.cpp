@@ -1,0 +1,39 @@
+// Ablation: sensitivity of the P0/P1 split to N_P0 (the paper fixes
+// N_P0=1000 and notes it "can be determined based on the circuit and the
+// test generation effort"). Sweeping N_P0 shows the trade: a larger P0
+// means more must-detect faults and more tests; a smaller P0 pushes more
+// faults into the free-detection set P1.
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace pdf;
+using namespace pdf::bench;
+
+int main(int argc, char** argv) {
+  Options o = parse_options(argc, argv, {"s1423_like"});
+  print_header("Ablation: N_P0 sweep", o);
+
+  for (const auto& name : o.circuits) {
+    const Netlist nl = benchmark_circuit(name);
+    Table t("circuit " + name);
+    t.columns({"N_P0", "i0", "|P0|", "|P1|", "tests", "P0 det", "P1 det",
+               "union det"});
+    for (std::size_t n_p0 : {o.n_p0 / 4, o.n_p0 / 2, o.n_p0, o.n_p0 * 2}) {
+      if (n_p0 == 0) continue;
+      TargetSetConfig tcfg = target_config(o);
+      tcfg.n_p0 = n_p0;
+      const EnrichmentWorkbench wb(nl, tcfg);
+      GeneratorConfig g;
+      g.heuristic = CompactionHeuristic::Value;
+      g.seed = o.seed;
+      const GenerationResult r = wb.run_enriched(g);
+      const UnionCoverage c = wb.coverage_of(r);
+      t.row(n_p0, wb.targets().i0, wb.targets().p0.size(),
+            wb.targets().p1.size(), r.tests.size(), c.p0_detected,
+            c.p1_detected, c.union_detected());
+    }
+    emit(t, o);
+  }
+  return 0;
+}

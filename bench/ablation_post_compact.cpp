@@ -1,0 +1,46 @@
+// Ablation (extension): how much does static reverse-order compaction find
+// after each generation strategy? If the paper's dynamic compaction is doing
+// its job, the value-based test sets should be nearly irreducible, while the
+// uncompacted sets shrink dramatically.
+#include <cstdio>
+
+#include "atpg/post_compact.hpp"
+#include "bench/common.hpp"
+
+using namespace pdf;
+using namespace pdf::bench;
+
+int main(int argc, char** argv) {
+  Options o = parse_options(argc, argv, {"s953_like", "s1488_like"});
+  print_header("Ablation: static post-compaction after generation", o);
+
+  for (const auto& name : o.circuits) {
+    const Netlist nl = benchmark_circuit(name);
+    const EnrichmentWorkbench wb(nl, target_config(o));
+    const TargetSets& ts = wb.targets();
+
+    Table t("circuit " + name);
+    t.columns({"strategy", "tests", "after reverse pass", "dropped"});
+
+    auto add = [&](const char* label, const GenerationResult& r) {
+      const PostCompactionResult pc = post_compact(nl, r.tests, ts.p0, ts.p1);
+      t.row(label, r.tests.size(), pc.tests.size(), pc.dropped);
+    };
+
+    GeneratorConfig g;
+    g.seed = o.seed;
+    g.heuristic = CompactionHeuristic::None;
+    add("basic/uncomp", wb.run_basic(g));
+    g.heuristic = CompactionHeuristic::Arbitrary;
+    add("basic/arbit", wb.run_basic(g));
+    g.heuristic = CompactionHeuristic::Value;
+    add("basic/values", wb.run_basic(g));
+    add("enriched", wb.run_enriched(g));
+    emit(t, o);
+  }
+  std::printf(
+      "expected shape: the uncomp sets collapse; the dynamically compacted\n"
+      "sets lose only a handful of tests — dynamic compaction is doing the\n"
+      "heavy lifting, as the paper's Table 4/5 comparison implies.\n");
+  return 0;
+}

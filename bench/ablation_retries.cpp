@@ -1,0 +1,36 @@
+// Ablation: justification retry budget. The paper's justification is a
+// single greedy randomized pass (it attributes the small per-heuristic
+// variations in Table 3 to exactly this randomness and suggests
+// branch-and-bound would remove them). Allowing the engine to retry failed
+// justifications with fresh random decisions recovers part of what
+// backtracking would, at a runtime cost.
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace pdf;
+using namespace pdf::bench;
+
+int main(int argc, char** argv) {
+  Options o = parse_options(argc, argv, {"s641_like", "s1196_like"});
+  print_header("Ablation: justification retry budget", o);
+
+  for (const auto& name : o.circuits) {
+    const Netlist nl = benchmark_circuit(name);
+    const EnrichmentWorkbench wb(nl, target_config(o));
+    Table t("circuit " + name);
+    t.columns({"attempts", "tests", "P0 det", "P1 det", "seconds"});
+    for (int attempts : {1, 2, 4}) {
+      GeneratorConfig g;
+      g.heuristic = CompactionHeuristic::Value;
+      g.seed = o.seed;
+      g.justify.max_attempts = attempts;
+      const GenerationResult r = wb.run_enriched(g);
+      t.row(attempts == 1 ? std::string("1 (paper)") : std::to_string(attempts),
+            r.tests.size(), r.detected_p0_count(), r.detected_p1_count(),
+            r.stats.seconds);
+    }
+    emit(t, o);
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Shared command-line plumbing for the table-reproduction benches.
+//
+// Every bench accepts:
+//   --paper          paper-scale parameters (N_P=10000, N_P0=1000); slower
+//   --np N --np0 N   explicit overrides
+//   --seed S         RNG seed (default 1)
+//   --circuits a,b   restrict the circuit list
+//   --csv            also print CSV after the table
+// Defaults are the scaled parameters recorded in EXPERIMENTS.md
+// (N_P=4000, N_P0=300), chosen so the full table reproduces in seconds.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "enrich/enrichment.hpp"
+#include "gen/registry.hpp"
+#include "report/table.hpp"
+
+namespace pdf::bench {
+
+struct Options {
+  std::size_t n_p = 4000;
+  std::size_t n_p0 = 300;
+  std::uint64_t seed = 1;
+  bool csv = false;
+  bool paper = false;
+  std::vector<std::string> circuits;
+};
+
+inline Options parse_options(int argc, char** argv,
+                             std::vector<std::string> default_circuits) {
+  Options o;
+  o.circuits = std::move(default_circuits);
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--paper") {
+      o.paper = true;
+      o.n_p = 10000;
+      o.n_p0 = 1000;
+    } else if (a == "--np") {
+      o.n_p = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--np0") {
+      o.n_p0 = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--seed") {
+      o.seed = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--csv") {
+      o.csv = true;
+    } else if (a == "--circuits") {
+      o.circuits.clear();
+      std::string list = next();
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string name = list.substr(
+            start, comma == std::string::npos ? std::string::npos : comma - start);
+        if (!name.empty()) o.circuits.push_back(name);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (a == "--help" || a == "-h") {
+      std::printf(
+          "options: [--paper] [--np N] [--np0 N] [--seed S] [--csv] "
+          "[--circuits a,b,c]\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option %s (try --help)\n", a.c_str());
+      std::exit(2);
+    }
+  }
+  return o;
+}
+
+inline TargetSetConfig target_config(const Options& o) {
+  TargetSetConfig cfg;
+  cfg.n_p = o.n_p;
+  cfg.n_p0 = o.n_p0;
+  return cfg;
+}
+
+inline void print_header(const char* what, const Options& o) {
+  std::printf("== %s ==\n", what);
+  std::printf("parameters: N_P=%zu, N_P0=%zu, seed=%llu%s\n\n", o.n_p, o.n_p0,
+              static_cast<unsigned long long>(o.seed),
+              o.paper ? " (paper scale)" : " (scaled; see EXPERIMENTS.md)");
+}
+
+inline void emit(const Table& t, const Options& o) {
+  t.print(std::cout);
+  if (o.csv) {
+    std::printf("\ncsv:\n%s", t.to_csv().c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace pdf::bench

@@ -1,0 +1,96 @@
+// Reproduction of the paper's *motivating claim* (Section 1): "shorter paths
+// may fail without any of the longest paths failing", so a test set
+// generated only for the longest-path faults (P0) lets such failures escape,
+// while the enrichment procedure catches many of them at no extra tests.
+//
+// Method: nominal unit gate delays; the clock period is the nominal critical
+// settle time plus a small guardband. Defects add extra delay to a single
+// gate, sampled from two populations: gates on P0 paths and gates that lie
+// only on P1 paths (the next-to-longest band). Catch rates are measured
+// through the timed waveform simulator for the basic-P0 test set and the
+// enriched test set.
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "bench/common.hpp"
+#include "faultsim/defect_mc.hpp"
+
+using namespace pdf;
+using namespace pdf::bench;
+
+int main(int argc, char** argv) {
+  Options o = parse_options(argc, argv, {"s953_like", "b04_like"});
+  print_header("Defect-escape Monte Carlo (the paper's motivation)", o);
+
+  for (const auto& name : o.circuits) {
+    const Netlist nl = benchmark_circuit(name);
+    const EnrichmentWorkbench wb(nl, target_config(o));
+    const TargetSets& ts = wb.targets();
+    if (ts.p0.empty() || ts.p1.empty()) continue;
+
+    GeneratorConfig g;
+    g.heuristic = CompactionHeuristic::Value;
+    g.seed = o.seed;
+    const GenerationResult basic = wb.run_basic(g);
+    const GenerationResult enriched = wb.run_enriched(g);
+
+    // Gate pools: on some P0 path / only on P1 paths.
+    std::set<NodeId> p0_nodes, p1_nodes;
+    for (const auto& tf : ts.p0) {
+      for (NodeId n : tf.fault.path.nodes) p0_nodes.insert(n);
+    }
+    for (const auto& tf : ts.p1) {
+      for (NodeId n : tf.fault.path.nodes) p1_nodes.insert(n);
+    }
+    std::vector<NodeId> pool_p0(p0_nodes.begin(), p0_nodes.end());
+    std::vector<NodeId> pool_p1_only;
+    for (NodeId n : p1_nodes) {
+      if (!p0_nodes.contains(n)) pool_p1_only.push_back(n);
+    }
+    if (pool_p1_only.empty()) continue;
+
+    // Clock: nominal critical settle + 1 guardband unit; defects must be
+    // large enough to push a near-critical path past the clock.
+    DefectMcConfig mcfg;
+    mcfg.nominal_gate_delay = 1;
+    DefectMcConfig probe = mcfg;
+    probe.clock_period = 1;  // placeholder to construct
+    DefectSimulator probe_sim(nl, probe);
+    int settle = 0;
+    for (const auto& t : basic.tests) {
+      settle = std::max(settle, probe_sim.nominal_settle(t));
+    }
+    for (const auto& t : enriched.tests) {
+      settle = std::max(settle, probe_sim.nominal_settle(t));
+    }
+    mcfg.clock_period = settle + 1;
+    DefectSimulator sim(nl, mcfg);
+
+    Rng rng(o.seed + 99);
+    const int min_extra = mcfg.clock_period / 3 + 1;
+    const int max_extra = mcfg.clock_period;
+    const auto defects_p0 =
+        sample_defects_on(pool_p0, 150, min_extra, max_extra, rng);
+    const auto defects_p1 =
+        sample_defects_on(pool_p1_only, 150, min_extra, max_extra, rng);
+
+    Table t("circuit " + name + "  (clock = " + std::to_string(mcfg.clock_period) +
+            ", defect delay " + std::to_string(min_extra) + ".." +
+            std::to_string(max_extra) + ")");
+    t.columns({"defect population", "basic catch rate", "enriched catch rate"});
+    char b0[16], e0[16], b1[16], e1[16];
+    std::snprintf(b0, sizeof b0, "%.2f", sim.catch_rate(basic.tests, defects_p0));
+    std::snprintf(e0, sizeof e0, "%.2f", sim.catch_rate(enriched.tests, defects_p0));
+    std::snprintf(b1, sizeof b1, "%.2f", sim.catch_rate(basic.tests, defects_p1));
+    std::snprintf(e1, sizeof e1, "%.2f", sim.catch_rate(enriched.tests, defects_p1));
+    t.row("gates on P0 paths", b0, e0);
+    t.row("gates only on P1 paths", b1, e1);
+    emit(t, o);
+  }
+  std::printf(
+      "expected shape: both sets catch P0-band defects; on defects confined\n"
+      "to the next-to-longest band the enriched set catches noticeably more\n"
+      "— the failures the paper warns would otherwise escape.\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Microbenchmarks of the hot engines (google-benchmark): full triple
+// simulation, event-driven PI probing, implication closure, justification,
+// and batched fault simulation.
+#include <benchmark/benchmark.h>
+
+#include "atpg/justify.hpp"
+#include "enrich/target_sets.hpp"
+#include "faultsim/fault_sim.hpp"
+#include "faultsim/parallel_sim.hpp"
+#include "gen/registry.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/triple_sim.hpp"
+
+namespace {
+
+using namespace pdf;
+
+const Netlist& circuit() {
+  static const Netlist nl = benchmark_circuit("s1196_like");
+  return nl;
+}
+
+const TargetSets& targets() {
+  static const TargetSets ts = [] {
+    TargetSetConfig cfg;
+    cfg.n_p = 2000;
+    cfg.n_p0 = 200;
+    return build_target_sets(circuit(), cfg);
+  }();
+  return ts;
+}
+
+void BM_FullTripleSim(benchmark::State& state) {
+  const Netlist& nl = circuit();
+  Rng rng(1);
+  std::vector<Triple> pis(nl.inputs().size());
+  for (auto& t : pis) {
+    t = pi_triple(rng.coin() ? V3::One : V3::Zero,
+                  rng.coin() ? V3::One : V3::Zero);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate(nl, pis));
+  }
+  state.SetItemsProcessed(state.iterations() * nl.node_count());
+}
+BENCHMARK(BM_FullTripleSim);
+
+void BM_EventSimProbe(benchmark::State& state) {
+  const Netlist& nl = circuit();
+  EventSim sim(nl);
+  Rng rng(2);
+  // Half-specified baseline.
+  for (std::size_t i = 0; i < nl.inputs().size(); i += 2) {
+    sim.set_pi(i, rng.coin() ? kSteady1 : kSteady0);
+  }
+  std::size_t i = 1;
+  for (auto _ : state) {
+    const std::size_t token = sim.begin_txn();
+    sim.set_pi(i % nl.inputs().size(), rng.coin() ? kRise : kFall);
+    benchmark::DoNotOptimize(sim.violations());
+    sim.rollback(token);
+    i += 2;
+  }
+}
+BENCHMARK(BM_EventSimProbe);
+
+void BM_Implication(benchmark::State& state) {
+  const Netlist& nl = circuit();
+  ImplicationEngine eng(nl);
+  const auto& tf = targets().p0.front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.imply(tf.requirements));
+  }
+}
+BENCHMARK(BM_Implication);
+
+void BM_Justify(benchmark::State& state) {
+  const Netlist& nl = circuit();
+  JustificationEngine eng(nl, 3);
+  const auto& faults = targets().p0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.justify(faults[i % faults.size()].requirements));
+    ++i;
+  }
+}
+BENCHMARK(BM_Justify);
+
+void BM_FaultSimBatch(benchmark::State& state) {
+  const Netlist& nl = circuit();
+  FaultSimulator fsim(nl);
+  Rng rng(4);
+  TwoPatternTest t;
+  t.pi_values.resize(nl.inputs().size());
+  for (auto& v : t.pi_values) {
+    v = pi_triple(rng.coin() ? V3::One : V3::Zero,
+                  rng.coin() ? V3::One : V3::Zero);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fsim.detects(t, targets().p0));
+  }
+  state.SetItemsProcessed(state.iterations() * targets().p0.size());
+}
+BENCHMARK(BM_FaultSimBatch);
+
+void BM_FaultSimParallel64(benchmark::State& state) {
+  const Netlist& nl = circuit();
+  ParallelFaultSimulator fsim(nl);
+  Rng rng(5);
+  std::vector<TwoPatternTest> tests(64);
+  for (auto& t : tests) {
+    t.pi_values.resize(nl.inputs().size());
+    for (auto& v : t.pi_values) {
+      v = pi_triple(rng.coin() ? V3::One : V3::Zero,
+                    rng.coin() ? V3::One : V3::Zero);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fsim.detects_any(tests, targets().p0));
+  }
+  state.SetItemsProcessed(state.iterations() * targets().p0.size() * 64);
+}
+BENCHMARK(BM_FaultSimParallel64);
+
+void BM_FaultSimScalar64(benchmark::State& state) {
+  const Netlist& nl = circuit();
+  FaultSimulator fsim(nl);
+  Rng rng(5);
+  std::vector<TwoPatternTest> tests(64);
+  for (auto& t : tests) {
+    t.pi_values.resize(nl.inputs().size());
+    for (auto& v : t.pi_values) {
+      v = pi_triple(rng.coin() ? V3::One : V3::Zero,
+                    rng.coin() ? V3::One : V3::Zero);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fsim.detects_any(tests, targets().p0));
+  }
+  state.SetItemsProcessed(state.iterations() * targets().p0.size() * 64);
+}
+BENCHMARK(BM_FaultSimScalar64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

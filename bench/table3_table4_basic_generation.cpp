@@ -1,0 +1,60 @@
+// Tables 3 and 4 reproduction: basic test generation targeting P0 only,
+// comparing the compaction heuristics of Section 2.2 — uncomp (no
+// secondaries), arbit (fault-list order), length (longest first) and values
+// (minimum new required values).
+//
+// Shape to reproduce: all heuristics detect nearly the same number of P0
+// faults (Table 3), while every compaction heuristic needs far fewer tests
+// than the uncompacted baseline, with small mutual differences (Table 4).
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace pdf;
+using namespace pdf::bench;
+
+int main(int argc, char** argv) {
+  Options o = parse_options(argc, argv, table_circuits());
+  print_header("Tables 3 & 4: basic test generation using P0", o);
+
+  static constexpr CompactionHeuristic kHeuristics[] = {
+      CompactionHeuristic::None, CompactionHeuristic::Arbitrary,
+      CompactionHeuristic::Length, CompactionHeuristic::Value};
+
+  Table detected("Table 3: detected P0 faults per heuristic");
+  detected.columns({"circuit", "i0", "P0 flts", "uncomp", "arbit", "length",
+                    "values"});
+  Table tests("Table 4: number of tests per heuristic");
+  tests.columns({"circuit", "i0", "uncomp", "arbit", "length", "values"});
+
+  for (const auto& name : o.circuits) {
+    const Netlist nl = benchmark_circuit(name);
+    const EnrichmentWorkbench wb(nl, target_config(o));
+    const TargetSets& ts = wb.targets();
+
+    std::size_t det[4] = {0, 0, 0, 0};
+    std::size_t ntests[4] = {0, 0, 0, 0};
+    for (int h = 0; h < 4; ++h) {
+      GeneratorConfig g;
+      g.heuristic = kHeuristics[h];
+      g.seed = o.seed;
+      const GenerationResult r = wb.run_basic(g);
+      det[h] = r.detected_p0_count();
+      ntests[h] = r.tests.size();
+      std::fprintf(stderr, "  %s/%s: %zu tests, %zu detected (%.2fs)\n",
+                   name.c_str(), heuristic_name(kHeuristics[h]), ntests[h],
+                   det[h], r.stats.seconds);
+    }
+    detected.row(name, ts.i0, ts.p0.size(), det[0], det[1], det[2], det[3]);
+    tests.row(name, ts.i0, ntests[0], ntests[1], ntests[2], ntests[3]);
+  }
+
+  emit(detected, o);
+  emit(tests, o);
+  std::printf(
+      "paper shape check: per circuit, the four detected-fault counts differ\n"
+      "only by random-decision noise, and each compaction column of Table 4\n"
+      "is well below the uncomp column (paper examples: s641 471 -> ~130,\n"
+      "b03 299 -> ~90).\n");
+  return 0;
+}

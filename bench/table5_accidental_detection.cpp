@@ -1,0 +1,54 @@
+// Table 5 reproduction: simulate the faults of P0 u P1 under the test sets
+// produced by the *basic* generation procedure (every heuristic). This
+// measures how many P1 faults are detected accidentally when only P0 is
+// targeted.
+//
+// Shape to reproduce: the accidental P1 coverage is a modest fraction of P1
+// for every heuristic, and the non-compact (uncomp) test sets — although far
+// larger — detect only slightly more of P1 than the compact ones.
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace pdf;
+using namespace pdf::bench;
+
+int main(int argc, char** argv) {
+  Options o = parse_options(argc, argv, table_circuits());
+  print_header("Table 5: simulation of P0 u P1 under basic test sets", o);
+
+  static constexpr CompactionHeuristic kHeuristics[] = {
+      CompactionHeuristic::None, CompactionHeuristic::Arbitrary,
+      CompactionHeuristic::Length, CompactionHeuristic::Value};
+
+  Table t("Table 5: P0 u P1 faults detected by basic test sets");
+  t.columns({"circuit", "i0", "P0,P1 flts", "uncomp", "arbit", "length",
+             "values"});
+
+  for (const auto& name : o.circuits) {
+    const Netlist nl = benchmark_circuit(name);
+    const EnrichmentWorkbench wb(nl, target_config(o));
+    const TargetSets& ts = wb.targets();
+
+    std::size_t det[4];
+    for (int h = 0; h < 4; ++h) {
+      GeneratorConfig g;
+      g.heuristic = kHeuristics[h];
+      g.seed = o.seed;
+      const GenerationResult r = wb.run_basic(g);
+      const UnionCoverage c = wb.simulate_union(r.tests);
+      det[h] = c.union_detected();
+      std::fprintf(stderr, "  %s/%s: %zu tests -> %zu/%zu union detected\n",
+                   name.c_str(), heuristic_name(kHeuristics[h]),
+                   r.tests.size(), det[h], c.union_total());
+    }
+    t.row(name, ts.i0, ts.p_total(), det[0], det[1], det[2], det[3]);
+  }
+
+  emit(t, o);
+  std::printf(
+      "paper shape check: accidental P1 detection is limited; uncomp's much\n"
+      "larger test sets buy only slightly more union coverage than the\n"
+      "compact heuristics (paper example s641: 1452 vs ~1420 of 2127).\n");
+  return 0;
+}

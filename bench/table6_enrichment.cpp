@@ -1,0 +1,59 @@
+// Table 6 reproduction: the proposed test-enrichment procedure with target
+// sets P0 and P1 (value-based heuristic underneath). For every circuit of
+// Tables 3-5 plus the three "resynthesized" stand-ins, prints the P0
+// coverage, the P0 u P1 coverage and the test count.
+//
+// Shape to reproduce (vs Table 5): with the same order of test-set size as
+// the basic value-based run, the enrichment procedure detects far more of
+// P0 u P1 — explicit targeting of P1 matters. For reference, the accidental
+// coverage by a basic run is printed alongside.
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace pdf;
+using namespace pdf::bench;
+
+int main(int argc, char** argv) {
+  std::vector<std::string> defaults = table_circuits();
+  for (const auto& extra : table6_extra_circuits()) defaults.push_back(extra);
+  Options o = parse_options(argc, argv, std::move(defaults));
+  print_header("Table 6: results of test enrichment using P0 and P1", o);
+
+  Table t("Table 6: enrichment (values heuristic); last two columns = basic run reference");
+  t.columns({"circuit", "i0", "P0 total", "P0 detect", "P0,P1 total",
+             "P0,P1 detected", "tests", "basic P0,P1 det", "basic tests"});
+
+  for (const auto& name : o.circuits) {
+    const Netlist nl = benchmark_circuit(name);
+    const EnrichmentWorkbench wb(nl, target_config(o));
+    const TargetSets& ts = wb.targets();
+
+    GeneratorConfig g;
+    g.heuristic = CompactionHeuristic::Value;
+    g.seed = o.seed;
+
+    const GenerationResult enriched = wb.run_enriched(g);
+    const UnionCoverage ce = wb.coverage_of(enriched);
+
+    const GenerationResult basic = wb.run_basic(g);
+    const UnionCoverage cb = wb.simulate_union(basic.tests);
+
+    t.row(name, ts.i0, ts.p0.size(), ce.p0_detected, ts.p_total(),
+          ce.union_detected(), enriched.tests.size(), cb.union_detected(),
+          basic.tests.size());
+    std::fprintf(stderr,
+                 "  %s: enriched %zu tests, union %zu/%zu; basic %zu tests, "
+                 "union %zu (%.2fs + %.2fs)\n",
+                 name.c_str(), enriched.tests.size(), ce.union_detected(),
+                 ce.union_total(), basic.tests.size(), cb.union_detected(),
+                 enriched.stats.seconds, basic.stats.seconds);
+  }
+
+  emit(t, o);
+  std::printf(
+      "paper shape check: P0,P1 detected under enrichment far exceeds the\n"
+      "accidental coverage of the basic run at essentially the same test\n"
+      "count (paper example s641: 1815 vs 1420 of 2127 at 127 vs 129 tests).\n");
+  return 0;
+}

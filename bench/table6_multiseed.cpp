@@ -1,0 +1,50 @@
+// Table 6 with statistics: the generation procedure is randomized, so this
+// variant repeats the enrichment experiment over several seeds and reports
+// mean +/- stddev for the key columns — quantifying the "small variations"
+// the paper attributes to random value selection.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "report/stats.hpp"
+
+using namespace pdf;
+using namespace pdf::bench;
+
+int main(int argc, char** argv) {
+  Options o = parse_options(argc, argv, {"s953_like", "s1423_like", "b04_like"});
+  print_header("Table 6 over multiple seeds (mean +/- stddev, 5 seeds)", o);
+
+  Table t("");
+  t.columns({"circuit", "tests", "P0 detected", "P0,P1 detected"});
+  for (const auto& name : o.circuits) {
+    const Netlist nl = benchmark_circuit(name);
+    const EnrichmentWorkbench wb(nl, target_config(o));
+    if (wb.targets().p0.empty()) continue;
+
+    RunningStats tests, p0det, uniondet;
+    for (std::uint64_t seed = o.seed; seed < o.seed + 5; ++seed) {
+      GeneratorConfig g;
+      g.heuristic = CompactionHeuristic::Value;
+      g.seed = seed;
+      const GenerationResult r = wb.run_enriched(g);
+      const UnionCoverage c = wb.coverage_of(r);
+      tests.add(static_cast<double>(r.tests.size()));
+      p0det.add(static_cast<double>(c.p0_detected));
+      uniondet.add(static_cast<double>(c.union_detected()));
+      std::fprintf(stderr, "  %s seed %llu: %zu tests, union %zu\n",
+                   name.c_str(), static_cast<unsigned long long>(seed),
+                   r.tests.size(), c.union_detected());
+    }
+    char ct[48], cp[48], cu[48];
+    std::snprintf(ct, sizeof ct, "%.1f +/- %.1f", tests.mean(), tests.stddev());
+    std::snprintf(cp, sizeof cp, "%.1f +/- %.1f", p0det.mean(), p0det.stddev());
+    std::snprintf(cu, sizeof cu, "%.1f +/- %.1f", uniondet.mean(),
+                  uniondet.stddev());
+    t.row(name, ct, cp, cu);
+  }
+  emit(t, o);
+  std::printf(
+      "reading: the spread is a few tests / faults — the paper's observation\n"
+      "that randomized justification causes only small variations.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Table 7 reproduction: run-time ratio RT_enrich / RT_basic under the
+// value-based heuristic, both runs on the same machine. The paper reports
+// ratios close to 1 (0.94 .. 2.51): enrichment costs little extra time
+// because P1 candidates are only offered once P0 is exhausted for a test.
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace pdf;
+using namespace pdf::bench;
+
+int main(int argc, char** argv) {
+  Options o = parse_options(argc, argv, table_circuits());
+  print_header("Table 7: run time ratios RT_enrich / RT_basic", o);
+
+  Table t("Table 7 (paper range: 0.94 .. 2.51)");
+  t.columns({"circuit", "i0", "basic s", "enrich s", "ratio"});
+
+  for (const auto& name : o.circuits) {
+    const Netlist nl = benchmark_circuit(name);
+    const EnrichmentWorkbench wb(nl, target_config(o));
+
+    GeneratorConfig g;
+    g.heuristic = CompactionHeuristic::Value;
+    g.seed = o.seed;
+
+    const GenerationResult basic = wb.run_basic(g);
+    const GenerationResult enriched = wb.run_enriched(g);
+    const double ratio =
+        basic.stats.seconds > 0 ? enriched.stats.seconds / basic.stats.seconds
+                                : 0.0;
+    t.row(name, wb.targets().i0, basic.stats.seconds, enriched.stats.seconds,
+          ratio);
+  }
+
+  emit(t, o);
+  return 0;
+}

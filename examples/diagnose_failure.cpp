@@ -1,0 +1,106 @@
+// Failure diagnosis walkthrough: inject a slow-gate defect, apply the test
+// set on the "tester" (the timed waveform simulator), collect the pass/fail
+// signature, and run signature-matching diagnosis to recover the slow paths.
+// Optionally dumps the failing test's waveforms as VCD for a waveform
+// viewer.
+//
+// Usage: ./examples/diagnose_failure [circuit] [seed] [vcd-file]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "enrich/enrichment.hpp"
+#include "faultsim/defect_mc.hpp"
+#include "faultsim/diagnosis.hpp"
+#include "gen/registry.hpp"
+#include "sim/vcd.hpp"
+
+using namespace pdf;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "b03_like";
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+  const std::string vcd_path = argc > 3 ? argv[3] : "";
+
+  const Netlist nl = benchmark_circuit(name);
+  TargetSetConfig tcfg;
+  tcfg.n_p = 1200;
+  tcfg.n_p0 = 150;
+  const EnrichmentWorkbench wb(nl, tcfg);
+  GeneratorConfig gcfg;
+  gcfg.seed = seed;
+  const GenerationResult gen = wb.run_enriched(gcfg);
+  std::printf("%s: %zu tests for %zu+%zu target faults\n\n", name.c_str(),
+              gen.tests.size(), wb.targets().p0.size(), wb.targets().p1.size());
+
+  // --- the "tester" side: a chip with one slow gate -------------------------
+  DefectMcConfig mcfg;
+  mcfg.nominal_gate_delay = 1;
+  mcfg.clock_period = 1;
+  DefectSimulator probe(nl, mcfg);
+  int settle = 0;
+  for (const auto& t : gen.tests) settle = std::max(settle, probe.nominal_settle(t));
+  mcfg.clock_period = settle + 1;
+  DefectSimulator tester(nl, mcfg);
+
+  // Pick a gate on a detected P0 path as the defect site.
+  Rng rng(seed);
+  const auto& p0 = wb.targets().p0;
+  Defect defect;
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const auto& tf = p0[rng.below(p0.size())];
+    if (!gen.detected_p0[&tf - p0.data()]) continue;
+    const auto& nodes = tf.fault.path.nodes;
+    const NodeId g = nodes[1 + rng.below(nodes.size() - 1)];
+    if (nl.node(g).type == GateType::Input) continue;
+    defect = {g, mcfg.clock_period};
+    break;
+  }
+  std::printf("injected defect: +%d delay on gate %s\n", defect.extra_delay,
+              nl.node(defect.gate).name.c_str());
+
+  std::vector<bool> failing(gen.tests.size(), false);
+  std::size_t n_fail = 0;
+  for (std::size_t t = 0; t < gen.tests.size(); ++t) {
+    failing[t] = tester.catches(gen.tests[t], defect);
+    n_fail += failing[t];
+  }
+  std::printf("tester signature: %zu of %zu tests fail\n\n", n_fail,
+              gen.tests.size());
+
+  // --- the diagnosis side ---------------------------------------------------
+  const Diagnoser diag(nl, gen.tests, p0);
+  const DiagnosisResult result = diag.diagnose(failing);
+  std::printf("top candidates (of %zu with any overlap):\n",
+              result.candidates.size());
+  for (std::size_t i = 0; i < result.candidates.size() && i < 8; ++i) {
+    const auto& c = result.candidates[i];
+    const auto& f = p0[c.fault_index].fault;
+    const bool through = std::find(f.path.nodes.begin(), f.path.nodes.end(),
+                                   defect.gate) != f.path.nodes.end();
+    std::printf("  #%zu %s exact=%s explained=%zu missed=%zu contradicted=%zu"
+                "%s\n",
+                i, fault_to_string(nl, f).c_str(), c.exact() ? "yes" : "no",
+                c.explained, c.missed, c.contradicted,
+                through ? "  <-- passes through the defect" : "");
+  }
+
+  // --- optional waveform dump of the first failing test ---------------------
+  if (!vcd_path.empty() && n_fail > 0) {
+    std::size_t first_fail = 0;
+    while (!failing[first_fail]) ++first_fail;
+    std::vector<int> delays(nl.node_count(), mcfg.nominal_gate_delay);
+    for (NodeId pi : nl.inputs()) delays[pi] = 0;
+    delays[defect.gate] += defect.extra_delay;
+    std::vector<int> sw(nl.inputs().size(), 0);
+    const auto wf =
+        simulate_timed(nl, gen.tests[first_fail].pi_values, sw, delays);
+    std::ofstream out(vcd_path);
+    write_vcd(out, nl, wf, "failing test " + std::to_string(first_fail));
+    std::printf("\nwrote defective waveforms of test %zu to %s\n", first_fail,
+                vcd_path.c_str());
+  }
+  return 0;
+}

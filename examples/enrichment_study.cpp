@@ -1,0 +1,58 @@
+// Enrichment study: the paper's headline experiment on one circuit — how
+// much of the next-to-longest-path fault set P1 do you get for free?
+//
+// Usage:
+//   ./examples/enrichment_study [circuit] [N_P] [N_P0] [seed]
+//
+// Compares three strategies at identical budgets:
+//   basic/uncomp — no compaction (the size baseline),
+//   basic/values — compact tests for P0 only, P1 only by accident,
+//   enriched     — compact tests for P0 with P1 as secondary targets.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "enrich/enrichment.hpp"
+#include "gen/registry.hpp"
+#include "report/table.hpp"
+
+using namespace pdf;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "s953_like";
+  TargetSetConfig tcfg;
+  tcfg.n_p = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 4000;
+  tcfg.n_p0 = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 300;
+  const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+
+  const Netlist nl = benchmark_circuit(name);
+  const EnrichmentWorkbench wb(nl, tcfg);
+  const TargetSets& ts = wb.targets();
+  std::printf("circuit %s: |P0| = %zu (len >= %d), |P1| = %zu\n\n",
+              name.c_str(), ts.p0.size(), ts.cutoff_length, ts.p1.size());
+
+  Table t("strategies at N_P=" + std::to_string(tcfg.n_p) +
+          ", N_P0=" + std::to_string(tcfg.n_p0));
+  t.columns({"strategy", "tests", "P0 det", "P1 det", "union det", "seconds"});
+
+  auto add = [&](const char* label, const GenerationResult& r) {
+    const UnionCoverage c = wb.coverage_of(r);
+    t.row(label, r.tests.size(), c.p0_detected, c.p1_detected,
+          c.union_detected(), r.stats.seconds);
+  };
+
+  GeneratorConfig g;
+  g.seed = seed;
+  g.heuristic = CompactionHeuristic::None;
+  add("basic/uncomp", wb.run_basic(g));
+  g.heuristic = CompactionHeuristic::Value;
+  add("basic/values", wb.run_basic(g));
+  add("enriched", wb.run_enriched(g));
+
+  t.print(std::cout);
+  std::printf(
+      "\nreading: 'enriched' should match 'basic/values' in tests while\n"
+      "detecting far more of P1 — the paper's free-quality improvement.\n");
+  return 0;
+}

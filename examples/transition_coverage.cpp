@@ -1,0 +1,45 @@
+// Transition-fault coverage via longest-path selection: pair every line with
+// the longest structural path through it (line-cover), generate robust tests
+// for those path faults, and report per-line transition coverage — the
+// strongest single-path guarantee for lumped gate-delay defects.
+//
+// Usage: ./examples/transition_coverage [circuit] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "atpg/generator.hpp"
+#include "faults/transition.hpp"
+#include "gen/registry.hpp"
+#include "report/coverage.hpp"
+
+using namespace pdf;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "b04_like";
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+
+  const Netlist nl = benchmark_circuit(name);
+  const LineDelayModel dm(nl);
+  const TransitionTargets t = build_transition_targets(nl, dm);
+  std::printf("%s: %zu line-transition targets over %zu covering path faults "
+              "(%zu robustly untestable through their longest path)\n",
+              name.c_str(), t.targets.size(), t.faults.size(), t.untestable);
+  if (t.faults.empty()) return 0;
+
+  GeneratorConfig g;
+  g.seed = seed;
+  const GenerationResult r = generate_tests(nl, t.faults, {}, g);
+  const std::size_t covered = covered_transitions(t, r.detected_p0);
+  std::printf("generated %zu tests: %zu / %zu transitions covered (%.1f%%), "
+              "%zu / %zu covering faults detected\n",
+              r.tests.size(), covered, t.targets.size(),
+              100.0 * static_cast<double>(covered) /
+                  static_cast<double>(t.targets.size()),
+              r.detected_p0_count(), t.faults.size());
+
+  const CoverageBreakdown b = coverage_by_length(t.faults, r.detected_p0);
+  std::printf("covering-fault coverage by path length: %s\n",
+              coverage_summary(b, 6).c_str());
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Branch-and-bound justification.
+//
+// The paper's simulation-based procedure is greedy and randomized; it notes
+// that the resulting run-to-run variations "can be eliminated by using a
+// branch-and-bound procedure instead of a simulation-based procedure for
+// justification". This engine is that alternative: a complete backtracking
+// search over the pattern bits of the requirement set's support inputs.
+//
+//  * At every search node the necessary-value rule runs to a fixpoint
+//    (probe each free support bit with 0 and 1 on the event-driven
+//    simulator; both conflict -> dead branch, one conflicts -> forced).
+//  * Decisions pick the first free support bit (static order) and try 0
+//    then 1; everything a decision and its consequences changed is undone by
+//    transaction rollback on backtrack.
+//  * A leaf (all support bits assigned) succeeds only when every requirement
+//    component is covered, including hazard-freedom demands on the
+//    intermediate plane.
+//
+// Within the backtrack budget the engine is exact: Satisfiable comes with a
+// witness test, Unsatisfiable is a proof that no two-pattern test meets the
+// requirements, Aborted means the budget ran out.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "atpg/test_pattern.hpp"
+#include "faults/requirements.hpp"
+#include "implication/implication.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/event_sim.hpp"
+
+namespace pdf {
+
+enum class BnbStatus { Satisfiable, Unsatisfiable, Aborted };
+
+struct BnbConfig {
+  /// Backtrack budget; exceeded -> Aborted.
+  std::size_t max_backtracks = 2000;
+  /// Seed the search with one static implication pass over the requirements.
+  bool use_implication_seed = true;
+};
+
+struct BnbStats {
+  std::uint64_t calls = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t backtracks = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t sat = 0;
+  std::uint64_t unsat = 0;
+  std::uint64_t aborted = 0;
+};
+
+struct BnbResult {
+  BnbStatus status = BnbStatus::Aborted;
+  /// Witness (fully specified) when status == Satisfiable.
+  TwoPatternTest test;
+  std::size_t backtracks = 0;
+  std::size_t decisions = 0;
+};
+
+class BnbJustifier {
+ public:
+  explicit BnbJustifier(const Netlist& nl);
+
+  BnbResult justify(std::span<const ValueRequirement> reqs,
+                    const BnbConfig& cfg = {});
+
+  const BnbStats& stats() const { return stats_; }
+
+ private:
+  enum class Search { Sat, Unsat, Abort };
+
+  Search solve();
+  /// Necessary-value fixpoint over the free support bits; false on conflict.
+  bool propagate_forced();
+  bool probe_conflicts(std::size_t input, int plane, V3 v);
+  void apply_bit(std::size_t input, int plane, V3 v);
+  bool bit_specified(std::size_t input, int plane) const;
+
+  const Netlist* nl_;
+  EventSim sim_;
+  ImplicationEngine implication_;
+  BnbStats stats_;
+
+  std::vector<std::size_t> support_;
+  std::size_t budget_ = 0;
+  std::size_t backtracks_this_call_ = 0;
+  std::size_t decisions_this_call_ = 0;
+};
+
+}  // namespace pdf

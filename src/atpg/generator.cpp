@@ -1,0 +1,276 @@
+#include "atpg/generator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+
+#include "faultsim/fault_sim.hpp"
+
+namespace pdf {
+
+const char* heuristic_name(CompactionHeuristic h) {
+  switch (h) {
+    case CompactionHeuristic::None: return "uncomp";
+    case CompactionHeuristic::Arbitrary: return "arbit";
+    case CompactionHeuristic::Length: return "length";
+    case CompactionHeuristic::Value: return "values";
+  }
+  return "?";
+}
+
+std::size_t GenerationResult::detected_p0_count() const {
+  return static_cast<std::size_t>(
+      std::count(detected_p0.begin(), detected_p0.end(), true));
+}
+
+std::size_t GenerationResult::detected_p1_count() const {
+  return static_cast<std::size_t>(
+      std::count(detected_p1.begin(), detected_p1.end(), true));
+}
+
+std::size_t GenerationResult::detected_count(std::size_t set) const {
+  if (set >= detected.size()) return 0;
+  return static_cast<std::size_t>(
+      std::count(detected[set].begin(), detected[set].end(), true));
+}
+
+namespace {
+
+// One target set during generation: faults plus bookkeeping flags.
+struct SetState {
+  std::span<const TargetFault> faults;
+  std::vector<bool> detected;
+  std::vector<bool> in_current_test;   // member of P(t)
+  std::vector<bool> tried_this_test;   // offered as secondary for current t
+  std::vector<std::size_t> order;      // heuristic visit order
+
+  explicit SetState(std::span<const TargetFault> f)
+      : faults(f),
+        detected(f.size(), false),
+        in_current_test(f.size(), false),
+        tried_this_test(f.size(), false) {}
+
+  void begin_test() {
+    std::fill(in_current_test.begin(), in_current_test.end(), false);
+    std::fill(tried_this_test.begin(), tried_this_test.end(), false);
+  }
+
+  bool eligible(std::size_t i) const {
+    return !detected[i] && !in_current_test[i] && !tried_this_test[i];
+  }
+};
+
+class Generator {
+ public:
+  Generator(const Netlist& nl,
+            std::span<const std::span<const TargetFault>> sets,
+            const GeneratorConfig& cfg)
+      : nl_(nl), cfg_(cfg), engine_(nl, cfg.seed), bnb_(nl), fsim_(nl) {
+    sets_.reserve(sets.size());
+    for (const auto& s : sets) sets_.emplace_back(s);
+    if (sets_.empty()) sets_.emplace_back(std::span<const TargetFault>{});
+  }
+
+  GenerationResult run() {
+    const auto start = std::chrono::steady_clock::now();
+    for (auto& s : sets_) s.order = make_order(s.faults);
+
+    SetState& s0 = sets_[0];
+    std::vector<bool> primary_tried(s0.faults.size(), false);
+    for (;;) {
+      const std::size_t primary = next_primary(primary_tried);
+      if (primary == kNone) break;
+      primary_tried[primary] = true;
+      ++result_.stats.primary_attempts;
+
+      auto test = do_justify(s0.faults[primary].requirements);
+      if (!test) {
+        ++result_.stats.primary_failures;
+        continue;
+      }
+
+      for (auto& s : sets_) s.begin_test();
+      s0.in_current_test[primary] = true;
+      union_.clear();
+      union_.add_all(s0.faults[primary].requirements);
+
+      if (cfg_.heuristic != CompactionHeuristic::None) {
+        // Sets are offered strictly in order: a set-k candidate is selected
+        // only once every eligible candidate of sets 0..k-1 was considered.
+        for (auto& s : sets_) grow_with_secondaries(s, *test);
+      }
+
+      drop_detected(*test);
+      result_.tests.push_back(std::move(*test));
+    }
+
+    result_.detected.reserve(sets_.size());
+    for (auto& s : sets_) result_.detected.push_back(std::move(s.detected));
+    result_.detected_p0 = result_.detected[0];
+    if (result_.detected.size() > 1) result_.detected_p1 = result_.detected[1];
+    result_.stats.justify = engine_.stats();
+    result_.stats.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return std::move(result_);
+  }
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  std::optional<TwoPatternTest> do_justify(
+      std::span<const ValueRequirement> reqs) {
+    if (cfg_.use_branch_and_bound) {
+      BnbResult r = bnb_.justify(reqs, cfg_.bnb);
+      if (r.status == BnbStatus::Satisfiable) return std::move(r.test);
+      return std::nullopt;
+    }
+    return engine_.justify(reqs, cfg_.justify);
+  }
+
+  std::vector<std::size_t> make_order(std::span<const TargetFault> faults) {
+    std::vector<std::size_t> order(faults.size());
+    std::iota(order.begin(), order.end(), 0);
+    switch (cfg_.heuristic) {
+      case CompactionHeuristic::None:
+        break;
+      case CompactionHeuristic::Arbitrary:
+        if (cfg_.shuffle_arbitrary) {
+          Rng rng(cfg_.seed ^ 0xa5a5a5a5a5a5a5a5ULL);
+          for (std::size_t i = order.size(); i > 1; --i) {
+            std::swap(order[i - 1], order[rng.below(i)]);
+          }
+        }
+        break;
+      case CompactionHeuristic::Length:
+      case CompactionHeuristic::Value:
+        // Longest path first (the value heuristic uses this for primaries and
+        // re-ranks secondaries by n_Delta dynamically).
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                           return faults[a].fault.length > faults[b].fault.length;
+                         });
+        break;
+    }
+    return order;
+  }
+
+  std::size_t next_primary(const std::vector<bool>& tried) const {
+    const SetState& s0 = sets_[0];
+    for (std::size_t idx : s0.order) {
+      if (!tried[idx] && !s0.detected[idx]) return idx;
+    }
+    return kNone;
+  }
+
+  // Offers the eligible faults of `set` as secondary targets for the current
+  // test, updating `test` and the requirement union on every acceptance.
+  void grow_with_secondaries(SetState& set, TwoPatternTest& test) {
+    std::size_t consecutive_failures = 0;
+    for (;;) {
+      if (cfg_.max_consecutive_secondary_failures > 0 &&
+          consecutive_failures >= cfg_.max_consecutive_secondary_failures) {
+        break;
+      }
+      const std::size_t cand = pick_secondary(set);
+      if (cand == kNone) break;
+      set.tried_this_test[cand] = true;
+
+      const auto& reqs = set.faults[cand].requirements;
+      if (union_.would_conflict(reqs)) {
+        ++result_.stats.secondary_rejected;
+        ++consecutive_failures;
+        continue;
+      }
+      RequirementSet merged = union_;
+      merged.add_all(reqs);
+      auto new_test = do_justify(merged.items());
+      if (!new_test) {
+        ++result_.stats.secondary_rejected;
+        ++consecutive_failures;
+        continue;
+      }
+      union_ = std::move(merged);
+      set.in_current_test[cand] = true;
+      test = std::move(*new_test);
+      ++result_.stats.secondary_accepted;
+      consecutive_failures = 0;
+    }
+  }
+
+  std::size_t pick_secondary(const SetState& set) const {
+    if (cfg_.heuristic != CompactionHeuristic::Value) {
+      for (std::size_t idx : set.order) {
+        if (set.eligible(idx)) return idx;
+      }
+      return kNone;
+    }
+    // Value-based: minimum number of requirements not already guaranteed by
+    // the current union; ties resolve to the longer path (orders are
+    // length-sorted), then earlier list position.
+    std::size_t best = kNone;
+    std::size_t best_delta = 0;
+    for (std::size_t idx : set.order) {
+      if (!set.eligible(idx)) continue;
+      const std::size_t d = union_.delta_count(set.faults[idx].requirements);
+      if (best == kNone || d < best_delta) {
+        best = idx;
+        best_delta = d;
+        if (d == 0) break;  // cannot do better
+      }
+    }
+    return best;
+  }
+
+  void drop_detected(const TwoPatternTest& test) {
+    const std::vector<Triple> values = fsim_.line_values(test);
+    for (auto& set : sets_) {
+      for (std::size_t i = 0; i < set.faults.size(); ++i) {
+        if (set.detected[i]) continue;
+        bool ok = true;
+        for (const auto& r : set.faults[i].requirements) {
+          if (!values[r.line].covers(r.value)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) set.detected[i] = true;
+      }
+    }
+  }
+
+  const Netlist& nl_;
+  GeneratorConfig cfg_;
+  JustificationEngine engine_;
+  BnbJustifier bnb_;
+  FaultSimulator fsim_;
+  std::vector<SetState> sets_;
+  RequirementSet union_;
+  GenerationResult result_;
+};
+
+}  // namespace
+
+GenerationResult generate_tests_multi(
+    const Netlist& nl, std::span<const std::span<const TargetFault>> sets,
+    const GeneratorConfig& cfg) {
+  Generator g(nl, sets, cfg);
+  return g.run();
+}
+
+GenerationResult generate_tests(const Netlist& nl,
+                                std::span<const TargetFault> p0,
+                                std::span<const TargetFault> p1,
+                                const GeneratorConfig& cfg) {
+  const std::span<const TargetFault> sets[] = {p0, p1};
+  // A basic (single-set) run keeps detected_p1 empty for clarity.
+  if (p1.empty()) {
+    const std::span<const TargetFault> only[] = {p0};
+    GenerationResult r = generate_tests_multi(nl, only, cfg);
+    return r;
+  }
+  return generate_tests_multi(nl, sets, cfg);
+}
+
+}  // namespace pdf

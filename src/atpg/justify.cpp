@@ -1,0 +1,177 @@
+#include "atpg/justify.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/triple_sim.hpp"
+
+namespace pdf {
+
+JustificationEngine::JustificationEngine(const Netlist& nl, std::uint64_t seed)
+    : nl_(&nl), sim_(nl), implication_(nl), rng_(seed) {
+  input_index_.assign(nl.node_count(), -1);
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    input_index_[nl.inputs()[i]] = static_cast<int>(i);
+  }
+  bit1_.assign(nl.inputs().size(), V3::X);
+  bit3_.assign(nl.inputs().size(), V3::X);
+  in_support_.assign(nl.inputs().size(), false);
+  visit_mark_.assign(nl.node_count(), 0);
+}
+
+bool JustificationEngine::bit_specified(std::size_t input, int plane) const {
+  return is_specified(plane == 0 ? bit1_[input] : bit3_[input]);
+}
+
+void JustificationEngine::apply_bit(std::size_t input, int plane, V3 v) {
+  (plane == 0 ? bit1_[input] : bit3_[input]) = v;
+  sim_.set_pi(input, pi_triple(bit1_[input], bit3_[input]));
+}
+
+bool JustificationEngine::probe_conflicts(std::size_t input, int plane, V3 v) {
+  ++stats_.probes;
+  const V3 b1 = plane == 0 ? v : bit1_[input];
+  const V3 b3 = plane == 0 ? bit3_[input] : v;
+  const std::size_t token = sim_.begin_txn();
+  sim_.set_pi(input, pi_triple(b1, b3));
+  const bool conflict = sim_.violations() > 0;
+  sim_.rollback(token);
+  return conflict;
+}
+
+void JustificationEngine::compute_support(
+    std::span<const ValueRequirement> reqs) {
+  std::fill(in_support_.begin(), in_support_.end(), false);
+  support_inputs_.clear();
+  std::fill(visit_mark_.begin(), visit_mark_.end(), 0);
+  std::vector<NodeId> stack;
+  for (const auto& r : reqs) {
+    if (!visit_mark_[r.line]) {
+      visit_mark_[r.line] = 1;
+      stack.push_back(r.line);
+    }
+  }
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    if (const int idx = input_index_[id]; idx >= 0) {
+      if (!in_support_[static_cast<std::size_t>(idx)]) {
+        in_support_[static_cast<std::size_t>(idx)] = true;
+        support_inputs_.push_back(static_cast<std::size_t>(idx));
+      }
+    }
+    for (NodeId f : nl_->node(id).fanin) {
+      if (!visit_mark_[f]) {
+        visit_mark_[f] = 1;
+        stack.push_back(f);
+      }
+    }
+  }
+  std::sort(support_inputs_.begin(), support_inputs_.end());
+}
+
+bool JustificationEngine::necessary_passes() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    ++stats_.passes;
+    for (std::size_t input : support_inputs_) {
+      for (int plane : {0, 2}) {
+        if (bit_specified(input, plane)) continue;
+        const bool c0 = probe_conflicts(input, plane, V3::Zero);
+        const bool c1 = probe_conflicts(input, plane, V3::One);
+        if (c0 && c1) return false;
+        if (c0 != c1) {
+          apply_bit(input, plane, c0 ? V3::One : V3::Zero);
+          if (sim_.violations() > 0) return false;
+          progress = true;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool JustificationEngine::attempt(std::span<const ValueRequirement> reqs,
+                                  const JustifyConfig& cfg) {
+  ++stats_.attempts;
+  sim_.reset();
+  std::fill(bit1_.begin(), bit1_.end(), V3::X);
+  std::fill(bit3_.begin(), bit3_.end(), V3::X);
+
+  for (const auto& r : reqs) sim_.add_requirement(r.line, r.value);
+  if (sim_.violations() > 0) return false;
+
+  compute_support(reqs);
+
+  if (cfg.use_implication_seed) {
+    const ImplicationResult imp = implication_.imply(reqs);
+    if (!imp.consistent) return false;
+    for (std::size_t i = 0; i < nl_->inputs().size(); ++i) {
+      const Triple& t = imp.values[nl_->inputs()[i]];
+      if (is_specified(t.a1)) apply_bit(i, 0, t.a1);
+      if (is_specified(t.a3)) apply_bit(i, 2, t.a3);
+    }
+    if (sim_.violations() > 0) return false;
+  }
+
+  // Main loop: necessary values to fixpoint, then one decision, repeat.
+  for (;;) {
+    if (!necessary_passes()) return false;
+
+    // Find an unspecified support bit; prefer the paper's "make a
+    // half-specified input steady" decision.
+    std::size_t half_input = static_cast<std::size_t>(-1);
+    std::vector<std::pair<std::size_t, int>> free_bits;
+    for (std::size_t input : support_inputs_) {
+      const bool s1 = bit_specified(input, 0);
+      const bool s3 = bit_specified(input, 2);
+      if (s1 != s3 && half_input == static_cast<std::size_t>(-1)) {
+        half_input = input;
+      }
+      if (!s1) free_bits.emplace_back(input, 0);
+      if (!s3) free_bits.emplace_back(input, 2);
+    }
+    if (free_bits.empty()) break;
+
+    ++stats_.decisions;
+    if (half_input != static_cast<std::size_t>(-1)) {
+      const bool have1 = bit_specified(half_input, 0);
+      const V3 v = have1 ? bit1_[half_input] : bit3_[half_input];
+      apply_bit(half_input, have1 ? 2 : 0, v);
+    } else {
+      const auto [input, plane] = free_bits[rng_.below(free_bits.size())];
+      apply_bit(input, plane, rng_.coin() ? V3::One : V3::Zero);
+    }
+    if (sim_.violations() > 0) return false;
+  }
+
+  // Fill the bits outside the support of A: they cannot affect any required
+  // line, so any fully specified values complete the test.
+  for (std::size_t i = 0; i < bit1_.size(); ++i) {
+    if (!is_specified(bit1_[i])) apply_bit(i, 0, rng_.coin() ? V3::One : V3::Zero);
+    if (!is_specified(bit3_[i])) apply_bit(i, 2, rng_.coin() ? V3::One : V3::Zero);
+  }
+
+  return sim_.violations() == 0 && sim_.unsatisfied() == 0;
+}
+
+std::optional<TwoPatternTest> JustificationEngine::justify(
+    std::span<const ValueRequirement> reqs, const JustifyConfig& cfg) {
+  const int attempts = std::max(1, cfg.max_attempts);
+  for (int k = 0; k < attempts; ++k) {
+    if (attempt(reqs, cfg)) {
+      ++stats_.successes;
+      TwoPatternTest t;
+      t.pi_values.resize(bit1_.size());
+      for (std::size_t i = 0; i < bit1_.size(); ++i) {
+        t.pi_values[i] = pi_triple(bit1_[i], bit3_[i]);
+      }
+      return t;
+    }
+  }
+  ++stats_.failures;
+  return std::nullopt;
+}
+
+}  // namespace pdf

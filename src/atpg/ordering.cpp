@@ -1,0 +1,74 @@
+#include "atpg/ordering.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "faultsim/parallel_sim.hpp"
+
+namespace pdf {
+
+OrderingResult order_tests_by_coverage(const Netlist& nl,
+                                       std::span<const TwoPatternTest> tests,
+                                       std::span<const TargetFault> faults) {
+  ParallelFaultSimulator sim(nl);
+  const auto matrix = sim.detection_matrix(tests, faults);
+
+  // Transpose into per-test fault masks.
+  const std::size_t fault_words = (faults.size() + 63) / 64;
+  std::vector<std::vector<std::uint64_t>> per_test(
+      tests.size(), std::vector<std::uint64_t>(fault_words, 0));
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    for (std::size_t t = 0; t < tests.size(); ++t) {
+      if ((matrix[f][t / 64] >> (t % 64)) & 1) {
+        per_test[t][f / 64] |= std::uint64_t{1} << (f % 64);
+      }
+    }
+  }
+
+  OrderingResult out;
+  std::vector<bool> used(tests.size(), false);
+  std::vector<std::uint64_t> covered(fault_words, 0);
+  std::size_t covered_count = 0;
+
+  for (std::size_t round = 0; round < tests.size(); ++round) {
+    std::size_t best = static_cast<std::size_t>(-1);
+    std::size_t best_gain = 0;
+    for (std::size_t t = 0; t < tests.size(); ++t) {
+      if (used[t]) continue;
+      std::size_t gain = 0;
+      for (std::size_t w = 0; w < fault_words; ++w) {
+        gain += static_cast<std::size_t>(
+            std::popcount(per_test[t][w] & ~covered[w]));
+      }
+      if (best == static_cast<std::size_t>(-1) || gain > best_gain) {
+        best = t;
+        best_gain = gain;
+      }
+      if (gain == faults.size()) break;  // cannot be beaten
+    }
+    used[best] = true;
+    for (std::size_t w = 0; w < fault_words; ++w) covered[w] |= per_test[best][w];
+    covered_count += best_gain;
+    out.order.push_back(best);
+    out.cumulative_detected.push_back(covered_count);
+  }
+  return out;
+}
+
+std::vector<TwoPatternTest> apply_order(std::span<const TwoPatternTest> tests,
+                                        std::span<const std::size_t> order) {
+  if (order.size() != tests.size()) {
+    throw std::invalid_argument("apply_order: permutation size mismatch");
+  }
+  std::vector<TwoPatternTest> out;
+  out.reserve(tests.size());
+  for (std::size_t idx : order) {
+    if (idx >= tests.size()) {
+      throw std::invalid_argument("apply_order: index out of range");
+    }
+    out.push_back(tests[idx]);
+  }
+  return out;
+}
+
+}  // namespace pdf

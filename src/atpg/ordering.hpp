@@ -1,0 +1,35 @@
+// Tester-schedule ordering of a test set.
+//
+// On the tester, a failing chip can be binned as soon as any test fails, so
+// ordering tests by marginal fault coverage (greedy set cover over the
+// detection matrix) minimizes the expected time-to-first-fail. The test set
+// itself is unchanged — only its application order.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "atpg/test_pattern.hpp"
+#include "faults/screen.hpp"
+#include "netlist/netlist.hpp"
+
+namespace pdf {
+
+struct OrderingResult {
+  /// Permutation of test indices, best-first.
+  std::vector<std::size_t> order;
+  /// cumulative_detected[k]: faults detected by the first k+1 tests.
+  std::vector<std::size_t> cumulative_detected;
+};
+
+/// Greedy max-marginal-coverage ordering of `tests` against `faults`.
+/// Tests with zero marginal coverage keep their relative order at the end.
+OrderingResult order_tests_by_coverage(const Netlist& nl,
+                                       std::span<const TwoPatternTest> tests,
+                                       std::span<const TargetFault> faults);
+
+/// Applies a permutation (as returned in OrderingResult::order).
+std::vector<TwoPatternTest> apply_order(std::span<const TwoPatternTest> tests,
+                                        std::span<const std::size_t> order);
+
+}  // namespace pdf

@@ -1,0 +1,51 @@
+#include "atpg/post_compact.hpp"
+
+#include <algorithm>
+
+#include "faultsim/fault_sim.hpp"
+
+namespace pdf {
+
+PostCompactionResult post_compact(const Netlist& nl,
+                                  std::span<const TwoPatternTest> tests,
+                                  std::span<const TargetFault> p0,
+                                  std::span<const TargetFault> p1) {
+  FaultSimulator fsim(nl);
+
+  // Detection matrix, one row per test over the concatenated fault list.
+  const std::size_t n_faults = p0.size() + p1.size();
+  std::vector<std::vector<bool>> detects(tests.size());
+  for (std::size_t t = 0; t < tests.size(); ++t) {
+    std::vector<bool> row = fsim.detects(tests[t], p0);
+    const std::vector<bool> row1 = fsim.detects(tests[t], p1);
+    row.insert(row.end(), row1.begin(), row1.end());
+    detects[t] = std::move(row);
+  }
+
+  std::vector<bool> covered(n_faults, false);
+  std::vector<std::size_t> kept;
+  for (std::size_t rt = tests.size(); rt-- > 0;) {
+    bool useful = false;
+    for (std::size_t f = 0; f < n_faults; ++f) {
+      if (detects[rt][f] && !covered[f]) {
+        useful = true;
+        break;
+      }
+    }
+    if (!useful) continue;
+    kept.push_back(rt);
+    for (std::size_t f = 0; f < n_faults; ++f) {
+      if (detects[rt][f]) covered[f] = true;
+    }
+  }
+  std::reverse(kept.begin(), kept.end());
+
+  PostCompactionResult out;
+  out.kept_indices = std::move(kept);
+  out.tests.reserve(out.kept_indices.size());
+  for (std::size_t idx : out.kept_indices) out.tests.push_back(tests[idx]);
+  out.dropped = tests.size() - out.tests.size();
+  return out;
+}
+
+}  // namespace pdf

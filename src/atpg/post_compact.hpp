@@ -1,0 +1,35 @@
+// Static post-compaction of a generated test set.
+//
+// Dynamic compaction (primary/secondary targets) still leaves slack: early
+// tests are often fully covered by the union of later ones. The classic
+// remedy is reverse-order fault simulation — walk the test set from the last
+// test to the first, keeping a test only if it detects at least one fault no
+// kept test detects. The result detects exactly the same fault set with a
+// (weakly) smaller test count. This complements the paper's procedure; the
+// ablation bench quantifies how little it finds after value-based dynamic
+// compaction (evidence the dynamic heuristics already do the work).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "atpg/test_pattern.hpp"
+#include "faults/screen.hpp"
+#include "netlist/netlist.hpp"
+
+namespace pdf {
+
+struct PostCompactionResult {
+  std::vector<TwoPatternTest> tests;     // surviving tests, original order
+  std::vector<std::size_t> kept_indices; // into the input test set, ascending
+  std::size_t dropped = 0;
+};
+
+/// Reverse-order pass over `tests` against the union of the given fault
+/// sets. Faults detected by no test at all do not influence the result.
+PostCompactionResult post_compact(const Netlist& nl,
+                                  std::span<const TwoPatternTest> tests,
+                                  std::span<const TargetFault> p0,
+                                  std::span<const TargetFault> p1 = {});
+
+}  // namespace pdf

@@ -1,0 +1,40 @@
+#include "atpg/support.hpp"
+
+#include <algorithm>
+
+namespace pdf {
+
+std::vector<std::size_t> support_inputs(const Netlist& nl,
+                                        std::span<const ValueRequirement> reqs) {
+  std::vector<int> input_index(nl.node_count(), -1);
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    input_index[nl.inputs()[i]] = static_cast<int>(i);
+  }
+
+  std::vector<char> visited(nl.node_count(), 0);
+  std::vector<NodeId> stack;
+  std::vector<std::size_t> out;
+  for (const auto& r : reqs) {
+    if (!visited[r.line]) {
+      visited[r.line] = 1;
+      stack.push_back(r.line);
+    }
+  }
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    if (const int idx = input_index[id]; idx >= 0) {
+      out.push_back(static_cast<std::size_t>(idx));
+    }
+    for (NodeId f : nl.node(id).fanin) {
+      if (!visited[f]) {
+        visited[f] = 1;
+        stack.push_back(f);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace pdf

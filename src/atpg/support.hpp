@@ -1,0 +1,19 @@
+// Structural support of a requirement set: the primary inputs that can
+// influence at least one required line. Only these PI bits need to be
+// searched by a justification engine; all others can be filled arbitrarily.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "faults/requirements.hpp"
+#include "netlist/netlist.hpp"
+
+namespace pdf {
+
+/// Indices into nl.inputs() of the PIs in the fanin cone of any required
+/// line, ascending.
+std::vector<std::size_t> support_inputs(const Netlist& nl,
+                                        std::span<const ValueRequirement> reqs);
+
+}  // namespace pdf

@@ -1,0 +1,120 @@
+#include "atpg/test_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/triple_sim.hpp"
+
+namespace pdf {
+namespace {
+
+[[noreturn]] void fail(int line_no, const std::string& msg) {
+  throw std::runtime_error("test file line " + std::to_string(line_no) + ": " + msg);
+}
+
+}  // namespace
+
+void write_tests(std::ostream& out, const Netlist& nl,
+                 std::span<const TwoPatternTest> tests) {
+  out << "# two-pattern robust path delay tests\n";
+  out << "circuit " << nl.name() << "\n";
+  out << "inputs";
+  for (NodeId id : nl.inputs()) out << " " << nl.node(id).name;
+  out << "\n";
+  for (const auto& t : tests) {
+    if (t.pi_values.size() != nl.inputs().size()) {
+      throw std::invalid_argument("write_tests: test width mismatch");
+    }
+    out << "test " << t.patterns_string() << "\n";
+  }
+}
+
+void write_tests_file(const std::string& path, const Netlist& nl,
+                      std::span<const TwoPatternTest> tests) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write test file: " + path);
+  write_tests(out, nl, tests);
+}
+
+std::string tests_to_string(const Netlist& nl,
+                            std::span<const TwoPatternTest> tests) {
+  std::ostringstream os;
+  write_tests(os, nl, tests);
+  return os.str();
+}
+
+std::vector<TwoPatternTest> read_tests(std::istream& in, const Netlist& nl) {
+  std::vector<TwoPatternTest> out;
+  bool inputs_seen = false;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword)) continue;
+
+    if (keyword == "circuit") {
+      std::string name;
+      ls >> name;  // informational only
+    } else if (keyword == "inputs") {
+      std::string name;
+      std::size_t idx = 0;
+      while (ls >> name) {
+        if (idx >= nl.inputs().size()) fail(line_no, "too many input names");
+        const std::string& expect = nl.node(nl.inputs()[idx]).name;
+        if (name != expect) {
+          fail(line_no, "input " + std::to_string(idx) + " is '" + name +
+                            "' but the netlist has '" + expect + "'");
+        }
+        ++idx;
+      }
+      if (idx != nl.inputs().size()) fail(line_no, "too few input names");
+      inputs_seen = true;
+    } else if (keyword == "test") {
+      if (!inputs_seen) fail(line_no, "'test' before 'inputs'");
+      std::string patterns;
+      if (!(ls >> patterns)) fail(line_no, "missing pattern pair");
+      const auto slash = patterns.find('/');
+      if (slash == std::string::npos) fail(line_no, "expected v1/v2");
+      const std::string v1 = patterns.substr(0, slash);
+      const std::string v2 = patterns.substr(slash + 1);
+      if (v1.size() != nl.inputs().size() || v2.size() != nl.inputs().size()) {
+        fail(line_no, "pattern width does not match input count");
+      }
+      TwoPatternTest t;
+      t.pi_values.reserve(v1.size());
+      for (std::size_t i = 0; i < v1.size(); ++i) {
+        V3 a, b;
+        try {
+          a = v3_from_char(v1[i]);
+          b = v3_from_char(v2[i]);
+        } catch (const std::invalid_argument& e) {
+          fail(line_no, e.what());
+        }
+        t.pi_values.push_back(pi_triple(a, b));
+      }
+      out.push_back(std::move(t));
+    } else {
+      fail(line_no, "unknown keyword: " + keyword);
+    }
+  }
+  return out;
+}
+
+std::vector<TwoPatternTest> read_tests_file(const std::string& path,
+                                            const Netlist& nl) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open test file: " + path);
+  return read_tests(in, nl);
+}
+
+std::vector<TwoPatternTest> tests_from_string(const std::string& text,
+                                              const Netlist& nl) {
+  std::istringstream in(text);
+  return read_tests(in, nl);
+}
+
+}  // namespace pdf

@@ -1,0 +1,42 @@
+// Test-set file I/O.
+//
+// A minimal, diff-friendly text format for two-pattern test sets:
+//
+//   # free-form comments
+//   circuit <name>
+//   inputs <name0> <name1> ...
+//   test <first-pattern>/<second-pattern>
+//   ...
+//
+// Patterns are strings over {0,1,x}, one character per input, in the
+// declared input order. The reader validates the input list against the
+// netlist (names and order) so tests cannot silently be applied to the
+// wrong pins.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "atpg/test_pattern.hpp"
+#include "netlist/netlist.hpp"
+
+namespace pdf {
+
+void write_tests(std::ostream& out, const Netlist& nl,
+                 std::span<const TwoPatternTest> tests);
+void write_tests_file(const std::string& path, const Netlist& nl,
+                      std::span<const TwoPatternTest> tests);
+std::string tests_to_string(const Netlist& nl,
+                            std::span<const TwoPatternTest> tests);
+
+/// Parses a test file; throws std::runtime_error (with a line number) on
+/// syntax errors, input-name mismatch, or pattern-width mismatch.
+std::vector<TwoPatternTest> read_tests(std::istream& in, const Netlist& nl);
+std::vector<TwoPatternTest> read_tests_file(const std::string& path,
+                                            const Netlist& nl);
+std::vector<TwoPatternTest> tests_from_string(const std::string& text,
+                                              const Netlist& nl);
+
+}  // namespace pdf

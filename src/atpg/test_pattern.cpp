@@ -1,0 +1,34 @@
+#include "atpg/test_pattern.hpp"
+
+#include <sstream>
+
+namespace pdf {
+
+bool TwoPatternTest::fully_specified() const {
+  for (const Triple& t : pi_values) {
+    if (!is_specified(t.a1) || !is_specified(t.a3)) return false;
+  }
+  return !pi_values.empty();
+}
+
+std::string TwoPatternTest::patterns_string() const {
+  std::string first, second;
+  first.reserve(pi_values.size());
+  second.reserve(pi_values.size());
+  for (const Triple& t : pi_values) {
+    first.push_back(to_char(t.a1));
+    second.push_back(to_char(t.a3));
+  }
+  return first + "/" + second;
+}
+
+std::string test_to_string(const Netlist& nl, const TwoPatternTest& t) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < t.pi_values.size(); ++i) {
+    if (i) os << " ";
+    os << nl.node(nl.inputs()[i]).name << "=" << t.pi_values[i];
+  }
+  return os.str();
+}
+
+}  // namespace pdf

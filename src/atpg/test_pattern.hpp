@@ -1,0 +1,31 @@
+// Two-pattern tests.
+//
+// A test assigns every primary input a fully specified pair of pattern values
+// (v1, v2); the intermediate value of each PI follows (v1 if v1 == v2, else
+// unknown). Tests produced by the justification engine are always fully
+// specified, matching the paper's simulation-based procedure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/triple.hpp"
+#include "netlist/netlist.hpp"
+
+namespace pdf {
+
+struct TwoPatternTest {
+  /// One triple per primary input, indexed like Netlist::inputs(). Planes 1
+  /// and 3 are specified for a complete test; plane 2 is derived.
+  std::vector<Triple> pi_values;
+
+  bool fully_specified() const;
+
+  /// "0101.../1100..." — first pattern / second pattern.
+  std::string patterns_string() const;
+};
+
+/// Pretty-print with input names.
+std::string test_to_string(const Netlist& nl, const TwoPatternTest& t);
+
+}  // namespace pdf

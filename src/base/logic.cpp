@@ -1,0 +1,28 @@
+#include "base/logic.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace pdf {
+
+char to_char(V3 v) {
+  switch (v) {
+    case V3::Zero: return '0';
+    case V3::One: return '1';
+    default: return 'x';
+  }
+}
+
+V3 v3_from_char(char c) {
+  switch (c) {
+    case '0': return V3::Zero;
+    case '1': return V3::One;
+    case 'x':
+    case 'X': return V3::X;
+    default: throw std::invalid_argument(std::string("bad V3 character: ") + c);
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, V3 v) { return os << to_char(v); }
+
+}  // namespace pdf

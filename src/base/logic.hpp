@@ -1,0 +1,82 @@
+// Three-valued logic (0, 1, x) used as the per-plane value domain of the
+// two-pattern test algebra (see base/triple.hpp).
+//
+// The x value is the usual pessimistic unknown: any operation whose result
+// would depend on the concrete binary value of an x operand yields x, while
+// controlling values dominate (0 AND x == 0, 1 OR x == 1).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace pdf {
+
+/// A single three-valued logic value.
+enum class V3 : std::uint8_t {
+  Zero = 0,
+  One = 1,
+  X = 2,
+};
+
+/// True when `v` is 0 or 1 (not x).
+constexpr bool is_specified(V3 v) { return v != V3::X; }
+
+/// Logical complement; x maps to x.
+constexpr V3 not3(V3 v) {
+  switch (v) {
+    case V3::Zero: return V3::One;
+    case V3::One: return V3::Zero;
+    default: return V3::X;
+  }
+}
+
+/// Three-valued AND with controlling-value dominance.
+constexpr V3 and3(V3 a, V3 b) {
+  if (a == V3::Zero || b == V3::Zero) return V3::Zero;
+  if (a == V3::One && b == V3::One) return V3::One;
+  return V3::X;
+}
+
+/// Three-valued OR with controlling-value dominance.
+constexpr V3 or3(V3 a, V3 b) {
+  if (a == V3::One || b == V3::One) return V3::One;
+  if (a == V3::Zero && b == V3::Zero) return V3::Zero;
+  return V3::X;
+}
+
+/// Three-valued XOR; x if either operand is x.
+constexpr V3 xor3(V3 a, V3 b) {
+  if (!is_specified(a) || !is_specified(b)) return V3::X;
+  return a == b ? V3::Zero : V3::One;
+}
+
+/// '0', '1' or 'x'.
+char to_char(V3 v);
+
+/// Parses '0', '1', 'x' or 'X'; throws std::invalid_argument otherwise.
+V3 v3_from_char(char c);
+
+/// Convenience constants for concise test/algorithm code.
+inline constexpr V3 v0 = V3::Zero;
+inline constexpr V3 v1 = V3::One;
+inline constexpr V3 vx = V3::X;
+
+std::ostream& operator<<(std::ostream& os, V3 v);
+
+/// `value` is compatible with `required` when `required` is x, or both are
+/// specified and equal, or `value` is x (i.e. it could still become the
+/// required value). Used for conflict detection: a conflict is exactly the
+/// case where both are specified and differ.
+constexpr bool conflicts(V3 value, V3 required) {
+  return is_specified(value) && is_specified(required) && value != required;
+}
+
+/// `value` covers `required` when every behaviour demanded by `required` is
+/// guaranteed by `value`: required x is always covered; a specified
+/// requirement is covered only by the identical specified value.
+constexpr bool covers(V3 value, V3 required) {
+  return !is_specified(required) || value == required;
+}
+
+}  // namespace pdf

@@ -1,0 +1,38 @@
+#include "base/triple.hpp"
+
+#include <cassert>
+#include <ostream>
+#include <stdexcept>
+
+namespace pdf {
+
+V3 Triple::operator[](int plane) const {
+  switch (plane) {
+    case 0: return a1;
+    case 1: return a2;
+    case 2: return a3;
+    default: throw std::out_of_range("Triple plane index");
+  }
+}
+
+std::string Triple::str() const {
+  return std::string{to_char(a1), to_char(a2), to_char(a3)};
+}
+
+Triple merge(const Triple& a, const Triple& b) {
+  assert(!a.conflicts_with(b));
+  return Triple{
+      is_specified(a.a1) ? a.a1 : b.a1,
+      is_specified(a.a2) ? a.a2 : b.a2,
+      is_specified(a.a3) ? a.a3 : b.a3,
+  };
+}
+
+Triple triple_from_string(const std::string& s) {
+  if (s.size() != 3) throw std::invalid_argument("triple string must have length 3: " + s);
+  return Triple{v3_from_char(s[0]), v3_from_char(s[1]), v3_from_char(s[2])};
+}
+
+std::ostream& operator<<(std::ostream& os, const Triple& t) { return os << t.str(); }
+
+}  // namespace pdf

@@ -1,0 +1,86 @@
+// The two-pattern value algebra of the paper (Section 2.1).
+//
+// A test for a path delay fault is a pair of patterns. Every line carries a
+// *triple* a1 a2 a3 where a1 is the line's value under the first pattern, a3
+// its value under the second pattern, and a2 the intermediate value during
+// the transition between the two patterns. A stable value has a1==a2==a3; a
+// rising transition is 0x1 and a falling transition is 1x0 (the intermediate
+// value of a transitioning line is unknown). An intermediate value that is
+// *specified* asserts hazard-freedom: the line provably holds that value for
+// the whole duration of the test, which is what robust off-path constraints
+// such as "steady 0" (000) demand.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "base/logic.hpp"
+
+namespace pdf {
+
+/// A value triple a1 a2 a3 over {0,1,x}. Plain aggregate; ordered/hashable so
+/// it can key requirement sets.
+struct Triple {
+  V3 a1 = V3::X;
+  V3 a2 = V3::X;
+  V3 a3 = V3::X;
+
+  friend bool operator==(const Triple&, const Triple&) = default;
+
+  V3 operator[](int plane) const;
+
+  /// True when no component is x.
+  bool fully_specified() const {
+    return is_specified(a1) && is_specified(a2) && is_specified(a3);
+  }
+
+  /// True when every component is x.
+  bool all_x() const {
+    return !is_specified(a1) && !is_specified(a2) && !is_specified(a3);
+  }
+
+  /// Componentwise cover: this triple guarantees everything `required` asks.
+  bool covers(const Triple& required) const {
+    return pdf::covers(a1, required.a1) && pdf::covers(a2, required.a2) &&
+           pdf::covers(a3, required.a3);
+  }
+
+  /// Componentwise conflict: some component is specified in both and differs.
+  bool conflicts_with(const Triple& other) const {
+    return pdf::conflicts(a1, other.a1) || pdf::conflicts(a2, other.a2) ||
+           pdf::conflicts(a3, other.a3);
+  }
+
+  /// "000", "0x1", ...
+  std::string str() const;
+};
+
+/// Componentwise merge of two non-conflicting triples (specified values win
+/// over x). Precondition: !a.conflicts_with(b).
+Triple merge(const Triple& a, const Triple& b);
+
+/// Parses a 3-character string such as "0x1".
+Triple triple_from_string(const std::string& s);
+
+// Named constants of the algebra.
+inline constexpr Triple kSteady0{V3::Zero, V3::Zero, V3::Zero};
+inline constexpr Triple kSteady1{V3::One, V3::One, V3::One};
+inline constexpr Triple kRise{V3::Zero, V3::X, V3::One};
+inline constexpr Triple kFall{V3::One, V3::X, V3::Zero};
+inline constexpr Triple kAllX{V3::X, V3::X, V3::X};
+/// Final-value-only constraints used for off-path inputs whose on-path
+/// transition ends at the controlling value of the gate (xx c-bar).
+inline constexpr Triple kFinal0{V3::X, V3::X, V3::Zero};
+inline constexpr Triple kFinal1{V3::X, V3::X, V3::One};
+
+/// Steady triple for a binary value.
+constexpr Triple steady(V3 v) { return Triple{v, v, v}; }
+/// xx`v` triple for a binary value.
+constexpr Triple final_only(V3 v) { return Triple{V3::X, V3::X, v}; }
+/// 0x1 for rising=true, 1x0 otherwise.
+constexpr Triple transition(bool rising) { return rising ? kRise : kFall; }
+
+std::ostream& operator<<(std::ostream& os, const Triple& t);
+
+}  // namespace pdf

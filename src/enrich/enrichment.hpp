@@ -1,0 +1,52 @@
+// High-level experiment facade tying target-set construction, the basic
+// generator, the enrichment generator and fault simulation together. The
+// table benches and examples are thin wrappers over this type.
+#pragma once
+
+#include <span>
+
+#include "atpg/generator.hpp"
+#include "enrich/target_sets.hpp"
+#include "faultsim/fault_sim.hpp"
+#include "netlist/netlist.hpp"
+
+namespace pdf {
+
+/// Detection summary of a test set over P0 and P1.
+struct UnionCoverage {
+  std::size_t p0_detected = 0;
+  std::size_t p1_detected = 0;
+  std::size_t p0_total = 0;
+  std::size_t p1_total = 0;
+
+  std::size_t union_detected() const { return p0_detected + p1_detected; }
+  std::size_t union_total() const { return p0_total + p1_total; }
+};
+
+class EnrichmentWorkbench {
+ public:
+  /// Builds the target sets for `nl` (which must outlive the workbench).
+  EnrichmentWorkbench(const Netlist& nl, const TargetSetConfig& cfg = {});
+
+  const Netlist& netlist() const { return *nl_; }
+  const TargetSets& targets() const { return targets_; }
+
+  /// Basic test generation targeting P0 only (paper Section 2).
+  GenerationResult run_basic(const GeneratorConfig& cfg = {}) const;
+
+  /// Test enrichment targeting P0 with P1 as the second set (Section 3.2).
+  GenerationResult run_enriched(const GeneratorConfig& cfg = {}) const;
+
+  /// Simulates an existing test set against P0 and P1 — the paper's Table 5
+  /// accidental-detection experiment when applied to basic test sets.
+  UnionCoverage simulate_union(std::span<const TwoPatternTest> tests) const;
+
+  /// Coverage bookkeeping for a GenerationResult.
+  UnionCoverage coverage_of(const GenerationResult& r) const;
+
+ private:
+  const Netlist* nl_;
+  TargetSets targets_;
+};
+
+}  // namespace pdf

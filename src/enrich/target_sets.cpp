@@ -1,0 +1,103 @@
+#include "enrich/target_sets.hpp"
+
+#include <stdexcept>
+
+#include "faults/fault.hpp"
+#include "paths/path.hpp"
+
+namespace pdf {
+namespace {
+
+// Enumerate + screen + profile: the common front end of both builders.
+struct ScreenedP {
+  std::vector<TargetFault> faults;
+  LengthProfile profile;
+  ScreenStats screen;
+  std::size_t enumerated_paths = 0;
+  bool truncated = false;
+};
+
+ScreenedP screened_p(const Netlist& nl, const TargetSetConfig& cfg) {
+  LineDelayModel dm = cfg.stem_weights.empty()
+                          ? LineDelayModel(nl)
+                          : LineDelayModel(nl, cfg.stem_weights);
+
+  EnumerationConfig ecfg = cfg.enumeration;
+  ecfg.max_faults = cfg.n_p;
+  ecfg.faults_per_path = 2;
+  const EnumerationResult enumerated = enumerate_longest_paths(dm, ecfg);
+
+  ScreenedP out;
+  out.enumerated_paths = enumerated.paths.size();
+  out.truncated = enumerated.step_limit_hit;
+
+  std::vector<PathDelayFault> faults = faults_for_paths(enumerated.paths);
+  out.faults =
+      screen_faults(nl, std::move(faults), &out.screen, cfg.sensitization);
+
+  std::vector<int> lengths;
+  lengths.reserve(out.faults.size());
+  for (const auto& tf : out.faults) lengths.push_back(tf.fault.length);
+  out.profile = LengthProfile(lengths);
+  return out;
+}
+
+}  // namespace
+
+TargetSets build_target_sets(const Netlist& nl, const TargetSetConfig& cfg) {
+  ScreenedP p = screened_p(nl, cfg);
+
+  TargetSets out;
+  out.enumerated_paths = p.enumerated_paths;
+  out.enumeration_truncated = p.truncated;
+  out.screen = p.screen;
+  out.profile = p.profile;
+  if (p.faults.empty()) return out;
+
+  out.i0 = out.profile.select_i0(cfg.n_p0);
+  out.cutoff_length = out.profile.buckets()[out.i0].length;
+
+  for (auto& tf : p.faults) {
+    if (tf.fault.length >= out.cutoff_length) {
+      out.p0.push_back(std::move(tf));
+    } else {
+      out.p1.push_back(std::move(tf));
+    }
+  }
+  return out;
+}
+
+MultiTargetSets build_target_sets_multi(
+    const Netlist& nl, const TargetSetConfig& cfg,
+    std::span<const std::size_t> thresholds) {
+  for (std::size_t k = 1; k < thresholds.size(); ++k) {
+    if (thresholds[k] <= thresholds[k - 1]) {
+      throw std::invalid_argument("thresholds must be strictly increasing");
+    }
+  }
+  ScreenedP p = screened_p(nl, cfg);
+
+  MultiTargetSets out;
+  out.enumerated_paths = p.enumerated_paths;
+  out.screen = p.screen;
+  out.profile = p.profile;
+  out.sets.resize(thresholds.size() + 1);
+  if (p.faults.empty()) return out;
+
+  out.cutoff_lengths.reserve(thresholds.size());
+  for (std::size_t t : thresholds) {
+    out.cutoff_lengths.push_back(out.profile.cutoff_length(t));
+  }
+
+  for (auto& tf : p.faults) {
+    std::size_t k = 0;
+    while (k < out.cutoff_lengths.size() &&
+           tf.fault.length < out.cutoff_lengths[k]) {
+      ++k;
+    }
+    out.sets[k].push_back(std::move(tf));
+  }
+  return out;
+}
+
+}  // namespace pdf

@@ -1,0 +1,76 @@
+// Construction of the target-fault sets P, P0 and P1 (paper Section 3.1).
+//
+//   P  — the faults associated with the N_P longest paths of the circuit
+//        (distance-guided enumeration), minus the provably undetectable ones;
+//   P0 — the faults of P on paths of length >= L_{i0}, where i0 is the
+//        smallest index with N_p(L_{i0}) >= N_P0 (so P0 contains all faults
+//        on the longest paths and is the set a conventional generator would
+//        target);
+//   P1 — the remaining faults of P (the next-to-longest paths), targeted
+//        opportunistically by the enrichment procedure.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "faults/screen.hpp"
+#include "netlist/netlist.hpp"
+#include "paths/enumerate.hpp"
+#include "paths/length_stats.hpp"
+
+namespace pdf {
+
+struct TargetSetConfig {
+  std::size_t n_p = 10000;   // N_P: fault budget for the enumeration
+  std::size_t n_p0 = 1000;   // N_P0: minimum size of P0
+  /// Robust (the paper's setting) or non-robust sensitization.
+  Sensitization sensitization = Sensitization::Robust;
+  /// Per-node stem weights for a non-unit delay model (empty = the paper's
+  /// line-counting model). Size must match the netlist when non-empty.
+  std::vector<int> stem_weights;
+  /// Enumeration knobs; max_faults/faults_per_path are overridden from n_p.
+  EnumerationConfig enumeration{};
+};
+
+struct TargetSets {
+  std::vector<TargetFault> p0;
+  std::vector<TargetFault> p1;
+
+  std::size_t i0 = 0;        // index of the P0 cutoff length
+  int cutoff_length = 0;     // L_{i0}
+  LengthProfile profile;     // over the screened faults of P
+  ScreenStats screen;
+  std::size_t enumerated_paths = 0;
+  bool enumeration_truncated = false;  // step limit hit
+
+  std::size_t p_total() const { return p0.size() + p1.size(); }
+};
+
+/// Runs enumeration, screening and the P0/P1 split. The netlist must be
+/// finalized, combinational and primitive-only.
+TargetSets build_target_sets(const Netlist& nl, const TargetSetConfig& cfg = {});
+
+/// Multi-subset generalization (the paper's "larger number of subsets"
+/// remark): P is split into thresholds.size()+1 subsets. Subset k contains
+/// the faults on paths of length >= L_{i_k}, where i_k is the smallest index
+/// whose cumulative fault count reaches thresholds[k] (thresholds must be
+/// strictly increasing); the last subset holds the remainder.
+struct MultiTargetSets {
+  std::vector<std::vector<TargetFault>> sets;
+  std::vector<int> cutoff_lengths;  // one per threshold
+  LengthProfile profile;
+  ScreenStats screen;
+  std::size_t enumerated_paths = 0;
+
+  std::size_t total() const {
+    std::size_t n = 0;
+    for (const auto& s : sets) n += s.size();
+    return n;
+  }
+};
+
+MultiTargetSets build_target_sets_multi(const Netlist& nl,
+                                        const TargetSetConfig& cfg,
+                                        std::span<const std::size_t> thresholds);
+
+}  // namespace pdf

@@ -1,0 +1,47 @@
+#include "faults/collapse.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace pdf {
+
+CollapseResult collapse_faults(std::span<const TargetFault> faults) {
+  CollapseResult out;
+  out.class_of.resize(faults.size());
+  // Requirement lists are kept sorted by line, so the vector itself is a
+  // canonical signature.
+  std::map<std::vector<ValueRequirement>, std::size_t,
+           decltype([](const std::vector<ValueRequirement>& a,
+                       const std::vector<ValueRequirement>& b) {
+             if (a.size() != b.size()) return a.size() < b.size();
+             for (std::size_t i = 0; i < a.size(); ++i) {
+               if (a[i].line != b[i].line) return a[i].line < b[i].line;
+               const auto ka = a[i].value.str(), kb = b[i].value.str();
+               if (ka != kb) return ka < kb;
+             }
+             return false;
+           })>
+      classes;
+
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    auto [it, inserted] =
+        classes.try_emplace(faults[i].requirements, out.representatives.size());
+    if (inserted) out.representatives.push_back(i);
+    out.class_of[i] = it->second;
+  }
+  return out;
+}
+
+std::vector<bool> expand_detection(const CollapseResult& collapse,
+                                   std::span<const bool> representative_flags) {
+  if (representative_flags.size() != collapse.representatives.size()) {
+    throw std::invalid_argument("expand_detection: flag count mismatch");
+  }
+  std::vector<bool> out(collapse.class_of.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = representative_flags[collapse.class_of[i]];
+  }
+  return out;
+}
+
+}  // namespace pdf

@@ -1,0 +1,36 @@
+// Fault collapsing for path delay faults.
+//
+// Two faults with the same requirement set A(p) are detected by exactly the
+// same tests — targeting both wastes generation effort. Such duplicates are
+// common after XOR decomposition (parallel branches re-join) and in fanout
+// free regions. Collapsing keeps one representative per requirement
+// signature and records the equivalence classes so coverage can be expanded
+// back to the full fault list.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "faults/screen.hpp"
+
+namespace pdf {
+
+struct CollapseResult {
+  /// Indices into the input list: one representative per class, in first
+  /// occurrence order.
+  std::vector<std::size_t> representatives;
+  /// class_of[i] is the position (in `representatives`) of fault i's class.
+  std::vector<std::size_t> class_of;
+
+  std::size_t class_count() const { return representatives.size(); }
+};
+
+/// Groups faults by identical requirement sets.
+CollapseResult collapse_faults(std::span<const TargetFault> faults);
+
+/// Expands detection flags over representatives back to the full list.
+std::vector<bool> expand_detection(const CollapseResult& collapse,
+                                   std::span<const bool> representative_flags);
+
+}  // namespace pdf

@@ -1,0 +1,94 @@
+#include "faults/explain.hpp"
+
+#include <sstream>
+
+#include "implication/implication.hpp"
+
+namespace pdf {
+namespace {
+
+// Rebuilds A(p) requirement by requirement, watching for the first merge
+// conflict (build_requirements only reports *that* one happened).
+struct ConflictProbe {
+  RequirementSet set;
+  bool conflicting = false;
+  NodeId line = kNoNode;
+  Triple existing, incoming;
+
+  void require(NodeId l, const Triple& v) {
+    if (conflicting) return;
+    if (const auto cur = set.at(l); cur && cur->conflicts_with(v)) {
+      conflicting = true;
+      line = l;
+      existing = *cur;
+      incoming = v;
+      return;
+    }
+    set.add(l, v);
+  }
+};
+
+}  // namespace
+
+UntestabilityReport explain_untestability(const Netlist& nl,
+                                          const PathDelayFault& fault,
+                                          Sensitization sens) {
+  UntestabilityReport report;
+
+  // Walk the path like build_requirements, but through the probe.
+  ConflictProbe probe;
+  bool rising = fault.rising_source;
+  const auto& nodes = fault.path.nodes;
+  probe.require(nodes.front(), transition(rising));
+  for (std::size_t i = 0; i + 1 < nodes.size() && !probe.conflicting; ++i) {
+    const NodeId on_path = nodes[i];
+    const NodeId gate = nodes[i + 1];
+    const Node& g = nl.node(gate);
+    const auto c = controlling_value(g.type);
+    if (c.has_value()) {
+      const V3 nc = not3(*c);
+      const V3 final_on_path = rising ? V3::One : V3::Zero;
+      const Triple off_req =
+          (sens == Sensitization::Robust && final_on_path == *c)
+              ? steady(nc)
+              : final_only(nc);
+      for (NodeId side : g.fanin) {
+        if (side == on_path) continue;
+        probe.require(side, off_req);
+      }
+    }
+    rising = rising != is_inverting(g.type);
+    probe.require(gate, sens == Sensitization::Robust
+                            ? transition(rising)
+                            : final_only(rising ? V3::One : V3::Zero));
+  }
+
+  if (probe.conflicting) {
+    report.kind = UntestabilityKind::LocalConflict;
+    report.line = probe.line;
+    report.first = probe.existing;
+    report.second = probe.incoming;
+    std::ostringstream os;
+    os << "line " << nl.node(probe.line).name << " must be "
+       << probe.existing.str() << " and " << probe.incoming.str()
+       << " at the same time (reconvergent side input of the path)";
+    report.message = os.str();
+    return report;
+  }
+
+  const auto items = probe.set.items();
+  ImplicationEngine engine(nl);
+  if (engine.contradicts(items)) {
+    report.kind = UntestabilityKind::ImplicationConflict;
+    report.message =
+        "the implications of A(p) are contradictory: no input assignment can "
+        "produce all required side-input values";
+    return report;
+  }
+
+  report.kind = UntestabilityKind::Testable;
+  report.message = "no static conflict; the fault passed both screens";
+  return report;
+}
+
+}  // namespace pdf

@@ -1,0 +1,40 @@
+// Untestability explanation.
+//
+// When a path delay fault is screened out (or a justification proves it
+// unsatisfiable), test engineers want to know *why* — which side input of
+// which gate kills the path. This module reruns the screens with
+// diagnostics and reports the category plus a human-readable witness.
+#pragma once
+
+#include <string>
+
+#include "faults/fault.hpp"
+#include "faults/requirements.hpp"
+#include "netlist/netlist.hpp"
+
+namespace pdf {
+
+enum class UntestabilityKind {
+  Testable,            // no problem found by the static screens
+  LocalConflict,       // A(p) demands two different values on one line
+  ImplicationConflict, // implying A(p) reaches a contradiction
+};
+
+struct UntestabilityReport {
+  UntestabilityKind kind = UntestabilityKind::Testable;
+  /// For LocalConflict: the line carrying contradictory requirements and the
+  /// two triples that clash.
+  NodeId line = kNoNode;
+  Triple first;
+  Triple second;
+  /// Human-readable rendering of the finding.
+  std::string message;
+};
+
+/// Analyzes a fault with the same screens used by screen_faults, but keeps
+/// the evidence. Sensitization matches the screening configuration.
+UntestabilityReport explain_untestability(
+    const Netlist& nl, const PathDelayFault& fault,
+    Sensitization sens = Sensitization::Robust);
+
+}  // namespace pdf

@@ -1,0 +1,26 @@
+#include "faults/fault.hpp"
+
+#include <sstream>
+
+namespace pdf {
+
+std::string fault_to_string(const Netlist& nl, const PathDelayFault& f) {
+  std::ostringstream os;
+  os << path_to_string(nl, f.path) << " ("
+     << (f.rising_source ? "slow-to-rise" : "slow-to-fall") << ", len "
+     << f.length << ")";
+  return os.str();
+}
+
+std::vector<PathDelayFault> faults_for_paths(
+    const std::vector<EnumeratedPath>& paths) {
+  std::vector<PathDelayFault> out;
+  out.reserve(paths.size() * 2);
+  for (const EnumeratedPath& p : paths) {
+    out.push_back({p.path, /*rising_source=*/true, p.length});
+    out.push_back({p.path, /*rising_source=*/false, p.length});
+  }
+  return out;
+}
+
+}  // namespace pdf

@@ -1,0 +1,35 @@
+// Path delay faults.
+//
+// Every structural path carries two faults: slow-to-rise (a 0->1 transition
+// launched at the path source arrives late) and slow-to-fall (1->0 late).
+// The fault is identified by its path plus the direction of the transition
+// at the source; transitions along the path follow from gate inversions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "paths/enumerate.hpp"
+#include "paths/path.hpp"
+
+namespace pdf {
+
+using FaultId = std::uint32_t;
+inline constexpr FaultId kNoFault = static_cast<FaultId>(-1);
+
+struct PathDelayFault {
+  Path path;
+  bool rising_source = true;  // true: slow-to-rise, false: slow-to-fall
+  int length = 0;             // path length under the delay model in use
+};
+
+/// "G1 -> G12 -> G13 (slow-to-rise, len 4)"
+std::string fault_to_string(const Netlist& nl, const PathDelayFault& f);
+
+/// Expands enumerated paths into the two faults per path, keeping lengths.
+/// Order: both faults of the first path, then of the second, ...
+std::vector<PathDelayFault> faults_for_paths(
+    const std::vector<EnumeratedPath>& paths);
+
+}  // namespace pdf

@@ -1,0 +1,31 @@
+#include "faults/screen.hpp"
+
+namespace pdf {
+
+std::vector<TargetFault> screen_faults(const Netlist& nl,
+                                       std::vector<PathDelayFault> faults,
+                                       ScreenStats* stats, Sensitization sens) {
+  ImplicationEngine engine(nl);
+  ScreenStats local;
+  local.input_faults = faults.size();
+
+  std::vector<TargetFault> out;
+  out.reserve(faults.size());
+  for (auto& f : faults) {
+    FaultRequirements reqs = build_requirements(nl, f, sens);
+    if (reqs.conflicting) {
+      ++local.conflict_dropped;
+      continue;
+    }
+    if (engine.contradicts(reqs.values)) {
+      ++local.implication_dropped;
+      continue;
+    }
+    out.push_back({std::move(f), std::move(reqs.values)});
+  }
+  local.kept = out.size();
+  if (stats) *stats = local;
+  return out;
+}
+
+}  // namespace pdf

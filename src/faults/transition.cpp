@@ -1,0 +1,61 @@
+#include "faults/transition.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace pdf {
+
+TransitionTargets build_transition_targets(const Netlist& nl,
+                                           const LineDelayModel& dm) {
+  const auto cover = select_line_cover_paths(dm);
+
+  TransitionTargets out;
+  // Map (path nodes, launch direction) -> fault index, deduplicated.
+  std::map<std::pair<std::vector<NodeId>, bool>, std::size_t> fault_index;
+
+  for (const auto& cp : cover) {
+    // For each line on the path and each direction at the line, the launch
+    // direction is direction-at-line XOR (inversions along the prefix).
+    bool parity = false;  // inversion parity from source up to current node
+    for (std::size_t k = 0; k < cp.path.nodes.size(); ++k) {
+      const NodeId line = cp.path.nodes[k];
+      if (k > 0) parity = parity != is_inverting(nl.node(line).type);
+      for (bool rising_at_line : {true, false}) {
+        const bool launch_rising = parity ? !rising_at_line : rising_at_line;
+        const auto key = std::make_pair(cp.path.nodes, launch_rising);
+        auto it = fault_index.find(key);
+        if (it == fault_index.end()) {
+          // Screen this fault once; skip all its lines when untestable.
+          PathDelayFault f{cp.path, launch_rising, cp.length};
+          FaultRequirements reqs = build_requirements(nl, f);
+          if (reqs.conflicting) {
+            it = fault_index.emplace(key, static_cast<std::size_t>(-1)).first;
+          } else {
+            out.faults.push_back({std::move(f), std::move(reqs.values)});
+            it = fault_index.emplace(key, out.faults.size() - 1).first;
+          }
+        }
+        if (it->second == static_cast<std::size_t>(-1)) {
+          ++out.untestable;
+          continue;
+        }
+        out.targets.push_back({line, rising_at_line, it->second});
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t covered_transitions(const TransitionTargets& t,
+                                const std::vector<bool>& detected) {
+  if (detected.size() != t.faults.size()) {
+    throw std::invalid_argument("covered_transitions: flag count mismatch");
+  }
+  std::size_t covered = 0;
+  for (const auto& target : t.targets) {
+    if (detected[target.fault_index]) ++covered;
+  }
+  return covered;
+}
+
+}  // namespace pdf

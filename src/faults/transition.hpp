@@ -1,0 +1,54 @@
+// Transition-fault targeting via path selection.
+//
+// A transition fault (gate delay fault) is a lumped slow-to-rise /
+// slow-to-fall defect at a single line. Detecting it robustly *through the
+// longest path* that crosses the line gives the strongest guarantee: the
+// least timing slack masks the smallest defect size. This module derives a
+// transition-fault target list by pairing every line with the longest
+// structural path through it (the line-cover machinery) and reuses the whole
+// path-delay ATPG stack for generation and simulation.
+//
+// Coverage is accounted per line: a line's transition fault counts as
+// covered when the path-delay fault of its covering path (matching
+// direction at the line) is detected.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "faults/screen.hpp"
+#include "netlist/netlist.hpp"
+#include "paths/line_cover.hpp"
+
+namespace pdf {
+
+struct TransitionTarget {
+  NodeId line = kNoNode;
+  bool rising_at_line = true;  // slow-to-rise at the line itself
+  /// Index of the representative path-delay fault in the target list (one
+  /// TargetFault may represent many lines of the same path).
+  std::size_t fault_index = 0;
+};
+
+struct TransitionTargets {
+  /// De-duplicated path-delay faults to hand to the generator.
+  std::vector<TargetFault> faults;
+  /// One entry per (line, direction) whose covering fault survived
+  /// screening.
+  std::vector<TransitionTarget> targets;
+  /// (line, direction) pairs whose covering path fault is provably
+  /// untestable robustly.
+  std::size_t untestable = 0;
+};
+
+/// Builds the transition-fault target list for every line lying on a
+/// complete path. Direction bookkeeping: the transition at the line is the
+/// launch direction propagated through the path prefix's inversions.
+TransitionTargets build_transition_targets(const Netlist& nl,
+                                           const LineDelayModel& dm);
+
+/// Per-(line,direction) coverage from detection flags over `faults`.
+std::size_t covered_transitions(const TransitionTargets& t,
+                                const std::vector<bool>& detected);
+
+}  // namespace pdf

@@ -1,0 +1,96 @@
+#include "faultsim/defect_mc.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pdf {
+
+DefectSimulator::DefectSimulator(const Netlist& nl, const DefectMcConfig& cfg)
+    : nl_(&nl), cfg_(cfg) {
+  if (!nl.finalized()) throw std::logic_error("DefectSimulator: not finalized");
+  if (nl.has_sequential()) {
+    throw std::logic_error("DefectSimulator: netlist is sequential");
+  }
+  if (cfg.nominal_gate_delay <= 0) {
+    throw std::invalid_argument("DefectSimulator: nominal delay must be > 0");
+  }
+  if (cfg.clock_period <= 0) {
+    throw std::invalid_argument("DefectSimulator: clock period must be > 0");
+  }
+  nominal_delays_.assign(nl.node_count(), cfg.nominal_gate_delay);
+  for (NodeId pi : nl.inputs()) nominal_delays_[pi] = 0;
+  zero_switch_.assign(nl.inputs().size(), 0);
+}
+
+std::vector<Waveform> DefectSimulator::run(const TwoPatternTest& test,
+                                           const Defect* defect) const {
+  if (defect == nullptr) {
+    return simulate_timed(*nl_, test.pi_values, zero_switch_, nominal_delays_);
+  }
+  std::vector<int> delays = nominal_delays_;
+  if (defect->gate >= delays.size()) {
+    throw std::invalid_argument("DefectSimulator: bad defect gate");
+  }
+  delays[defect->gate] += defect->extra_delay;
+  return simulate_timed(*nl_, test.pi_values, zero_switch_, delays);
+}
+
+int DefectSimulator::nominal_settle(const TwoPatternTest& test) const {
+  const std::vector<Waveform> wf = run(test, nullptr);
+  int settle = 0;
+  for (NodeId out : nl_->outputs()) {
+    settle = std::max(settle, wf[out].settle_time());
+  }
+  return settle;
+}
+
+bool DefectSimulator::catches(const TwoPatternTest& test,
+                              const Defect& defect) const {
+  // Good-machine response: the settled (zero-delay-equivalent) final values.
+  const std::vector<Waveform> good = run(test, nullptr);
+  const std::vector<Waveform> bad = run(test, &defect);
+  for (NodeId out : nl_->outputs()) {
+    if (bad[out].value_at(cfg_.clock_period) != good[out].final_value()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DefectSimulator::caught_by_any(std::span<const TwoPatternTest> tests,
+                                    const Defect& defect) const {
+  for (const auto& t : tests) {
+    if (catches(t, defect)) return true;
+  }
+  return false;
+}
+
+double DefectSimulator::catch_rate(std::span<const TwoPatternTest> tests,
+                                   std::span<const Defect> defects) const {
+  if (defects.empty()) return 0.0;
+  std::size_t caught = 0;
+  for (const auto& d : defects) {
+    if (caught_by_any(tests, d)) ++caught;
+  }
+  return static_cast<double>(caught) / static_cast<double>(defects.size());
+}
+
+std::vector<Defect> sample_defects_on(std::span<const NodeId> gate_pool,
+                                      std::size_t count, int min_extra,
+                                      int max_extra, Rng& rng) {
+  if (gate_pool.empty() || count == 0) return {};
+  if (min_extra <= 0 || max_extra < min_extra) {
+    throw std::invalid_argument("sample_defects_on: bad extra-delay range");
+  }
+  std::vector<Defect> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Defect d;
+    d.gate = gate_pool[rng.below(gate_pool.size())];
+    d.extra_delay = static_cast<int>(rng.range(min_extra, max_extra));
+    out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace pdf

@@ -1,0 +1,81 @@
+// Monte-Carlo defect-escape analysis.
+//
+// The paper's motivation is a tester-escape argument: a chip whose longest
+// paths are all fast can still fail because a next-to-longest path is slow
+// (small distributed defects, inaccurate length estimates). This module
+// makes that measurable. A *defect* adds extra delay to one gate; a test set
+// *catches* it when, for some test, some output sampled at the clock period
+// still shows a value different from the good machine's settled response.
+//
+// Workflow: pick nominal per-gate delays and a clock period with guardband
+// over the nominal critical path; sample defects (e.g. on gates that lie
+// only on next-to-longest paths); apply the candidate test sets through the
+// timed waveform simulator; report escape rates. The defect_escape bench
+// uses this to show basic-P0 test sets letting P1-band defects through while
+// enriched sets catch them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "atpg/test_pattern.hpp"
+#include "base/rng.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/timed_sim.hpp"
+
+namespace pdf {
+
+struct Defect {
+  NodeId gate = kNoNode;
+  int extra_delay = 0;
+};
+
+struct DefectMcConfig {
+  /// Nominal delay of every gate (inputs switch at t = 0).
+  int nominal_gate_delay = 1;
+  /// Sampling instant: nominal critical-path settle time * guardband is a
+  /// sensible choice; set explicitly here.
+  int clock_period = 0;
+};
+
+class DefectSimulator {
+ public:
+  /// Netlist must be finalized, combinational, primitive-only.
+  DefectSimulator(const Netlist& nl, const DefectMcConfig& cfg);
+
+  /// Latest settle time over all outputs with nominal delays under `test`.
+  int nominal_settle(const TwoPatternTest& test) const;
+
+  /// True when `test` catches `defect`: some output's value at the clock
+  /// period differs from the good machine's settled response.
+  bool catches(const TwoPatternTest& test, const Defect& defect) const;
+
+  /// True when any test of the set catches the defect.
+  bool caught_by_any(std::span<const TwoPatternTest> tests,
+                     const Defect& defect) const;
+
+  /// Escape rate of a test set over a defect population: fraction caught.
+  double catch_rate(std::span<const TwoPatternTest> tests,
+                    std::span<const Defect> defects) const;
+
+  const DefectMcConfig& config() const { return cfg_; }
+
+ private:
+  std::vector<Waveform> run(const TwoPatternTest& test,
+                            const Defect* defect) const;
+
+  const Netlist* nl_;
+  DefectMcConfig cfg_;
+  std::vector<int> nominal_delays_;
+  std::vector<int> zero_switch_;
+};
+
+/// Samples `count` defects whose gate lies on at least one of the given
+/// paths' node sets (deduplicated gate pool; extra delay uniform in
+/// [min_extra, max_extra]). Deterministic from `rng`.
+std::vector<Defect> sample_defects_on(std::span<const NodeId> gate_pool,
+                                      std::size_t count, int min_extra,
+                                      int max_extra, Rng& rng);
+
+}  // namespace pdf

@@ -1,0 +1,74 @@
+#include "faultsim/diagnosis.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "faultsim/parallel_sim.hpp"
+
+namespace pdf {
+
+Diagnoser::Diagnoser(const Netlist& nl, std::span<const TwoPatternTest> tests,
+                     std::span<const TargetFault> faults)
+    : test_count_(tests.size()) {
+  ParallelFaultSimulator sim(nl);
+  matrix_ = sim.detection_matrix(tests, faults);
+}
+
+std::vector<bool> Diagnoser::signature_of(std::size_t fault_index) const {
+  if (fault_index >= matrix_.size()) {
+    throw std::out_of_range("Diagnoser::signature_of");
+  }
+  std::vector<bool> out(test_count_, false);
+  for (std::size_t t = 0; t < test_count_; ++t) {
+    out[t] = (matrix_[fault_index][t / 64] >> (t % 64)) & 1;
+  }
+  return out;
+}
+
+DiagnosisResult Diagnoser::diagnose(const std::vector<bool>& failing) const {
+  if (failing.size() != test_count_) {
+    throw std::invalid_argument("Diagnoser: wrong failing-vector size");
+  }
+  // Pack the observed signature.
+  const std::size_t words = (test_count_ + 63) / 64;
+  std::vector<std::uint64_t> observed(words, 0);
+  std::size_t n_fail = 0;
+  for (std::size_t t = 0; t < test_count_; ++t) {
+    if (failing[t]) {
+      observed[t / 64] |= std::uint64_t{1} << (t % 64);
+      ++n_fail;
+    }
+  }
+
+  DiagnosisResult out;
+  out.observed_failures = n_fail;
+  for (std::size_t f = 0; f < matrix_.size(); ++f) {
+    DiagnosisCandidate c;
+    c.fault_index = f;
+    for (std::size_t w = 0; w < words; ++w) {
+      const std::uint64_t detects = matrix_[f][w];
+      c.explained += static_cast<std::size_t>(
+          std::popcount(detects & observed[w]));
+      c.contradicted += static_cast<std::size_t>(
+          std::popcount(detects & ~observed[w]));
+      c.missed += static_cast<std::size_t>(
+          std::popcount(~detects & observed[w]));
+    }
+    if (c.explained > 0) out.candidates.push_back(c);
+  }
+
+  std::stable_sort(out.candidates.begin(), out.candidates.end(),
+                   [](const DiagnosisCandidate& a, const DiagnosisCandidate& b) {
+                     if (a.exact() != b.exact()) return a.exact();
+                     const auto sa = static_cast<long>(a.explained) -
+                                     static_cast<long>(a.contradicted);
+                     const auto sb = static_cast<long>(b.explained) -
+                                     static_cast<long>(b.contradicted);
+                     if (sa != sb) return sa > sb;
+                     return a.missed < b.missed;
+                   });
+  return out;
+}
+
+}  // namespace pdf

@@ -1,0 +1,63 @@
+// Failure diagnosis from tester pass/fail signatures.
+//
+// When a chip fails a delay test set, the tester reports which tests failed.
+// Under the single-slow-path assumption, the candidate faults are those
+// whose detection signature (the set of tests that detect them) matches the
+// observed failures: a fault explains an observed failing test iff it is
+// detected by it, and a fault is ruled out by a passing test that detects
+// it. Candidates are ranked by signature agreement so that physical-failure
+// analysis can start from the most likely slow paths.
+//
+// Built on the pattern-parallel detection matrix, so diagnosing against
+// thousands of faults and hundreds of tests costs one parallel simulation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "atpg/test_pattern.hpp"
+#include "faults/screen.hpp"
+#include "netlist/netlist.hpp"
+
+namespace pdf {
+
+struct DiagnosisCandidate {
+  std::size_t fault_index = 0;  // into the fault span given to diagnose()
+  /// Observed failing tests this fault detects / fails to detect.
+  std::size_t explained = 0;
+  std::size_t missed = 0;
+  /// Passing tests that should have failed under this fault.
+  std::size_t contradicted = 0;
+
+  /// Perfect match: explains every failure and contradicts no pass.
+  bool exact() const { return missed == 0 && contradicted == 0; }
+};
+
+struct DiagnosisResult {
+  /// Candidates ranked best first (exact matches, then by
+  /// explained - contradicted, descending).
+  std::vector<DiagnosisCandidate> candidates;
+  std::size_t observed_failures = 0;
+};
+
+class Diagnoser {
+ public:
+  Diagnoser(const Netlist& nl, std::span<const TwoPatternTest> tests,
+            std::span<const TargetFault> faults);
+
+  /// `failing[t]` is true when the chip failed tests[t]. Candidates that
+  /// explain nothing are omitted.
+  DiagnosisResult diagnose(const std::vector<bool>& failing) const;
+
+  /// Simulated tester signature for a given fault (useful for testing and
+  /// for what-if analysis): which tests would fail if `fault_index` were the
+  /// slow path.
+  std::vector<bool> signature_of(std::size_t fault_index) const;
+
+ private:
+  std::size_t test_count_ = 0;
+  std::vector<std::vector<std::uint64_t>> matrix_;  // [fault][word]
+};
+
+}  // namespace pdf

@@ -1,0 +1,63 @@
+#include "faultsim/fault_sim.hpp"
+
+#include <stdexcept>
+
+#include "sim/triple_sim.hpp"
+
+namespace pdf {
+
+FaultSimulator::FaultSimulator(const Netlist& nl) : nl_(&nl) {
+  if (!nl.finalized()) throw std::logic_error("FaultSimulator: not finalized");
+}
+
+std::vector<Triple> FaultSimulator::line_values(const TwoPatternTest& test) const {
+  if (test.pi_values.size() != nl_->inputs().size()) {
+    throw std::invalid_argument("FaultSimulator: test has wrong PI count");
+  }
+  // Normalize plane 2 of the PI triples from the pattern planes so callers
+  // may hand in tests with stale intermediate values.
+  std::vector<Triple> pis(test.pi_values.size());
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    pis[i] = pi_triple(test.pi_values[i].a1, test.pi_values[i].a3);
+  }
+  return simulate(*nl_, pis);
+}
+
+bool FaultSimulator::satisfied(std::span<const Triple> values,
+                               std::span<const ValueRequirement> reqs) {
+  for (const auto& r : reqs) {
+    if (!values[r.line].covers(r.value)) return false;
+  }
+  return true;
+}
+
+std::vector<bool> FaultSimulator::detects(
+    const TwoPatternTest& test, std::span<const TargetFault> faults) const {
+  const std::vector<Triple> values = line_values(test);
+  std::vector<bool> out(faults.size(), false);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    out[i] = satisfied(values, faults[i].requirements);
+  }
+  return out;
+}
+
+bool FaultSimulator::detects(const TwoPatternTest& test,
+                             const TargetFault& fault) const {
+  const std::vector<Triple> values = line_values(test);
+  return satisfied(values, fault.requirements);
+}
+
+std::vector<bool> FaultSimulator::detects_any(
+    std::span<const TwoPatternTest> tests,
+    std::span<const TargetFault> faults) const {
+  std::vector<bool> out(faults.size(), false);
+  for (const auto& t : tests) {
+    const std::vector<Triple> values = line_values(t);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (!out[i] && satisfied(values, faults[i].requirements)) out[i] = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace pdf

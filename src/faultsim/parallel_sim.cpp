@@ -1,0 +1,156 @@
+#include "faultsim/parallel_sim.hpp"
+
+#include <stdexcept>
+
+#include "sim/triple_sim.hpp"
+
+namespace pdf {
+namespace {
+
+constexpr std::uint64_t kAll = ~std::uint64_t{0};
+
+}  // namespace
+
+ParallelFaultSimulator::ParallelFaultSimulator(const Netlist& nl) : nl_(&nl) {
+  if (!nl.finalized()) {
+    throw std::logic_error("ParallelFaultSimulator: not finalized");
+  }
+  if (nl.has_sequential()) {
+    throw std::logic_error("ParallelFaultSimulator: netlist is sequential");
+  }
+}
+
+void ParallelFaultSimulator::simulate_word(
+    std::span<const TwoPatternTest> tests, std::size_t base, std::size_t lanes,
+    std::vector<PlaneWord> planes[3]) const {
+  const Netlist& nl = *nl_;
+  for (int q = 0; q < 3; ++q) {
+    planes[q].assign(nl.node_count(), PlaneWord{});
+  }
+
+  // Pack the PI triples lane by lane.
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    const TwoPatternTest& t = tests[base + lane];
+    if (t.pi_values.size() != nl.inputs().size()) {
+      throw std::invalid_argument("ParallelFaultSimulator: bad test width");
+    }
+    const std::uint64_t bit = std::uint64_t{1} << lane;
+    for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+      const Triple tri = pi_triple(t.pi_values[i].a1, t.pi_values[i].a3);
+      const NodeId id = nl.inputs()[i];
+      const V3 vals[3] = {tri.a1, tri.a2, tri.a3};
+      for (int q = 0; q < 3; ++q) {
+        if (is_specified(vals[q])) {
+          planes[q][id].known |= bit;
+          if (vals[q] == V3::One) planes[q][id].value |= bit;
+        }
+      }
+    }
+  }
+
+  // Word-parallel 3-valued evaluation per plane in topological order.
+  for (NodeId id : nl.topo_order()) {
+    const Node& n = nl.node(id);
+    if (n.type == GateType::Input) continue;
+    for (int q = 0; q < 3; ++q) {
+      auto& out = planes[q][id];
+      switch (n.type) {
+        case GateType::Buf:
+        case GateType::Not: {
+          const PlaneWord& a = planes[q][n.fanin[0]];
+          out.known = a.known;
+          out.value = n.type == GateType::Not ? (~a.value & a.known)
+                                              : (a.value & a.known);
+          break;
+        }
+        case GateType::And:
+        case GateType::Nand: {
+          std::uint64_t all_one = kAll;  // every fanin known-1
+          std::uint64_t any_zero = 0;    // some fanin known-0
+          for (NodeId f : n.fanin) {
+            const PlaneWord& a = planes[q][f];
+            all_one &= a.value & a.known;
+            any_zero |= ~a.value & a.known;
+          }
+          std::uint64_t one = all_one & ~any_zero;
+          std::uint64_t zero = any_zero;
+          if (n.type == GateType::Nand) std::swap(one, zero);
+          out.known = one | zero;
+          out.value = one;
+          break;
+        }
+        case GateType::Or:
+        case GateType::Nor: {
+          std::uint64_t any_one = 0;
+          std::uint64_t all_zero = kAll;
+          for (NodeId f : n.fanin) {
+            const PlaneWord& a = planes[q][f];
+            any_one |= a.value & a.known;
+            all_zero &= ~a.value & a.known;
+          }
+          std::uint64_t one = any_one;
+          std::uint64_t zero = all_zero & ~any_one;
+          if (n.type == GateType::Nor) std::swap(one, zero);
+          out.known = one | zero;
+          out.value = one;
+          break;
+        }
+        default:
+          throw std::logic_error(
+              "ParallelFaultSimulator: non-primitive gate " + n.name);
+      }
+    }
+  }
+}
+
+std::vector<std::vector<std::uint64_t>> ParallelFaultSimulator::detection_matrix(
+    std::span<const TwoPatternTest> tests,
+    std::span<const TargetFault> faults) const {
+  const std::size_t words = (tests.size() + 63) / 64;
+  std::vector<std::vector<std::uint64_t>> matrix(
+      faults.size(), std::vector<std::uint64_t>(words, 0));
+
+  std::vector<PlaneWord> planes[3];
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::size_t base = w * 64;
+    const std::size_t lanes = std::min<std::size_t>(64, tests.size() - base);
+    simulate_word(tests, base, lanes, planes);
+    const std::uint64_t lane_mask =
+        lanes == 64 ? kAll : ((std::uint64_t{1} << lanes) - 1);
+
+    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+      std::uint64_t mask = lane_mask;
+      for (const auto& r : faults[fi].requirements) {
+        const V3 req[3] = {r.value.a1, r.value.a2, r.value.a3};
+        for (int q = 0; q < 3 && mask; ++q) {
+          if (!is_specified(req[q])) continue;
+          const PlaneWord& pw = planes[q][r.line];
+          mask &= pw.known &
+                  (req[q] == V3::One ? pw.value : ~pw.value);
+        }
+        if (!mask) break;
+      }
+      matrix[fi][w] = mask;
+    }
+  }
+  return matrix;
+}
+
+std::vector<bool> ParallelFaultSimulator::detects_any(
+    std::span<const TwoPatternTest> tests,
+    std::span<const TargetFault> faults) const {
+  std::vector<bool> out(faults.size(), false);
+  if (tests.empty()) return out;
+  const auto matrix = detection_matrix(tests, faults);
+  for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+    for (std::uint64_t w : matrix[fi]) {
+      if (w) {
+        out[fi] = true;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pdf

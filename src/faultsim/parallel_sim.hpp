@@ -1,0 +1,55 @@
+// Bit-parallel robust fault simulation (64 tests per machine word).
+//
+// Classic pattern-parallel simulation adapted to the two-pattern triple
+// algebra: each of the three planes is a 3-valued network, and a 3-valued
+// signal across 64 tests packs into two words — `known` (bit set: the value
+// is specified for that test) and `value` (meaningful where known). Gate
+// evaluation is a handful of word operations regardless of how many tests
+// are packed, and requirement checking reduces to mask intersection:
+//
+//   detected(test, fault) = AND over requirements r, planes q specified in r:
+//                           known[r.line][q] & (value ^ ~required)
+//
+// Produces results identical to FaultSimulator::detects_any at a fraction of
+// the cost for large test sets (see bench/micro_engines).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "atpg/test_pattern.hpp"
+#include "faults/screen.hpp"
+#include "netlist/netlist.hpp"
+
+namespace pdf {
+
+class ParallelFaultSimulator {
+ public:
+  explicit ParallelFaultSimulator(const Netlist& nl);
+
+  /// Per-fault flags: detected by at least one of `tests`.
+  std::vector<bool> detects_any(std::span<const TwoPatternTest> tests,
+                                std::span<const TargetFault> faults) const;
+
+  /// Full detection matrix: result[f] is a bitset over tests (bit t set when
+  /// tests[t] detects faults[f]), packed 64 per word.
+  std::vector<std::vector<std::uint64_t>> detection_matrix(
+      std::span<const TwoPatternTest> tests,
+      std::span<const TargetFault> faults) const;
+
+ private:
+  struct PlaneWord {
+    std::uint64_t value = 0;
+    std::uint64_t known = 0;
+  };
+
+  /// Simulates one 64-test word; planes[q][node] for q in 0..2.
+  void simulate_word(std::span<const TwoPatternTest> tests, std::size_t base,
+                     std::size_t lanes,
+                     std::vector<PlaneWord> planes[3]) const;
+
+  const Netlist* nl_;
+};
+
+}  // namespace pdf

@@ -1,0 +1,220 @@
+#include "gen/random_circuit.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "base/rng.hpp"
+
+namespace pdf {
+namespace {
+
+// The generator builds "braided columns": each column is a chain of gates
+// (the delay spine), and every chain gate mixes in side inputs that are
+// mostly primary inputs or nodes of *other* columns at lower levels. This
+// mirrors datapath/controller structure — long sensitizable chains whose
+// side inputs are largely independent — which is what makes the robust path
+// delay faults of the ISCAS benchmarks testable.
+//
+// Two disciplines keep the *longest* paths robustly testable, as they are in
+// the real benchmarks:
+//   * polarity discipline — each column draws its chain gates from one
+//     controlling-value family ({AND, NAND} or {OR, NOR}), so repeated side
+//     signals along a path always receive compatible off-path constraints
+//     (all "non-controlling 1" or all "non-controlling 0");
+//   * fresh side inputs — each column walks its own shuffled permutation of
+//     the primary inputs (excluding its seed PI), so a side PI does not
+//     repeat along a chain until the pool is exhausted.
+// Length spread comes from per-column depth jitter and random inverter
+// sub-chains, giving a thin top band over a widening body — the regime of
+// the paper's Table 2.
+struct Builder {
+  const RandomCircuitConfig& cfg;
+  Rng rng;
+  Netlist nl;
+  std::vector<NodeId> pis;
+
+  struct Column {
+    std::vector<NodeId> chain;   // nodes in order (last = head)
+    bool and_family = true;      // polarity discipline
+    std::vector<NodeId> side_perm;
+    std::size_t side_pos = 0;
+    std::size_t depth = 0;
+  };
+  std::vector<Column> columns;
+  std::size_t gate_counter = 0;
+
+  explicit Builder(const RandomCircuitConfig& c)
+      : cfg(c), rng(c.seed), nl(c.name) {}
+
+  std::string fresh(const char* tag) {
+    return std::string(tag) + std::to_string(gate_counter++);
+  }
+
+  NodeId random_pi() { return pis[rng.below(pis.size())]; }
+
+  NodeId next_side_pi(Column& col) {
+    if (col.side_perm.empty()) return random_pi();
+    const NodeId id = col.side_perm[col.side_pos % col.side_perm.size()];
+    ++col.side_pos;
+    return id;
+  }
+
+  // A side input for a gate of column `c` at chain position `pos`: a fresh
+  // PI most of the time, or a node from a different column at a strictly
+  // lower position (feed-forward cross link).
+  NodeId side_input(std::size_t c, std::size_t pos) {
+    if (columns.size() > 1 && rng.uniform() < 1.0 - cfg.chain_bias) {
+      for (int attempt = 0; attempt < 4; ++attempt) {
+        const std::size_t other = rng.below(columns.size());
+        if (other == c) continue;
+        const auto& chain = columns[other].chain;
+        const std::size_t limit = std::min(pos, chain.size());
+        if (limit == 0) continue;
+        const std::size_t lo = limit > 4 ? limit - 4 : 0;
+        return chain[lo + rng.below(limit - lo)];
+      }
+    }
+    return next_side_pi(columns[c]);
+  }
+
+  NodeId unary_chain(NodeId from, std::size_t len) {
+    NodeId cur = from;
+    for (std::size_t k = 0; k < len; ++k) {
+      const GateType t = rng.uniform() < 0.7 ? GateType::Not : GateType::Buf;
+      cur = nl.add_gate(fresh("u"), t, {cur});
+    }
+    return cur;
+  }
+
+  Netlist build() {
+    for (std::size_t i = 0; i < cfg.n_inputs; ++i) {
+      pis.push_back(nl.add_input("I" + std::to_string(i)));
+    }
+
+    // Column count sized so the chains consume ~cfg.n_gates total gates.
+    const std::size_t levels = static_cast<std::size_t>(cfg.levels);
+    const double step_cost = 1.0 + cfg.unary_fraction * 1.5;
+    const std::size_t n_cols = std::max<std::size_t>(
+        2, static_cast<std::size_t>(static_cast<double>(cfg.n_gates) /
+                                    (0.75 * static_cast<double>(levels) *
+                                     step_cost)));
+    columns.assign(n_cols, {});
+
+    // Seeds are dedicated "data" inputs (one per column, reused round-robin
+    // when columns outnumber PIs); the remaining "control" PIs are dealt into
+    // disjoint per-column side pools. Disjointness means a side PI never
+    // receives constraints from two different polarity families along any
+    // path, and excluding the seeds keeps launch transitions unconstrained.
+    std::vector<NodeId> shuffled = pis;
+    for (std::size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[rng.below(i)]);
+    }
+    const std::size_t n_seeds = std::min(shuffled.size() / 3 + 1,
+                                         std::min(n_cols, shuffled.size() - 1));
+    for (std::size_t c = 0; c < n_cols; ++c) {
+      Column& col = columns[c];
+      const std::size_t jitter = rng.below(std::max<std::size_t>(1, levels / 2));
+      col.depth = std::max<std::size_t>(2, levels - jitter);
+      col.and_family = rng.coin();
+      col.chain.push_back(shuffled[c % n_seeds]);
+    }
+    for (std::size_t i = n_seeds; i < shuffled.size(); ++i) {
+      columns[(i - n_seeds) % n_cols].side_perm.push_back(shuffled[i]);
+    }
+    columns[0].depth = levels;
+
+    // Grow the chains level-synchronously so cross links can reference other
+    // columns' earlier nodes.
+    for (std::size_t pos = 0; pos < levels; ++pos) {
+      for (std::size_t c = 0; c < n_cols; ++c) {
+        Column& col = columns[c];
+        if (pos >= col.depth) continue;
+        NodeId prev = col.chain.back();
+        if (rng.uniform() < cfg.unary_fraction) {
+          prev = unary_chain(prev, 1 + rng.below(2));
+        }
+        const GateType t =
+            col.and_family
+                ? (rng.coin() ? GateType::And : GateType::Nand)
+                : (rng.coin() ? GateType::Or : GateType::Nor);
+        std::vector<NodeId> fanin{prev};
+        const std::size_t extra =
+            1 + (cfg.max_fanin > 2 && rng.uniform() < 0.3 ? 1 : 0);
+        for (std::size_t e = 0; e < extra; ++e) {
+          const NodeId s = side_input(c, pos);
+          if (std::find(fanin.begin(), fanin.end(), s) == fanin.end()) {
+            fanin.push_back(s);
+          }
+        }
+        if (fanin.size() < 2) fanin.push_back(next_side_pi(col));
+        if (fanin.size() < 2 || fanin[0] == fanin[1]) {
+          // Extremely unlikely (single-PI configs); keep the chain moving.
+          col.chain.push_back(nl.add_gate(fresh("n"), GateType::Not, {prev}));
+          continue;
+        }
+        col.chain.push_back(nl.add_gate(fresh("n"), t, std::move(fanin)));
+      }
+    }
+
+    nl.finalize();
+
+    // Wire unused PIs into the shallowest chain gates so every input starts
+    // a path.
+    for (NodeId pi : nl.inputs()) {
+      if (!nl.node(pi).fanout.empty()) continue;
+      bool attached = false;
+      for (std::size_t c = 0; c < n_cols && !attached; ++c) {
+        for (NodeId g : columns[c].chain) {
+          const Node& n = nl.node(g);
+          if (n.type == GateType::Input || n.fanin.size() < 2) continue;
+          if (static_cast<int>(n.fanin.size()) >= std::max(2, cfg.max_fanin)) {
+            continue;
+          }
+          std::vector<NodeId> fanin = n.fanin;
+          fanin.push_back(pi);
+          nl.redefine_gate(g, n.type, std::move(fanin));
+          attached = true;
+          break;
+        }
+      }
+      nl.finalize();
+    }
+
+    // Outputs: requested count from the column heads (deepest first), then
+    // every dangling gate (the DFF-tap analogue).
+    std::vector<NodeId> heads;
+    for (const auto& col : columns) heads.push_back(col.chain.back());
+    std::stable_sort(heads.begin(), heads.end(), [&](NodeId x, NodeId y) {
+      return nl.node(x).level > nl.node(y).level;
+    });
+    std::size_t marked = 0;
+    for (NodeId h : heads) {
+      if (marked >= cfg.n_outputs) break;
+      if (nl.node(h).type == GateType::Input) continue;
+      nl.mark_output(h);
+      ++marked;
+    }
+    for (NodeId id = 0; id < nl.node_count(); ++id) {
+      const Node& n = nl.node(id);
+      if (n.type != GateType::Input && n.fanout.empty() && !n.is_output) {
+        nl.mark_output(id);
+      }
+    }
+    nl.finalize();
+    return std::move(nl);
+  }
+};
+
+}  // namespace
+
+Netlist generate_random_circuit(const RandomCircuitConfig& cfg) {
+  if (cfg.n_inputs < 2 || cfg.n_gates < 4 || cfg.levels < 2) {
+    throw std::invalid_argument("random circuit config too small");
+  }
+  Builder b(cfg);
+  return b.build();
+}
+
+}  // namespace pdf

@@ -1,0 +1,42 @@
+// Deterministic random-logic generator.
+//
+// Produces layered combinational netlists that structurally resemble the
+// combinational cores of the ISCAS-89 / ITC-99 benchmarks: a controlled gate
+// count and depth, mixed AND/OR/NAND/NOR/NOT logic, local reconvergent
+// fanout, a spread of path lengths with many near-longest paths, and
+// "pseudo-output"-like taps (every otherwise-unused gate output is observed,
+// the way extracted DFF data inputs are). Fully deterministic from the seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace pdf {
+
+struct RandomCircuitConfig {
+  std::string name = "random";
+  std::uint64_t seed = 1;
+
+  std::size_t n_inputs = 24;
+  std::size_t n_gates = 300;
+  /// Number of logic levels to spread the gates over (approximate final
+  /// depth; the actual depth can be slightly smaller for tiny configs).
+  int levels = 18;
+  int max_fanin = 3;
+
+  /// Independence of the chain columns: side inputs are primary inputs with
+  /// probability chain_bias and cross-column links otherwise. Higher values
+  /// yield more robustly testable paths; lower values more reconvergence.
+  double chain_bias = 0.75;
+  /// Fraction of unary gates (NOT; a small share of BUF).
+  double unary_fraction = 0.12;
+  /// Number of explicitly chosen primary outputs among the deepest gates
+  /// (all dangling gates additionally become outputs, like DFF taps).
+  std::size_t n_outputs = 8;
+};
+
+Netlist generate_random_circuit(const RandomCircuitConfig& cfg);
+
+}  // namespace pdf

@@ -1,0 +1,47 @@
+// Named benchmark registry.
+//
+// "s27" is the exact ISCAS-89 netlist (the paper's Figure 1 circuit),
+// embedded as .bench text and reduced to its combinational core. The
+// "<name>_like" entries are deterministic synthetic stand-ins for the
+// ISCAS-89 / ITC-99 circuits of the paper's evaluation (those netlists are
+// not redistributable here); each stand-in approximates its counterpart's
+// input count, gate count and depth, and has well over 1000 paths. The
+// structured entries (rca16, barrel16x4, skipchain48) exercise
+// datapath-shaped profiles. Every returned netlist is finalized,
+// combinational and primitive-only (ATPG-ready).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace pdf {
+
+struct BenchmarkInfo {
+  std::string name;
+  std::string paper_counterpart;  // empty when not a stand-in
+  std::string description;
+};
+
+/// All registered names, in registry order.
+std::vector<BenchmarkInfo> benchmark_catalog();
+
+/// True when `name` is registered.
+bool has_benchmark(const std::string& name);
+
+/// Materializes a benchmark circuit. Throws std::invalid_argument for
+/// unknown names.
+Netlist benchmark_circuit(const std::string& name);
+
+/// The embedded s27 .bench source (sequential, as published).
+const std::string& s27_bench_text();
+
+/// The eight circuits of the paper's Tables 3-5 comparison, in table order
+/// (stand-in names).
+std::vector<std::string> table_circuits();
+
+/// The three additional resynthesized circuits of Table 6 (stand-in names).
+std::vector<std::string> table6_extra_circuits();
+
+}  // namespace pdf

@@ -1,0 +1,149 @@
+#include "gen/structured.hpp"
+
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+namespace pdf {
+namespace {
+
+// a XOR b out of AND/OR/NOT, returning the output node.
+NodeId xor2(Netlist& nl, NodeId a, NodeId b, const std::string& prefix) {
+  const NodeId na = nl.add_gate(prefix + "_na", GateType::Not, {a});
+  const NodeId nb = nl.add_gate(prefix + "_nb", GateType::Not, {b});
+  const NodeId t0 = nl.add_gate(prefix + "_t0", GateType::And, {a, nb});
+  const NodeId t1 = nl.add_gate(prefix + "_t1", GateType::And, {na, b});
+  return nl.add_gate(prefix + "_x", GateType::Or, {t0, t1});
+}
+
+// 2:1 mux: sel ? a : b.
+NodeId mux2(Netlist& nl, NodeId sel, NodeId a, NodeId b, const std::string& prefix) {
+  const NodeId ns = nl.add_gate(prefix + "_ns", GateType::Not, {sel});
+  const NodeId ta = nl.add_gate(prefix + "_ta", GateType::And, {sel, a});
+  const NodeId tb = nl.add_gate(prefix + "_tb", GateType::And, {ns, b});
+  return nl.add_gate(prefix + "_m", GateType::Or, {ta, tb});
+}
+
+}  // namespace
+
+Netlist ripple_carry_adder(std::size_t bits, const std::string& name) {
+  if (bits == 0) throw std::invalid_argument("adder needs at least 1 bit");
+  Netlist nl(name);
+  std::vector<NodeId> a(bits), b(bits);
+  for (std::size_t i = 0; i < bits; ++i) a[i] = nl.add_input("a" + std::to_string(i));
+  for (std::size_t i = 0; i < bits; ++i) b[i] = nl.add_input("b" + std::to_string(i));
+  NodeId carry = nl.add_input("cin");
+
+  for (std::size_t i = 0; i < bits; ++i) {
+    const std::string p = "s" + std::to_string(i);
+    const NodeId axb = xor2(nl, a[i], b[i], p + "_ab");
+    const NodeId sum = xor2(nl, axb, carry, p + "_sc");
+    const NodeId gen = nl.add_gate(p + "_g", GateType::And, {a[i], b[i]});
+    const NodeId prop = nl.add_gate(p + "_p", GateType::And, {axb, carry});
+    carry = nl.add_gate(p + "_c", GateType::Or, {gen, prop});
+    nl.mark_output(sum);
+  }
+  nl.mark_output(carry);
+  nl.finalize();
+  return nl;
+}
+
+Netlist mux_barrel_shifter(std::size_t width, std::size_t stages,
+                           const std::string& name) {
+  if (width < 2 || stages == 0) {
+    throw std::invalid_argument("barrel shifter needs width >= 2, stages >= 1");
+  }
+  Netlist nl(name);
+  std::vector<NodeId> data(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    data[i] = nl.add_input("d" + std::to_string(i));
+  }
+  std::vector<NodeId> sel(stages);
+  for (std::size_t s = 0; s < stages; ++s) {
+    sel[s] = nl.add_input("s" + std::to_string(s));
+  }
+
+  std::size_t shift = 1;
+  for (std::size_t s = 0; s < stages; ++s) {
+    std::vector<NodeId> next(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      const std::string p = "m" + std::to_string(s) + "_" + std::to_string(i);
+      next[i] = mux2(nl, sel[s], data[(i + shift) % width], data[i], p);
+    }
+    data = std::move(next);
+    shift = (shift * 2) % width;
+    if (shift == 0) shift = 1;
+  }
+  for (std::size_t i = 0; i < width; ++i) nl.mark_output(data[i]);
+  nl.finalize();
+  return nl;
+}
+
+Netlist array_multiplier(std::size_t bits, const std::string& name) {
+  if (bits < 2) throw std::invalid_argument("multiplier needs at least 2 bits");
+  Netlist nl(name);
+  std::vector<NodeId> a(bits), b(bits);
+  for (std::size_t i = 0; i < bits; ++i) a[i] = nl.add_input("a" + std::to_string(i));
+  for (std::size_t i = 0; i < bits; ++i) b[i] = nl.add_input("b" + std::to_string(i));
+
+  // Column-compression array: column j collects the partial products
+  // a_i AND b_{j-i}; full/half adders compress each column to one bit,
+  // pushing carries into the next column.
+  std::vector<std::deque<NodeId>> cols(2 * bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    for (std::size_t j = 0; j < bits; ++j) {
+      const std::string nm = "pp" + std::to_string(i) + "_" + std::to_string(j);
+      cols[i + j].push_back(nl.add_gate(nm, GateType::And, {a[i], b[j]}));
+    }
+  }
+
+  std::size_t cell = 0;
+  for (std::size_t j = 0; j < cols.size(); ++j) {
+    auto& col = cols[j];
+    while (col.size() >= 3) {
+      const NodeId x = col.front(); col.pop_front();
+      const NodeId y = col.front(); col.pop_front();
+      const NodeId z = col.front(); col.pop_front();
+      const std::string p = "fa" + std::to_string(cell++);
+      const NodeId xy = xor2(nl, x, y, p + "_x1");
+      const NodeId sum = xor2(nl, xy, z, p + "_x2");
+      const NodeId c1 = nl.add_gate(p + "_c1", GateType::And, {x, y});
+      const NodeId c2 = nl.add_gate(p + "_c2", GateType::And, {xy, z});
+      const NodeId carry = nl.add_gate(p + "_c", GateType::Or, {c1, c2});
+      col.push_back(sum);
+      cols[j + 1].push_back(carry);
+    }
+    if (col.size() == 2) {
+      const NodeId x = col.front(); col.pop_front();
+      const NodeId y = col.front(); col.pop_front();
+      const std::string p = "ha" + std::to_string(cell++);
+      const NodeId sum = xor2(nl, x, y, p + "_x");
+      const NodeId carry = nl.add_gate(p + "_c", GateType::And, {x, y});
+      col.push_back(sum);
+      cols[j + 1].push_back(carry);
+    }
+    if (!col.empty()) nl.mark_output(col.front());
+  }
+  nl.finalize();
+  return nl;
+}
+
+Netlist carry_skip_chain(std::size_t stages, const std::string& name) {
+  if (stages == 0) throw std::invalid_argument("chain needs at least 1 stage");
+  Netlist nl(name);
+  NodeId chain = nl.add_input("c0");
+  for (std::size_t i = 0; i < stages; ++i) {
+    const std::string p = "st" + std::to_string(i);
+    const NodeId g = nl.add_input(p + "_g");
+    const NodeId k = nl.add_input(p + "_k");
+    // chain' = (chain AND g) OR k  — a domino that both propagates and can be
+    // forced, with every stage output observed like a DFF tap.
+    const NodeId andp = nl.add_gate(p + "_a", GateType::And, {chain, g});
+    chain = nl.add_gate(p + "_o", GateType::Or, {andp, k});
+    nl.mark_output(chain);
+  }
+  nl.finalize();
+  return nl;
+}
+
+}  // namespace pdf

@@ -1,0 +1,34 @@
+// Structured circuit generators.
+//
+// Arithmetic-flavoured netlists whose path-length profiles resemble the
+// datapath benchmarks (a dominant carry/select chain with dense bands of
+// near-longest paths — exactly the regime where the paper's P0/P1 split
+// matters). XOR is built from AND/OR/NOT directly so the results are
+// ATPG-ready without a decomposition pass.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace pdf {
+
+/// n-bit ripple-carry adder (2n+1 inputs: a[i], b[i], cin; n+1 outputs).
+Netlist ripple_carry_adder(std::size_t bits, const std::string& name = "rca");
+
+/// Barrel shifter built from 2:1 mux stages: `width` data inputs, log-ish
+/// `stages` select inputs, `width` outputs. Dense, uniform path profile.
+Netlist mux_barrel_shifter(std::size_t width, std::size_t stages,
+                           const std::string& name = "barrel");
+
+/// Priority/carry-skip style chain: alternating AND/OR dominoes with side
+/// literals; the longest paths run the whole chain and each tap is observed.
+Netlist carry_skip_chain(std::size_t stages, const std::string& name = "skipchain");
+
+/// bits x bits array multiplier (carry-save partial-product rows folded by
+/// ripple adders; XOR built from AND/OR/NOT). The classic dense near-critical
+/// band: thousands of paths within a few lines of the critical one.
+Netlist array_multiplier(std::size_t bits, const std::string& name = "mult");
+
+}  // namespace pdf

@@ -1,0 +1,176 @@
+#include "implication/implication.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+namespace pdf {
+namespace {
+
+// Working state of one implication run.
+struct State {
+  const Netlist& nl;
+  // value[plane][node]
+  std::vector<V3> value[3];
+  std::deque<std::pair<NodeId, int>> work;  // (node, plane) whose value was set
+  std::vector<bool> queued[3];
+  bool conflict = false;
+
+  explicit State(const Netlist& n) : nl(n) {
+    for (int p = 0; p < 3; ++p) {
+      value[p].assign(n.node_count(), V3::X);
+      queued[p].assign(n.node_count(), false);
+    }
+  }
+
+  V3 get(NodeId id, int plane) const { return value[plane][id]; }
+
+  // Sets a value; detects contradictions; enqueues the change.
+  void assign(NodeId id, int plane, V3 v) {
+    if (conflict || !is_specified(v)) return;
+    V3& cur = value[plane][id];
+    if (cur == v) return;
+    if (is_specified(cur)) {
+      conflict = true;
+      return;
+    }
+    cur = v;
+    if (!queued[plane][id]) {
+      queued[plane][id] = true;
+      work.emplace_back(id, plane);
+    }
+  }
+};
+
+// Forward evaluation of `gate` in `plane`; assigns the output if determined.
+void forward(State& st, NodeId gate, int plane) {
+  const Node& n = st.nl.node(gate);
+  if (n.type == GateType::Input) return;
+  std::vector<V3> fanin;
+  fanin.reserve(n.fanin.size());
+  for (NodeId f : n.fanin) fanin.push_back(st.get(f, plane));
+  const V3 v = eval_gate(n.type, fanin);
+  if (is_specified(v)) st.assign(gate, plane, v);
+}
+
+// Backward inference for `gate` in `plane` from its (possibly specified)
+// output value.
+void backward(State& st, NodeId gate, int plane) {
+  const Node& n = st.nl.node(gate);
+  if (n.type == GateType::Input) return;
+  const V3 out = st.get(gate, plane);
+  if (!is_specified(out)) return;
+
+  switch (n.type) {
+    case GateType::Buf:
+      st.assign(n.fanin[0], plane, out);
+      return;
+    case GateType::Not:
+      st.assign(n.fanin[0], plane, not3(out));
+      return;
+    case GateType::And:
+    case GateType::Nand:
+    case GateType::Or:
+    case GateType::Nor: {
+      const V3 c = *controlling_value(n.type);
+      const V3 nc = not3(c);
+      // Output seen through the gate's inversion: the value the underlying
+      // AND/OR core produces.
+      const V3 core = is_inverting(n.type) ? not3(out) : out;
+      if (core == nc) {
+        // Non-controlled output: every input must be non-controlling.
+        for (NodeId f : n.fanin) st.assign(f, plane, nc);
+      } else {
+        // Controlled output: if all inputs but one are non-controlling, the
+        // remaining input must be controlling.
+        NodeId unknown = kNoNode;
+        int unknown_count = 0;
+        for (NodeId f : n.fanin) {
+          const V3 v = st.get(f, plane);
+          if (v == c) return;  // already justified
+          if (!is_specified(v)) {
+            unknown = f;
+            ++unknown_count;
+            if (unknown_count > 1) return;
+          }
+        }
+        if (unknown_count == 1) {
+          st.assign(unknown, plane, c);
+        } else if (unknown_count == 0) {
+          // All inputs non-controlling but output controlled: contradiction.
+          st.conflict = true;
+        }
+      }
+      return;
+    }
+    default:
+      throw std::logic_error("implication on non-primitive gate " + n.name);
+  }
+}
+
+}  // namespace
+
+ImplicationEngine::ImplicationEngine(const Netlist& nl) : nl_(&nl) {
+  if (!nl.finalized()) throw std::logic_error("ImplicationEngine: not finalized");
+  if (nl.has_sequential()) {
+    throw std::logic_error("ImplicationEngine: netlist is sequential");
+  }
+  input_index_.assign(nl.node_count(), -1);
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    input_index_[nl.inputs()[i]] = static_cast<int>(i);
+  }
+}
+
+ImplicationResult ImplicationEngine::imply(
+    std::span<const ValueRequirement> reqs) const {
+  const Netlist& nl = *nl_;
+  State st(nl);
+
+  for (const auto& r : reqs) {
+    st.assign(r.line, 0, r.value.a1);
+    st.assign(r.line, 1, r.value.a2);
+    st.assign(r.line, 2, r.value.a3);
+    if (st.conflict) break;
+  }
+
+  while (!st.work.empty() && !st.conflict) {
+    const auto [id, plane] = st.work.front();
+    st.work.pop_front();
+    st.queued[plane][id] = false;
+
+    // PI plane coupling.
+    if (input_index_[id] >= 0) {
+      const V3 b1 = st.get(id, 0), b2 = st.get(id, 1), b3 = st.get(id, 2);
+      if (is_specified(b1) && b1 == b3) st.assign(id, 1, b1);
+      if (is_specified(b2)) {
+        st.assign(id, 0, b2);
+        st.assign(id, 2, b2);
+      }
+      (void)b2;
+    }
+
+    // The node's own gate: re-evaluate forward (consistency with fanins) and
+    // infer backwards into fanins.
+    forward(st, id, plane);
+    backward(st, id, plane);
+
+    // Every consumer: the changed input may determine the output (forward) or
+    // enable sibling inference (backward).
+    for (NodeId g : nl.node(id).fanout) {
+      forward(st, g, plane);
+      backward(st, g, plane);
+      if (st.conflict) break;
+    }
+  }
+
+  ImplicationResult out;
+  out.consistent = !st.conflict;
+  if (out.consistent) {
+    out.values.resize(nl.node_count());
+    for (NodeId id = 0; id < nl.node_count(); ++id) {
+      out.values[id] = Triple{st.get(id, 0), st.get(id, 1), st.get(id, 2)};
+    }
+  }
+  return out;
+}
+
+}  // namespace pdf

@@ -1,0 +1,56 @@
+// Static implication over the two-pattern triple algebra.
+//
+// The triple of every line decomposes into three 3-valued planes that are
+// independent copies of the circuit's logic (the intermediate plane is the
+// same network evaluated under the conservative hazard semantics), coupled
+// only at primary inputs: a PI's intermediate value equals its pattern values
+// when they agree, and conversely a specified intermediate value forces both
+// pattern values.
+//
+// Given a requirement set, the engine seeds the specified components onto the
+// planes and closes them under
+//   * forward implication (gate evaluation),
+//   * backward implication (controlling/non-controlling inference: AND output
+//     1 forces all inputs 1; AND output 0 with all side inputs at 1 forces
+//     the last input to 0; dually for OR; BUF/NOT transfer), and
+//   * the PI plane coupling above.
+// A derived value that contradicts an existing one proves the requirement set
+// unsatisfiable — the paper's second screen for undetectable faults
+// (Section 3.1).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "base/triple.hpp"
+#include "faults/requirements.hpp"
+#include "netlist/netlist.hpp"
+
+namespace pdf {
+
+struct ImplicationResult {
+  bool consistent = true;
+  /// Closed value of every node (indexed by NodeId); meaningful only when
+  /// consistent.
+  std::vector<Triple> values;
+};
+
+class ImplicationEngine {
+ public:
+  /// Netlist must be finalized, combinational, primitive-only.
+  explicit ImplicationEngine(const Netlist& nl);
+
+  /// Runs the fixpoint from the given requirements.
+  ImplicationResult imply(std::span<const ValueRequirement> reqs) const;
+
+  /// Convenience: true when implication finds a contradiction.
+  bool contradicts(std::span<const ValueRequirement> reqs) const {
+    return !imply(reqs).consistent;
+  }
+
+ private:
+  const Netlist* nl_;
+  std::vector<int> input_index_;  // NodeId -> index into nl.inputs(), or -1
+};
+
+}  // namespace pdf

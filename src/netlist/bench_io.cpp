@@ -1,0 +1,184 @@
+#include "netlist/bench_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace pdf {
+namespace {
+
+std::string strip(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+[[noreturn]] void fail(int line_no, const std::string& msg) {
+  throw std::runtime_error(".bench line " + std::to_string(line_no) + ": " + msg);
+}
+
+struct GateDef {
+  std::string name;
+  GateType type;
+  std::vector<std::string> operands;
+  int line_no;
+};
+
+}  // namespace
+
+Netlist parse_bench(std::istream& in, const std::string& circuit_name) {
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<GateDef> defs;
+
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string line = raw;
+    if (auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
+    line = strip(line);
+    if (line.empty()) continue;
+
+    auto parse_call = [&](const std::string& text)
+        -> std::pair<std::string, std::vector<std::string>> {
+      const auto open = text.find('(');
+      const auto close = text.rfind(')');
+      if (open == std::string::npos || close == std::string::npos || close < open) {
+        fail(line_no, "expected NAME(args): " + text);
+      }
+      std::string fn = strip(text.substr(0, open));
+      std::vector<std::string> args;
+      std::string inner = text.substr(open + 1, close - open - 1);
+      std::stringstream ss(inner);
+      std::string piece;
+      while (std::getline(ss, piece, ',')) {
+        piece = strip(piece);
+        if (piece.empty()) fail(line_no, "empty operand");
+        args.push_back(piece);
+      }
+      return {fn, args};
+    };
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      auto [fn, args] = parse_call(line);
+      std::string upper = fn;
+      std::transform(upper.begin(), upper.end(), upper.begin(), [](unsigned char c) {
+        return static_cast<char>(std::toupper(c));
+      });
+      if (args.size() != 1) fail(line_no, fn + " takes exactly one name");
+      if (upper == "INPUT") {
+        input_names.push_back(args[0]);
+      } else if (upper == "OUTPUT") {
+        output_names.push_back(args[0]);
+      } else {
+        fail(line_no, "unknown directive: " + fn);
+      }
+      continue;
+    }
+
+    GateDef def;
+    def.name = strip(line.substr(0, eq));
+    def.line_no = line_no;
+    if (def.name.empty()) fail(line_no, "missing signal name before '='");
+    auto [fn, args] = parse_call(strip(line.substr(eq + 1)));
+    auto type = gate_type_from_string(fn);
+    if (!type || *type == GateType::Input) fail(line_no, "unknown gate type: " + fn);
+    def.type = *type;
+    def.operands = std::move(args);
+    defs.push_back(std::move(def));
+  }
+
+  Netlist nl(circuit_name);
+  for (const auto& name : input_names) nl.add_input(name);
+
+  // Definitions may be out of order and sequential feedback loops through
+  // DFFs are legal, so node creation is two-phase: create every defined node
+  // first (catching duplicate names), then wire fanins by name. Arity and
+  // combinational acyclicity are validated by finalize().
+  std::vector<NodeId> ids(defs.size());
+  for (std::size_t i = 0; i < defs.size(); ++i) {
+    try {
+      ids[i] = nl.add_gate_placeholder(defs[i].name, defs[i].type);
+    } catch (const std::runtime_error& e) {
+      fail(defs[i].line_no, e.what());
+    }
+  }
+  for (std::size_t i = 0; i < defs.size(); ++i) {
+    const GateDef& d = defs[i];
+    const int nf = static_cast<int>(d.operands.size());
+    if (nf < min_fanin(d.type) || nf > max_fanin(d.type)) {
+      fail(d.line_no, "bad operand count for " + to_string(d.type) + " gate " +
+                          d.name);
+    }
+    std::vector<NodeId> fanin;
+    fanin.reserve(d.operands.size());
+    for (const auto& op : d.operands) {
+      const auto id = nl.find(op);
+      if (!id) fail(d.line_no, "undefined operand " + op + " of gate " + d.name);
+      fanin.push_back(*id);
+    }
+    nl.set_fanin(ids[i], std::move(fanin));
+  }
+
+  for (const auto& name : output_names) {
+    auto id = nl.find(name);
+    if (!id) throw std::runtime_error("OUTPUT(" + name + ") names an undefined signal");
+    nl.mark_output(*id);
+  }
+
+  nl.finalize();
+  return nl;
+}
+
+Netlist parse_bench_string(const std::string& text, const std::string& circuit_name) {
+  std::istringstream in(text);
+  return parse_bench(in, circuit_name);
+}
+
+Netlist parse_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open .bench file: " + path);
+  std::string name = path;
+  if (auto slash = name.find_last_of('/'); slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
+  if (auto dot = name.find_last_of('.'); dot != std::string::npos) {
+    name = name.substr(0, dot);
+  }
+  return parse_bench(in, name);
+}
+
+void write_bench(std::ostream& out, const Netlist& nl) {
+  out << "# " << nl.name() << "\n";
+  for (NodeId id : nl.inputs()) out << "INPUT(" << nl.node(id).name << ")\n";
+  for (NodeId id : nl.outputs()) out << "OUTPUT(" << nl.node(id).name << ")\n";
+  out << "\n";
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    const Node& n = nl.node(id);
+    if (n.type == GateType::Input) continue;
+    std::string upper = to_string(n.type);
+    std::transform(upper.begin(), upper.end(), upper.begin(), [](unsigned char c) {
+      return static_cast<char>(std::toupper(c));
+    });
+    out << n.name << " = " << upper << "(";
+    for (std::size_t i = 0; i < n.fanin.size(); ++i) {
+      if (i) out << ", ";
+      out << nl.node(n.fanin[i]).name;
+    }
+    out << ")\n";
+  }
+}
+
+std::string to_bench_string(const Netlist& nl) {
+  std::ostringstream out;
+  write_bench(out, nl);
+  return out.str();
+}
+
+}  // namespace pdf

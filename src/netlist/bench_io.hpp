@@ -1,0 +1,30 @@
+// Reader/writer for the ISCAS .bench netlist format.
+//
+// The accepted grammar (comments start with '#'):
+//   INPUT(name)
+//   OUTPUT(name)
+//   name = GATE(op1, op2, ...)
+// where GATE is one of AND, NAND, OR, NOR, NOT, BUF/BUFF, XOR, XNOR, DFF.
+// Definitions may appear in any order; OUTPUT may reference a later-defined
+// signal. The result is a finalized Netlist.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace pdf {
+
+/// Parses .bench text. Throws std::runtime_error with a line number on any
+/// syntax or structural error.
+Netlist parse_bench(std::istream& in, const std::string& circuit_name = "bench");
+Netlist parse_bench_string(const std::string& text,
+                           const std::string& circuit_name = "bench");
+Netlist parse_bench_file(const std::string& path);
+
+/// Writes a netlist back out in .bench syntax.
+void write_bench(std::ostream& out, const Netlist& nl);
+std::string to_bench_string(const Netlist& nl);
+
+}  // namespace pdf

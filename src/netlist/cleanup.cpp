@@ -1,0 +1,105 @@
+#include "netlist/cleanup.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace pdf {
+namespace {
+
+// Rebuilds the netlist keeping only nodes where keep(id), resolving each
+// fanin through resolve(id) (which must map onto kept nodes).
+template <typename KeepFn, typename ResolveFn>
+Netlist rebuild(const Netlist& nl, KeepFn keep, ResolveFn resolve) {
+  Netlist out(nl.name());
+  std::unordered_map<NodeId, NodeId> remap;
+  for (NodeId id : nl.inputs()) {
+    remap[id] = out.add_input(nl.node(id).name);
+  }
+  for (NodeId id : nl.topo_order()) {
+    const Node& n = nl.node(id);
+    if (n.type == GateType::Input || !keep(id)) continue;
+    std::vector<NodeId> fanin;
+    fanin.reserve(n.fanin.size());
+    for (NodeId f : n.fanin) fanin.push_back(remap.at(resolve(f)));
+    remap[id] = out.add_gate(n.name, n.type, std::move(fanin));
+  }
+  for (NodeId id : nl.outputs()) {
+    out.mark_output(remap.at(resolve(id)));
+  }
+  out.finalize();
+  return out;
+}
+
+}  // namespace
+
+Netlist sweep_buffers(const Netlist& nl, CleanupReport* report) {
+  if (!nl.finalized()) throw std::logic_error("sweep_buffers: not finalized");
+
+  // Resolve chains of buffers to their ultimate driver.
+  std::vector<NodeId> target(nl.node_count());
+  std::vector<bool> removable(nl.node_count(), false);
+  for (NodeId id : nl.topo_order()) {
+    const Node& n = nl.node(id);
+    if (n.type == GateType::Buf) {
+      const NodeId drv = target[n.fanin[0]];
+      // Keep a buffer whose removal would merge two distinct outputs.
+      if (n.is_output && nl.node(drv).is_output) {
+        target[id] = id;
+      } else {
+        target[id] = drv;
+        removable[id] = true;
+      }
+    } else {
+      target[id] = id;
+    }
+  }
+
+  std::size_t removed = 0;
+  for (NodeId id = 0; id < nl.node_count(); ++id) removed += removable[id];
+  if (report) report->buffers_removed += removed;
+
+  return rebuild(
+      nl, [&](NodeId id) { return !removable[id]; },
+      [&](NodeId id) { return target[id]; });
+}
+
+Netlist sweep_dangling(const Netlist& nl, CleanupReport* report) {
+  if (!nl.finalized()) throw std::logic_error("sweep_dangling: not finalized");
+
+  // Mark everything reachable backwards from the outputs.
+  std::vector<bool> live(nl.node_count(), false);
+  std::vector<NodeId> stack;
+  for (NodeId id : nl.outputs()) {
+    if (!live[id]) {
+      live[id] = true;
+      stack.push_back(id);
+    }
+  }
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    for (NodeId f : nl.node(id).fanin) {
+      if (!live[f]) {
+        live[f] = true;
+        stack.push_back(f);
+      }
+    }
+  }
+
+  std::size_t removed = 0;
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    if (!live[id] && nl.node(id).type != GateType::Input) ++removed;
+  }
+  if (report) report->dangling_removed += removed;
+
+  return rebuild(
+      nl,
+      [&](NodeId id) { return live[id]; },
+      [](NodeId id) { return id; });
+}
+
+Netlist cleanup(const Netlist& nl, CleanupReport* report) {
+  return sweep_dangling(sweep_buffers(nl, report), report);
+}
+
+}  // namespace pdf

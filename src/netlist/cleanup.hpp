@@ -1,0 +1,33 @@
+// Netlist cleanup passes.
+//
+// Structural hygiene applied before analysis:
+//   * sweep_buffers   — bypass BUF gates (consumers read the buffer's fanin
+//                       directly); output-marking moves to the fanin. Note
+//                       that removing buffers changes line-counting path
+//                       lengths, so run it before building delay models.
+//   * sweep_dangling  — iteratively delete gates that drive nothing and are
+//                       not outputs (dead logic from editing/transforms).
+// Both return fresh finalized netlists and a report of what was removed.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace pdf {
+
+struct CleanupReport {
+  std::size_t buffers_removed = 0;
+  std::size_t dangling_removed = 0;
+};
+
+/// Removes BUF gates by rewiring their consumers. A BUF that is itself a
+/// primary output transfers the marking to its fanin unless the fanin is
+/// already an output (then the BUF is kept to preserve the distinct output).
+Netlist sweep_buffers(const Netlist& nl, CleanupReport* report = nullptr);
+
+/// Removes dead gates (no fanout, not an output) until a fixpoint.
+Netlist sweep_dangling(const Netlist& nl, CleanupReport* report = nullptr);
+
+/// Both passes, in the order buffers -> dangling.
+Netlist cleanup(const Netlist& nl, CleanupReport* report = nullptr);
+
+}  // namespace pdf

@@ -1,0 +1,27 @@
+// Sequential-to-combinational extraction.
+//
+// Delay testing of the ISCAS-89 / ITC-99 benchmarks is done on the
+// *combinational logic* of the circuit (the paper, Section 4): every DFF
+// output becomes a pseudo primary input and every DFF data input becomes a
+// pseudo primary output. This module performs that extraction, producing a
+// purely combinational netlist.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace pdf {
+
+/// Result of extraction, with bookkeeping about which inputs/outputs are
+/// pseudo (state) versus real.
+struct CombinationalCircuit {
+  Netlist netlist;
+  std::vector<NodeId> pseudo_inputs;   // former DFF outputs (ids in `netlist`)
+  std::vector<NodeId> pseudo_outputs;  // former DFF data fanins (ids in `netlist`)
+};
+
+/// Extracts the combinational core. Idempotent for already-combinational
+/// netlists (returns a copy with empty pseudo lists). The returned netlist is
+/// finalized.
+CombinationalCircuit extract_combinational(const Netlist& nl);
+
+}  // namespace pdf

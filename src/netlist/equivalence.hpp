@@ -1,0 +1,41 @@
+// Combinational equivalence checking.
+//
+// Validates structural transforms (XOR decomposition, cleanup sweeps,
+// generator refactorings): two netlists with identically named inputs are
+// compared output-by-output (outputs matched by name; outputs present in
+// only one netlist are ignored, which is what buffer sweeps need).
+//
+//  * up to `exhaustive_input_limit` inputs: complete truth-table comparison,
+//    64 minterms per simulation pass (pattern-parallel);
+//  * above the limit: `random_vectors` random vectors (probabilistic — a
+//    reported mismatch is always real, agreement is evidence).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace pdf {
+
+struct EquivalenceConfig {
+  std::size_t exhaustive_input_limit = 16;
+  std::size_t random_vectors = 4096;
+  std::uint64_t seed = 1;
+};
+
+struct EquivalenceResult {
+  bool equivalent = true;
+  bool exhaustive = false;  // proof vs random evidence
+  /// Witness when !equivalent.
+  std::string output_name;
+  std::vector<V3> input_values;  // aligned with a's inputs()
+};
+
+/// Compares `a` and `b`. Throws std::invalid_argument when the input name
+/// sets differ (inputs may be ordered differently).
+EquivalenceResult check_equivalence(const Netlist& a, const Netlist& b,
+                                    const EquivalenceConfig& cfg = {});
+
+}  // namespace pdf

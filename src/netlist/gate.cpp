@@ -1,0 +1,132 @@
+#include "netlist/gate.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace pdf {
+
+std::string to_string(GateType t) {
+  switch (t) {
+    case GateType::Input: return "input";
+    case GateType::Buf: return "buf";
+    case GateType::Not: return "not";
+    case GateType::And: return "and";
+    case GateType::Nand: return "nand";
+    case GateType::Or: return "or";
+    case GateType::Nor: return "nor";
+    case GateType::Xor: return "xor";
+    case GateType::Xnor: return "xnor";
+    case GateType::Dff: return "dff";
+  }
+  return "?";
+}
+
+std::optional<GateType> gate_type_from_string(const std::string& name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "buf" || lower == "buff") return GateType::Buf;
+  if (lower == "not" || lower == "inv") return GateType::Not;
+  if (lower == "and") return GateType::And;
+  if (lower == "nand") return GateType::Nand;
+  if (lower == "or") return GateType::Or;
+  if (lower == "nor") return GateType::Nor;
+  if (lower == "xor") return GateType::Xor;
+  if (lower == "xnor") return GateType::Xnor;
+  if (lower == "dff") return GateType::Dff;
+  if (lower == "input") return GateType::Input;
+  return std::nullopt;
+}
+
+std::optional<V3> controlling_value(GateType t) {
+  switch (t) {
+    case GateType::And:
+    case GateType::Nand: return V3::Zero;
+    case GateType::Or:
+    case GateType::Nor: return V3::One;
+    default: return std::nullopt;
+  }
+}
+
+bool is_inverting(GateType t) {
+  switch (t) {
+    case GateType::Not:
+    case GateType::Nand:
+    case GateType::Nor:
+    case GateType::Xnor: return true;
+    default: return false;
+  }
+}
+
+bool is_primitive_logic(GateType t) {
+  switch (t) {
+    case GateType::Buf:
+    case GateType::Not:
+    case GateType::And:
+    case GateType::Nand:
+    case GateType::Or:
+    case GateType::Nor: return true;
+    default: return false;
+  }
+}
+
+int min_fanin(GateType t) {
+  switch (t) {
+    case GateType::Input: return 0;
+    case GateType::Buf:
+    case GateType::Not:
+    case GateType::Dff: return 1;
+    default: return 2;
+  }
+}
+
+int max_fanin(GateType t) {
+  switch (t) {
+    case GateType::Input: return 0;
+    case GateType::Buf:
+    case GateType::Not:
+    case GateType::Dff: return 1;
+    default: return std::numeric_limits<int>::max();
+  }
+}
+
+V3 eval_gate(GateType t, std::span<const V3> fanin) {
+  switch (t) {
+    case GateType::Input:
+      throw std::logic_error("eval_gate called on an Input node");
+    case GateType::Buf:
+    case GateType::Dff:
+      assert(fanin.size() == 1);
+      return fanin[0];
+    case GateType::Not:
+      assert(fanin.size() == 1);
+      return not3(fanin[0]);
+    case GateType::And:
+    case GateType::Nand: {
+      V3 acc = V3::One;
+      for (V3 v : fanin) acc = and3(acc, v);
+      return t == GateType::Nand ? not3(acc) : acc;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      V3 acc = V3::Zero;
+      for (V3 v : fanin) acc = or3(acc, v);
+      return t == GateType::Nor ? not3(acc) : acc;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      V3 acc = V3::Zero;
+      for (V3 v : fanin) acc = xor3(acc, v);
+      return t == GateType::Xnor ? not3(acc) : acc;
+    }
+  }
+  return V3::X;
+}
+
+std::ostream& operator<<(std::ostream& os, GateType t) { return os << to_string(t); }
+
+}  // namespace pdf

@@ -1,0 +1,60 @@
+// Gate primitives of the netlist model.
+//
+// The ATPG algebra of the paper needs, for every gate type, its controlling
+// value (the input value that determines the output alone) and its inversion
+// parity. XOR/XNOR have no controlling value; the front end decomposes them
+// (netlist/transform.hpp) so the core algorithms only ever see the types for
+// which robust side-input constraints are well defined.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "base/logic.hpp"
+
+namespace pdf {
+
+enum class GateType : std::uint8_t {
+  Input,  // primary input (or pseudo primary input after DFF extraction)
+  Buf,
+  Not,
+  And,
+  Nand,
+  Or,
+  Nor,
+  Xor,   // accepted by the parser; decomposed before ATPG
+  Xnor,  // accepted by the parser; decomposed before ATPG
+  Dff,   // sequential element; removed by combinational extraction
+};
+
+/// Human-readable lowercase name ("and", "nor", ...).
+std::string to_string(GateType t);
+
+/// Parses a .bench operator name (case-insensitive); nullopt if unknown.
+std::optional<GateType> gate_type_from_string(const std::string& name);
+
+/// Controlling value: 0 for AND/NAND, 1 for OR/NOR, nullopt for the rest.
+std::optional<V3> controlling_value(GateType t);
+
+/// True for NOT/NAND/NOR/XNOR (output parity inverts relative to the
+/// non-controlled evaluation).
+bool is_inverting(GateType t);
+
+/// True for the types the core ATPG algorithms accept as logic gates.
+bool is_primitive_logic(GateType t) ;
+
+/// Minimum/maximum legal fanin count for a type (Input/Dff handled too).
+int min_fanin(GateType t);
+int max_fanin(GateType t);
+
+/// Three-valued evaluation of a gate over its fanin values. Input gates must
+/// not be evaluated; DFF evaluates as a buffer (only used by full-netlist
+/// sanity simulation before extraction).
+V3 eval_gate(GateType t, std::span<const V3> fanin);
+
+std::ostream& operator<<(std::ostream& os, GateType t);
+
+}  // namespace pdf

@@ -1,0 +1,233 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace pdf {
+
+NodeId Netlist::add_node(Node n) {
+  if (by_name_.contains(n.name)) {
+    throw std::runtime_error("duplicate node name: " + n.name);
+  }
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  by_name_.emplace(n.name, id);
+  nodes_.push_back(std::move(n));
+  finalized_ = false;
+  return id;
+}
+
+NodeId Netlist::add_input(const std::string& name) {
+  Node n;
+  n.name = name;
+  n.type = GateType::Input;
+  const NodeId id = add_node(std::move(n));
+  inputs_.push_back(id);
+  return id;
+}
+
+NodeId Netlist::add_gate(const std::string& name, GateType type,
+                         std::vector<NodeId> fanin) {
+  if (type == GateType::Input) {
+    throw std::runtime_error("use add_input for input nodes: " + name);
+  }
+  const int nf = static_cast<int>(fanin.size());
+  if (nf < min_fanin(type) || nf > max_fanin(type)) {
+    throw std::runtime_error("bad fanin count for " + to_string(type) +
+                             " gate " + name);
+  }
+  for (NodeId f : fanin) {
+    if (f >= nodes_.size()) throw std::runtime_error("unknown fanin of " + name);
+  }
+  Node n;
+  n.name = name;
+  n.type = type;
+  n.fanin = std::move(fanin);
+  return add_node(std::move(n));
+}
+
+NodeId Netlist::add_gate_placeholder(const std::string& name, GateType type) {
+  if (type == GateType::Input) {
+    throw std::runtime_error("use add_input for input nodes: " + name);
+  }
+  Node n;
+  n.name = name;
+  n.type = type;
+  return add_node(std::move(n));
+}
+
+void Netlist::set_fanin(NodeId id, std::vector<NodeId> fanin) {
+  if (id >= nodes_.size()) throw std::runtime_error("set_fanin: bad node id");
+  Node& n = nodes_[id];
+  if (n.type == GateType::Input) {
+    throw std::runtime_error("cannot set fanin of input node " + n.name);
+  }
+  for (NodeId f : fanin) {
+    if (f >= nodes_.size()) throw std::runtime_error("set_fanin: unknown fanin of " + n.name);
+  }
+  n.fanin = std::move(fanin);
+  finalized_ = false;
+}
+
+void Netlist::mark_output(NodeId id) {
+  if (id >= nodes_.size()) throw std::runtime_error("mark_output: bad node id");
+  if (!nodes_[id].is_output) {
+    nodes_[id].is_output = true;
+    outputs_.push_back(id);
+  }
+}
+
+void Netlist::mark_output(const std::string& name) { mark_output(id_of(name)); }
+
+std::optional<NodeId> Netlist::find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+NodeId Netlist::id_of(const std::string& name) const {
+  auto id = find(name);
+  if (!id) throw std::runtime_error("unknown node name: " + name);
+  return *id;
+}
+
+std::span<const NodeId> Netlist::topo_order() const {
+  if (!finalized_) throw std::logic_error("netlist not finalized");
+  return topo_;
+}
+
+bool Netlist::has_sequential() const {
+  return std::any_of(nodes_.begin(), nodes_.end(),
+                     [](const Node& n) { return n.type == GateType::Dff; });
+}
+
+std::size_t Netlist::gate_count() const {
+  return static_cast<std::size_t>(std::count_if(
+      nodes_.begin(), nodes_.end(), [](const Node& n) {
+        return n.type != GateType::Input && n.type != GateType::Dff;
+      }));
+}
+
+std::size_t Netlist::fanin_index(NodeId gate, NodeId fanin_node) const {
+  const auto& f = node(gate).fanin;
+  auto it = std::find(f.begin(), f.end(), fanin_node);
+  if (it == f.end()) {
+    throw std::runtime_error("node " + node(fanin_node).name +
+                             " is not a fanin of " + node(gate).name);
+  }
+  return static_cast<std::size_t>(it - f.begin());
+}
+
+void Netlist::redefine_gate(NodeId id, GateType type, std::vector<NodeId> fanin) {
+  if (id >= nodes_.size()) throw std::runtime_error("redefine_gate: bad node id");
+  Node& n = nodes_[id];
+  if (n.type == GateType::Input) {
+    throw std::runtime_error("cannot redefine input node " + n.name);
+  }
+  const int nf = static_cast<int>(fanin.size());
+  if (nf < min_fanin(type) || nf > max_fanin(type)) {
+    throw std::runtime_error("bad fanin count for redefined gate " + n.name);
+  }
+  n.type = type;
+  n.fanin = std::move(fanin);
+  finalized_ = false;
+}
+
+std::string Netlist::fresh_name(const std::string& prefix) {
+  for (;;) {
+    std::string candidate = prefix + std::to_string(fresh_counter_++);
+    if (!by_name_.contains(candidate)) return candidate;
+  }
+}
+
+void Netlist::finalize() {
+  // Reset derived data.
+  for (Node& n : nodes_) n.fanout.clear();
+
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    const int nf = static_cast<int>(n.fanin.size());
+    if (nf < min_fanin(n.type) || nf > max_fanin(n.type)) {
+      throw std::runtime_error("bad fanin count on node " + n.name);
+    }
+    for (NodeId f : n.fanin) {
+      if (f >= nodes_.size()) throw std::runtime_error("dangling fanin on " + n.name);
+      nodes_[f].fanout.push_back(id);
+    }
+  }
+
+  compute_topo_and_levels();
+  finalized_ = true;
+}
+
+void Netlist::compute_topo_and_levels() {
+  // Kahn's algorithm over combinational edges. DFF nodes act as sources: a
+  // DFF output is available at the start of the clock cycle, so the edge from
+  // its data fanin is not a combinational dependence.
+  const std::size_t n = nodes_.size();
+  std::vector<std::uint32_t> pending(n, 0);
+  std::deque<NodeId> ready;
+  for (NodeId id = 0; id < n; ++id) {
+    const Node& nd = nodes_[id];
+    const bool source = nd.type == GateType::Input || nd.type == GateType::Dff;
+    pending[id] = source ? 0 : static_cast<std::uint32_t>(nd.fanin.size());
+    if (pending[id] == 0) ready.push_back(id);
+  }
+
+  topo_.clear();
+  topo_.reserve(n);
+  std::vector<int> level(n, 0);
+  while (!ready.empty()) {
+    const NodeId id = ready.front();
+    ready.pop_front();
+    topo_.push_back(id);
+    for (NodeId out : nodes_[id].fanout) {
+      if (nodes_[out].type == GateType::Dff) continue;  // sequential edge
+      level[out] = std::max(level[out], level[id] + 1);
+      if (--pending[out] == 0) ready.push_back(out);
+    }
+  }
+  if (topo_.size() != n) {
+    // Name one offender to make the diagnostic actionable.
+    std::string offender;
+    for (NodeId id = 0; id < n; ++id) {
+      if (pending[id] != 0) {
+        offender = nodes_[id].name;
+        break;
+      }
+    }
+    throw std::runtime_error("combinational cycle detected (" +
+                             std::to_string(n - topo_.size()) +
+                             " nodes unschedulable, e.g. " + offender + ")");
+  }
+
+  depth_ = 0;
+  for (NodeId id = 0; id < n; ++id) {
+    nodes_[id].level = level[id];
+    depth_ = std::max(depth_, level[id]);
+  }
+}
+
+NetlistStats stats_of(const Netlist& nl) {
+  NetlistStats s;
+  s.inputs = nl.inputs().size();
+  s.outputs = nl.outputs().size();
+  s.depth = nl.depth();
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    const Node& n = nl.node(id);
+    if (n.type == GateType::Dff) {
+      ++s.dffs;
+    } else if (n.type != GateType::Input) {
+      ++s.gates;
+    }
+    // ISCAS line counting: one stem per node plus one line per branch when a
+    // node drives more than one consumer; a (pseudo) primary-output tap
+    // counts as a consumer.
+    const std::size_t consumers = n.fanout.size() + (n.is_output ? 1 : 0);
+    s.lines += 1;
+    if (consumers > 1) s.lines += consumers;
+  }
+  return s;
+}
+
+}  // namespace pdf

@@ -1,0 +1,135 @@
+// Gate-level netlist: a named DAG of logic nodes.
+//
+// Nodes are identified by dense `NodeId` indices; fanin/fanout adjacency is
+// stored per node. A netlist is built through the `add_*` API and then
+// `finalize()`d, which validates the structure (fanin arities, acyclicity
+// over combinational edges, name uniqueness), computes fanout lists, a
+// topological order and per-node logic levels. All analysis and ATPG code
+// operates on finalized netlists.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/gate.hpp"
+
+namespace pdf {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+struct Node {
+  std::string name;
+  GateType type = GateType::Input;
+  std::vector<NodeId> fanin;
+  std::vector<NodeId> fanout;  // filled by finalize()
+  int level = 0;               // 0 for inputs; 1 + max(fanin levels) otherwise
+  bool is_output = false;      // drives a primary output
+};
+
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  // ---- construction -------------------------------------------------------
+
+  /// Adds a primary input node. Throws on duplicate name.
+  NodeId add_input(const std::string& name);
+
+  /// Adds a gate whose fanins must already exist. Throws on duplicate name,
+  /// bad arity, or unknown fanin.
+  NodeId add_gate(const std::string& name, GateType type,
+                  std::vector<NodeId> fanin);
+
+  /// Adds a gate node with no fanin yet (for forward references, e.g. DFF
+  /// feedback loops in netlist files). The fanin must be supplied with
+  /// set_fanin before finalize(), which validates arity.
+  NodeId add_gate_placeholder(const std::string& name, GateType type);
+
+  /// Replaces the fanin list of an existing gate. Un-finalizes the netlist;
+  /// arity is validated at finalize().
+  void set_fanin(NodeId id, std::vector<NodeId> fanin);
+
+  /// Marks an existing node as a primary output.
+  void mark_output(NodeId id);
+  void mark_output(const std::string& name);
+
+  /// Validates the netlist and computes fanout lists, topological order and
+  /// levels. Must be called before any analysis. Throws std::runtime_error on
+  /// structural problems (cycle through combinational gates, dangling nodes
+  /// are permitted but reported via stats).
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  // ---- access -------------------------------------------------------------
+
+  std::size_t node_count() const { return nodes_.size(); }
+  const Node& node(NodeId id) const { return nodes_.at(id); }
+
+  /// Looks a node up by name; nullopt if absent.
+  std::optional<NodeId> find(const std::string& name) const;
+  /// Looks a node up by name; throws if absent.
+  NodeId id_of(const std::string& name) const;
+
+  std::span<const NodeId> inputs() const { return inputs_; }
+  std::span<const NodeId> outputs() const { return outputs_; }
+
+  /// Topological order over combinational edges (inputs first). Valid after
+  /// finalize(). DFF nodes, if any, appear as sources like inputs.
+  std::span<const NodeId> topo_order() const;
+
+  /// Maximum node level (combinational depth).
+  int depth() const { return depth_; }
+
+  bool has_sequential() const;
+  std::size_t gate_count() const;  // nodes that are neither Input nor Dff
+
+  /// Index of `fanin_node` within `gate`'s fanin list; throws if absent.
+  std::size_t fanin_index(NodeId gate, NodeId fanin_node) const;
+
+  // ---- mutation helpers used by transforms --------------------------------
+
+  /// Replaces the definition of an existing gate node (same name/id keeps all
+  /// fanout references intact). Un-finalizes the netlist.
+  void redefine_gate(NodeId id, GateType type, std::vector<NodeId> fanin);
+
+  /// Generates a fresh node name with the given prefix that does not collide
+  /// with any existing name.
+  std::string fresh_name(const std::string& prefix);
+
+ private:
+  NodeId add_node(Node n);
+  void compute_topo_and_levels();
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::unordered_map<std::string, NodeId> by_name_;
+  std::vector<NodeId> inputs_;
+  std::vector<NodeId> outputs_;
+  std::vector<NodeId> topo_;
+  int depth_ = 0;
+  bool finalized_ = false;
+  std::uint64_t fresh_counter_ = 0;
+};
+
+/// Summary statistics for reporting.
+struct NetlistStats {
+  std::size_t inputs = 0;
+  std::size_t outputs = 0;
+  std::size_t gates = 0;
+  std::size_t dffs = 0;
+  std::size_t lines = 0;  // stems + fanout branches (ISCAS line counting)
+  int depth = 0;
+};
+
+NetlistStats stats_of(const Netlist& nl);
+
+}  // namespace pdf

@@ -1,0 +1,73 @@
+#include "netlist/transform.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace pdf {
+namespace {
+
+// Builds OR(AND(a, NOT(b)), AND(NOT(a), b)) in `out`, returning the OR node.
+// `invert_result` builds the XNOR variant by swapping the final gate to NOR.
+NodeId build_xor2(Netlist& out, NodeId a, NodeId b, bool invert_result,
+                  const std::string& hint) {
+  const NodeId na = out.add_gate(out.fresh_name(hint + "_na"), GateType::Not, {a});
+  const NodeId nb = out.add_gate(out.fresh_name(hint + "_nb"), GateType::Not, {b});
+  const NodeId t0 = out.add_gate(out.fresh_name(hint + "_t0"), GateType::And, {a, nb});
+  const NodeId t1 = out.add_gate(out.fresh_name(hint + "_t1"), GateType::And, {na, b});
+  return out.add_gate(out.fresh_name(hint + "_o"),
+                      invert_result ? GateType::Nor : GateType::Or, {t0, t1});
+}
+
+}  // namespace
+
+Netlist decompose_xor(const Netlist& nl) {
+  if (!nl.finalized()) throw std::logic_error("decompose_xor: not finalized");
+
+  Netlist out(nl.name());
+  std::unordered_map<NodeId, NodeId> remap;
+  for (NodeId id : nl.inputs()) remap[id] = out.add_input(nl.node(id).name);
+
+  for (NodeId id : nl.topo_order()) {
+    const Node& n = nl.node(id);
+    if (n.type == GateType::Input) continue;
+    std::vector<NodeId> fanin;
+    fanin.reserve(n.fanin.size());
+    for (NodeId f : n.fanin) fanin.push_back(remap.at(f));
+
+    if (n.type != GateType::Xor && n.type != GateType::Xnor) {
+      remap[id] = out.add_gate(n.name, n.type, std::move(fanin));
+      continue;
+    }
+
+    // Chain of 2-input XORs; the last stage absorbs the XNOR inversion and
+    // keeps the original node name via a BUF so fanout naming survives.
+    NodeId acc = fanin[0];
+    for (std::size_t i = 1; i < fanin.size(); ++i) {
+      const bool last = i + 1 == fanin.size();
+      acc = build_xor2(out, acc, fanin[i], last && n.type == GateType::Xnor, n.name);
+    }
+    if (fanin.size() == 1) {
+      // Degenerate 1-input XOR behaves as BUF (XNOR as NOT); arity checks
+      // normally prevent this, but stay safe.
+      acc = out.add_gate(out.fresh_name(n.name + "_b"),
+                         n.type == GateType::Xnor ? GateType::Not : GateType::Buf,
+                         {acc});
+    }
+    remap[id] = out.add_gate(n.name, GateType::Buf, {acc});
+  }
+
+  for (NodeId id : nl.outputs()) out.mark_output(remap.at(id));
+  out.finalize();
+  return out;
+}
+
+bool is_atpg_ready(const Netlist& nl) {
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    const GateType t = nl.node(id).type;
+    if (t == GateType::Input) continue;
+    if (!is_primitive_logic(t)) return false;
+  }
+  return true;
+}
+
+}  // namespace pdf

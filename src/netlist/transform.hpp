@@ -1,0 +1,25 @@
+// Structural transforms applied before ATPG.
+//
+// decompose_xor: robust path-delay side-input constraints are only well
+// defined for gates with a controlling value, so XOR/XNOR gates are expanded
+// into the standard AND/OR/NOT network
+//   a XOR b  =  OR(AND(a, NOT(b)), AND(NOT(a), b))
+// (n-input XORs are decomposed as a balanced chain of 2-input XORs first).
+// This is the conventional ATPG treatment and keeps A(p) a fixed value set.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace pdf {
+
+/// Returns a finalized copy of `nl` with every XOR/XNOR gate decomposed into
+/// AND/OR/NOT primitives. Node names of non-XOR gates are preserved; new
+/// helper nodes get fresh names. If the netlist has no XOR gates the copy is
+/// structurally identical.
+Netlist decompose_xor(const Netlist& nl);
+
+/// True when every gate in `nl` is a primitive the ATPG core accepts
+/// (Input/Buf/Not/And/Nand/Or/Nor).
+bool is_atpg_ready(const Netlist& nl);
+
+}  // namespace pdf

@@ -1,0 +1,65 @@
+#include "paths/count.hpp"
+
+#include <stdexcept>
+
+namespace pdf {
+namespace {
+
+std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t s = a + b;
+  return (s < a || s > kPathCountCap) ? kPathCountCap : s;
+}
+
+std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > kPathCountCap / b) return kPathCountCap;
+  return a * b;
+}
+
+}  // namespace
+
+PathCounts count_paths(const Netlist& nl) {
+  if (!nl.finalized()) throw std::logic_error("count_paths: not finalized");
+  const auto topo = nl.topo_order();
+
+  // prefixes[id]: number of PI-to-id paths (the PI itself counts as the
+  // trivial prefix of length 1).
+  std::vector<std::uint64_t> prefixes(nl.node_count(), 0);
+  for (NodeId id : topo) {
+    const Node& n = nl.node(id);
+    if (n.type == GateType::Input) {
+      prefixes[id] = 1;
+      continue;
+    }
+    std::uint64_t sum = 0;
+    for (NodeId f : n.fanin) sum = sat_add(sum, prefixes[f]);
+    prefixes[id] = sum;
+  }
+
+  // suffixes[id]: number of id-to-output completions (1 when id is itself an
+  // output, plus continuations through every fanout).
+  std::vector<std::uint64_t> suffixes(nl.node_count(), 0);
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId id = *it;
+    std::uint64_t sum = nl.node(id).is_output ? 1 : 0;
+    for (NodeId v : nl.node(id).fanout) sum = sat_add(sum, suffixes[v]);
+    suffixes[id] = sum;
+  }
+
+  PathCounts out;
+  out.through.resize(nl.node_count());
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    out.through[id] = sat_mul(prefixes[id], suffixes[id]);
+  }
+  std::uint64_t total = 0;
+  for (NodeId pi : nl.inputs()) total = sat_add(total, suffixes[pi]);
+  out.total = total;
+  out.saturated = total >= kPathCountCap;
+  return out;
+}
+
+bool has_at_least_paths(const Netlist& nl, std::uint64_t threshold) {
+  return count_paths(nl).total >= threshold;
+}
+
+}  // namespace pdf

@@ -1,0 +1,37 @@
+// Non-enumerative path counting.
+//
+// The number of structural paths of a circuit grows exponentially, which is
+// the paper's premise (its reference [2] is a non-enumerative coverage
+// estimator for exactly that reason) and its circuit-selection criterion
+// ("we only consider circuits with at least 1000 paths"). This module counts
+// complete paths without enumerating them: one topological DP for the number
+// of PI-to-node prefixes, one reverse pass for node-to-output suffixes.
+// Counts saturate at kPathCountCap so overflow is explicit rather than
+// silent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace pdf {
+
+/// Saturation bound for all counts (2^62; anything larger reads "huge").
+inline constexpr std::uint64_t kPathCountCap = std::uint64_t{1} << 62;
+
+struct PathCounts {
+  /// Complete paths (PI -> output) in the whole circuit; saturated.
+  std::uint64_t total = 0;
+  bool saturated = false;
+  /// Per node: complete paths passing through its stem; saturated entries
+  /// clamp to kPathCountCap.
+  std::vector<std::uint64_t> through;
+};
+
+PathCounts count_paths(const Netlist& nl);
+
+/// Convenience: the paper's ">= 1000 paths" selection test.
+bool has_at_least_paths(const Netlist& nl, std::uint64_t threshold);
+
+}  // namespace pdf

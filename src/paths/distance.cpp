@@ -1,0 +1,29 @@
+#include "paths/distance.hpp"
+
+#include <algorithm>
+
+namespace pdf {
+
+std::vector<int> distances_to_outputs(const LineDelayModel& dm) {
+  const Netlist& nl = dm.netlist();
+  std::vector<int> d(nl.node_count(), kUnreachable);
+  const auto topo = nl.topo_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId id = *it;
+    const Node& n = nl.node(id);
+    int best = kUnreachable;
+    if (n.is_output) {
+      // Completing here crosses the output branch if the node also feeds
+      // other consumers.
+      best = dm.branch_cost(id);
+    }
+    for (NodeId v : n.fanout) {
+      if (d[v] == kUnreachable) continue;
+      best = std::max(best, dm.branch_cost(id) + dm.stem_weight(v) + d[v]);
+    }
+    d[id] = best;
+  }
+  return d;
+}
+
+}  // namespace pdf

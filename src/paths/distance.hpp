@@ -1,0 +1,22 @@
+// Distance of every line from the primary outputs (paper Section 3.1,
+// Figure 2): d(g) is the maximum number of lines on any path from g's output
+// to a primary output, so that a partial path p ending at g can at best grow
+// into a complete path of length  len(p) = partial_length(p) + d(g).
+// Computed in one reverse-topological pass.
+#pragma once
+
+#include <vector>
+
+#include "paths/path.hpp"
+
+namespace pdf {
+
+/// Sentinel distance for nodes from which no primary output is reachable.
+inline constexpr int kUnreachable = -1;
+
+/// d[id] = max lines appended after id's stem on the best completion, or
+/// kUnreachable when id cannot reach an output. An output node with no
+/// further fanout has d == branch-cost contribution 0.
+std::vector<int> distances_to_outputs(const LineDelayModel& dm);
+
+}  // namespace pdf

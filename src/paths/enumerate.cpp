@@ -1,0 +1,308 @@
+#include "paths/enumerate.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <queue>
+#include <stdexcept>
+
+#include "paths/distance.hpp"
+
+namespace pdf {
+namespace {
+
+struct Entry {
+  Path path;
+  bool complete = false;
+  int length = 0;  // partial_length for partials, complete_length for complete
+  int key = 0;     // len(p): length + d(last) for partials, length for complete
+  bool alive = false;
+};
+
+// Max/min-heap items; lazy deletion validated against the slab.
+struct HeapItem {
+  int key;
+  std::size_t idx;
+};
+struct MaxCmp {
+  bool operator()(const HeapItem& a, const HeapItem& b) const {
+    // Prefer larger key; on ties prefer smaller index (older entry) for
+    // deterministic, insertion-stable behaviour.
+    if (a.key != b.key) return a.key < b.key;
+    return a.idx > b.idx;
+  }
+};
+struct MinCmp {
+  bool operator()(const HeapItem& a, const HeapItem& b) const {
+    if (a.key != b.key) return a.key > b.key;
+    return a.idx > b.idx;
+  }
+};
+
+class Enumerator {
+ public:
+  Enumerator(const LineDelayModel& dm, const EnumerationConfig& cfg)
+      : dm_(dm), nl_(dm.netlist()), cfg_(cfg), dist_(distances_to_outputs(dm)) {}
+
+  EnumerationResult run() {
+    seed();
+    maybe_prune();
+    while (partial_count_ > 0) {
+      if (result_.steps >= cfg_.max_steps) {
+        result_.step_limit_hit = true;
+        break;
+      }
+      ++result_.steps;
+      const std::size_t idx = pick_partial();
+      extend(idx);
+      maybe_prune();
+    }
+    collect();
+    return std::move(result_);
+  }
+
+ private:
+  void seed() {
+    for (NodeId pi : nl_.inputs()) {
+      make_entries_for(Path{{pi}}, /*replace_pos=*/order_.size());
+    }
+  }
+
+  // Creates the complete and/or partial entries for a path ending at its
+  // last node. `replace_pos` is the list position the first created entry
+  // takes (FirstPartial keeps paper-style in-place replacement); subsequent
+  // entries append.
+  void make_entries_for(Path p, std::size_t replace_pos) {
+    const NodeId last = p.sink();
+    const Node& n = nl_.node(last);
+    bool first = true;
+    auto place = [&](Entry e) {
+      const std::size_t idx = slab_.size();
+      slab_.push_back(std::move(e));
+      if (first && replace_pos < order_.size()) {
+        order_[replace_pos] = idx;
+      } else {
+        order_.push_back(idx);
+      }
+      first = false;
+      on_insert(idx);
+    };
+
+    const bool can_extend = std::any_of(
+        n.fanout.begin(), n.fanout.end(),
+        [&](NodeId v) { return dist_[v] != kUnreachable; });
+
+    if (n.is_output) {
+      Entry e;
+      e.complete = true;
+      e.length = dm_.complete_length(p.nodes);
+      e.key = e.length;
+      e.alive = true;
+      e.path = can_extend ? p : std::move(p);  // copy only when both needed
+      place(std::move(e));
+    }
+    if (can_extend) {
+      Entry e;
+      e.complete = false;
+      e.length = dm_.partial_length(p.nodes);
+      assert(dist_[last] != kUnreachable);
+      e.key = e.length + dist_[last];
+      e.alive = true;
+      e.path = std::move(p);
+      place(std::move(e));
+    }
+  }
+
+  void on_insert(std::size_t idx) {
+    const Entry& e = slab_[idx];
+    ++alive_count_;
+    if (!e.complete) {
+      ++partial_count_;
+      partial_heap_.push({e.key, idx});
+    }
+    min_heap_.push({e.key, idx});
+    ++key_count_[e.key];
+  }
+
+  void kill(std::size_t idx) {
+    Entry& e = slab_[idx];
+    assert(e.alive);
+    e.alive = false;
+    --alive_count_;
+    if (!e.complete) --partial_count_;
+    auto it = key_count_.find(e.key);
+    if (--it->second == 0) key_count_.erase(it);
+    e.path.nodes.clear();
+    e.path.nodes.shrink_to_fit();
+  }
+
+  std::size_t pick_partial() {
+    if (cfg_.selection == SelectionPolicy::FirstPartial) {
+      for (std::size_t pos = 0; pos < order_.size(); ++pos) {
+        const std::size_t idx = order_[pos];
+        if (slab_[idx].alive && !slab_[idx].complete) {
+          pick_pos_ = pos;
+          return idx;
+        }
+      }
+      throw std::logic_error("pick_partial: no partial entry");
+    }
+    for (;;) {
+      assert(!partial_heap_.empty());
+      const HeapItem top = partial_heap_.top();
+      partial_heap_.pop();
+      const Entry& e = slab_[top.idx];
+      if (e.alive && !e.complete && e.key == top.key) {
+        pick_pos_ = order_.size();  // children append
+        return top.idx;
+      }
+    }
+  }
+
+  void extend(std::size_t idx) {
+    // Move the path out, retire the partial entry, then create children.
+    Path base = std::move(slab_[idx].path);
+    const std::size_t replace_pos = pick_pos_;
+    slab_[idx].path = Path{};
+    kill(idx);
+
+    const NodeId last = base.sink();
+    std::size_t pos = replace_pos;
+    for (NodeId v : nl_.node(last).fanout) {
+      if (dist_[v] == kUnreachable) continue;
+      Path child;
+      child.nodes.reserve(base.nodes.size() + 1);
+      child.nodes = base.nodes;
+      child.nodes.push_back(v);
+      make_entries_for(std::move(child), pos);
+      pos = order_.size();  // only the first child replaces in place
+    }
+  }
+
+  int max_alive_key() const {
+    assert(!key_count_.empty());
+    return key_count_.rbegin()->first;
+  }
+
+  void maybe_prune() {
+    if (alive_count_ == 0) return;
+    const std::size_t fpp = static_cast<std::size_t>(cfg_.faults_per_path);
+    if (alive_count_ * fpp < cfg_.max_faults) return;
+
+    PruneEvent ev;
+    ev.step = result_.steps;
+    ev.entries_before = alive_count_;
+    if (cfg_.record_trace) ev.snapshot_before = snapshot();
+
+    const std::size_t hard_cap =
+        cfg_.hard_cap_factor * std::max<std::size_t>(1, cfg_.max_faults / fpp);
+    while (alive_count_ * fpp >= cfg_.max_faults) {
+      const int max_key = max_alive_key();
+      std::size_t victim = static_cast<std::size_t>(-1);
+      if (cfg_.prune == PrunePolicy::MinBound) {
+        // Pop the minimum-key entry unless every survivor already shares the
+        // maximum length.
+        while (!min_heap_.empty()) {
+          const HeapItem top = min_heap_.top();
+          const Entry& e = slab_[top.idx];
+          if (!e.alive || e.key != top.key) {
+            min_heap_.pop();
+            continue;
+          }
+          break;
+        }
+        assert(!min_heap_.empty());
+        const HeapItem top = min_heap_.top();
+        if (top.key >= max_key && alive_count_ <= hard_cap) {
+          break;  // all survivors share the max length (paper's stop rule)
+        }
+        min_heap_.pop();
+        victim = top.idx;
+      } else {
+        // Basic policy: shortest complete path that is not among the longest
+        // complete paths.
+        int max_complete = kUnreachable;
+        for (std::size_t i = 0; i < slab_.size(); ++i) {
+          const Entry& e = slab_[i];
+          if (e.alive && e.complete) max_complete = std::max(max_complete, e.length);
+        }
+        int best_len = 0;
+        for (std::size_t i = 0; i < slab_.size(); ++i) {
+          const Entry& e = slab_[i];
+          if (!e.alive || !e.complete || e.length >= max_complete) continue;
+          if (victim == static_cast<std::size_t>(-1) || e.length < best_len) {
+            victim = i;
+            best_len = e.length;
+          }
+        }
+        if (victim == static_cast<std::size_t>(-1)) break;  // nothing removable
+      }
+      ev.removed_lengths.push_back(slab_[victim].key);
+      kill(victim);
+    }
+
+    if (alive_count_ * fpp >= cfg_.max_faults) result_.prune_stalled = true;
+    if (!ev.removed_lengths.empty()) {
+      result_.trace.prunes.push_back(std::move(ev));
+    }
+  }
+
+  std::vector<TraceEntry> snapshot() const {
+    std::vector<TraceEntry> out;
+    for (std::size_t pos = 0; pos < order_.size(); ++pos) {
+      const Entry& e = slab_[order_[pos]];
+      if (!e.alive) continue;
+      TraceEntry te;
+      te.rendering = path_to_string(nl_, e.path);
+      te.complete = e.complete;
+      te.length = e.length;
+      te.bound = e.key;
+      out.push_back(std::move(te));
+    }
+    return out;
+  }
+
+  void collect() {
+    if (cfg_.record_trace) result_.trace.final_set = snapshot();
+    for (std::size_t pos = 0; pos < order_.size(); ++pos) {
+      Entry& e = slab_[order_[pos]];
+      if (!e.alive || !e.complete) continue;
+      result_.paths.push_back({std::move(e.path), e.length});
+    }
+    std::stable_sort(result_.paths.begin(), result_.paths.end(),
+                     [](const EnumeratedPath& a, const EnumeratedPath& b) {
+                       return a.length > b.length;
+                     });
+  }
+
+  const LineDelayModel& dm_;
+  const Netlist& nl_;
+  EnumerationConfig cfg_;
+  std::vector<int> dist_;
+
+  std::vector<Entry> slab_;
+  std::vector<std::size_t> order_;  // list positions -> slab indices
+  std::size_t alive_count_ = 0;
+  std::size_t partial_count_ = 0;
+  std::size_t pick_pos_ = 0;
+
+  std::priority_queue<HeapItem, std::vector<HeapItem>, MaxCmp> partial_heap_;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, MinCmp> min_heap_;
+  std::map<int, std::size_t> key_count_;
+
+  EnumerationResult result_;
+};
+
+}  // namespace
+
+EnumerationResult enumerate_longest_paths(const LineDelayModel& dm,
+                                          const EnumerationConfig& cfg) {
+  if (cfg.max_faults == 0) throw std::invalid_argument("max_faults must be > 0");
+  if (cfg.faults_per_path <= 0) {
+    throw std::invalid_argument("faults_per_path must be > 0");
+  }
+  Enumerator e(dm, cfg);
+  return e.run();
+}
+
+}  // namespace pdf

@@ -1,0 +1,100 @@
+// Bounded enumeration of the longest circuit paths (paper Section 3.1).
+//
+// The enumerator grows paths from the primary inputs towards the outputs,
+// keeping a working set P of partial and complete paths. Whenever the number
+// of path delay faults associated with P reaches the bound N_P it prunes the
+// least promising members. Two variants, both from the paper:
+//
+//  * Basic (moderate path counts): extend the first partial path in list
+//    order; prune only *complete* paths, shortest first, never touching the
+//    longest complete paths. This is the variant of the paper's s27 example
+//    (Table 1).
+//  * Distance-guided (large path counts): precompute d(g), the distance of
+//    every line to the outputs; a partial path p ending at g can at best
+//    become a complete path of len(p) = length(p) + d(g). Always extend the
+//    partial path with maximum len(p), and prune entries (partial or
+//    complete) with minimum len(p), stopping if all survivors share the same
+//    maximum length.
+//
+// The result is the set of complete paths in P once no partial path remains,
+// sorted by descending length. Optionally records a trace of prune events and
+// working-set snapshots so the Table 1 experiment can display the process.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "paths/path.hpp"
+
+namespace pdf {
+
+enum class SelectionPolicy {
+  FirstPartial,  // paper's basic example: list order, replace-in-place
+  MaxBound,      // distance-guided best-first
+};
+
+enum class PrunePolicy {
+  CompleteShortestFirst,  // basic: remove shortest complete paths only
+  MinBound,               // distance-guided: remove minimum len(p), any kind
+};
+
+struct EnumerationConfig {
+  /// N_P: prune when the fault count of the working set reaches this bound.
+  std::size_t max_faults = 10000;
+  /// Faults per path (2 for slow-to-rise + slow-to-fall; the paper's s27
+  /// illustration counts paths, i.e. 1).
+  int faults_per_path = 2;
+  SelectionPolicy selection = SelectionPolicy::MaxBound;
+  PrunePolicy prune = PrunePolicy::MinBound;
+  /// Safety valve on extension steps; hitting it sets step_limit_hit.
+  std::size_t max_steps = 20'000'000;
+  /// Backstop for circuits with enormous tie bands: the paper's prune rule
+  /// stops removing once every survivor shares the maximum length, which is
+  /// unbounded when millions of paths tie. Once the working set exceeds
+  /// hard_cap_factor * (max_faults / faults_per_path) entries, pruning
+  /// removes minimum-length entries regardless of the tie rule and
+  /// prune_stalled is reported.
+  std::size_t hard_cap_factor = 8;
+  bool record_trace = false;
+};
+
+struct EnumeratedPath {
+  Path path;
+  int length = 0;
+};
+
+/// One entry of a recorded working-set snapshot.
+struct TraceEntry {
+  std::string rendering;  // "G1 -> G12 -> G13"
+  bool complete = false;
+  int length = 0;  // complete length or partial length
+  int bound = 0;   // len(p): length + d(last) for partials, length for complete
+};
+
+struct PruneEvent {
+  std::size_t step = 0;
+  std::size_t entries_before = 0;
+  std::vector<int> removed_lengths;           // key of each removed entry
+  std::vector<TraceEntry> snapshot_before;    // only when record_trace
+};
+
+struct EnumerationTrace {
+  std::vector<PruneEvent> prunes;
+  std::vector<TraceEntry> final_set;
+};
+
+struct EnumerationResult {
+  std::vector<EnumeratedPath> paths;  // complete paths, length-descending
+  std::size_t steps = 0;
+  bool step_limit_hit = false;
+  /// Basic prune policy only: set when the working set could not be reduced
+  /// below the bound because only longest-complete/partial entries remained.
+  bool prune_stalled = false;
+  EnumerationTrace trace;
+};
+
+EnumerationResult enumerate_longest_paths(const LineDelayModel& dm,
+                                          const EnumerationConfig& cfg = {});
+
+}  // namespace pdf

@@ -1,0 +1,32 @@
+#include "paths/length_stats.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace pdf {
+
+LengthProfile::LengthProfile(const std::vector<int>& lengths) {
+  std::map<int, std::size_t, std::greater<int>> by_length;
+  for (int l : lengths) ++by_length[l];
+  std::size_t cum = 0;
+  buckets_.reserve(by_length.size());
+  for (const auto& [len, cnt] : by_length) {
+    cum += cnt;
+    buckets_.push_back({len, cnt, cum});
+  }
+}
+
+std::size_t LengthProfile::select_i0(std::size_t threshold) const {
+  if (buckets_.empty()) throw std::logic_error("select_i0 on empty profile");
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i].cumulative >= threshold) return i;
+  }
+  return buckets_.size() - 1;
+}
+
+int LengthProfile::cutoff_length(std::size_t threshold) const {
+  return buckets_[select_i0(threshold)].length;
+}
+
+}  // namespace pdf

@@ -1,0 +1,45 @@
+// Path-length statistics (paper Section 3.1, Table 2).
+//
+// For a set of faults/paths with lengths L_0 > L_1 > ... > L_{n-1}:
+//   n_p(L_i)  — number of items of length exactly L_i
+//   N_p(L_i)  — number of items of length L_i or higher (cumulative)
+// These drive the selection of the first target-fault set P0: the smallest
+// i0 with N_p(L_{i0}) >= N_P0.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pdf {
+
+struct LengthBucket {
+  int length = 0;            // L_i
+  std::size_t count = 0;     // n_p(L_i)
+  std::size_t cumulative = 0;  // N_p(L_i)
+};
+
+class LengthProfile {
+ public:
+  LengthProfile() = default;
+  /// Builds the profile from arbitrary item lengths (need not be sorted).
+  explicit LengthProfile(const std::vector<int>& lengths);
+
+  /// Buckets in decreasing length order (index i corresponds to L_i).
+  const std::vector<LengthBucket>& buckets() const { return buckets_; }
+  bool empty() const { return buckets_.empty(); }
+  std::size_t total() const {
+    return buckets_.empty() ? 0 : buckets_.back().cumulative;
+  }
+
+  /// Smallest index i0 such that N_p(L_{i0}) >= threshold, or the last index
+  /// if no bucket reaches the threshold (then the selection takes everything).
+  std::size_t select_i0(std::size_t threshold) const;
+
+  /// L_{i0} for the given threshold (see select_i0).
+  int cutoff_length(std::size_t threshold) const;
+
+ private:
+  std::vector<LengthBucket> buckets_;
+};
+
+}  // namespace pdf

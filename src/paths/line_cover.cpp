@@ -1,0 +1,93 @@
+#include "paths/line_cover.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "paths/distance.hpp"
+
+namespace pdf {
+
+std::vector<int> distances_from_inputs(const LineDelayModel& dm) {
+  const Netlist& nl = dm.netlist();
+  std::vector<int> d(nl.node_count(), kUnreachableArrival);
+  for (NodeId id : nl.topo_order()) {
+    const Node& n = nl.node(id);
+    if (n.type == GateType::Input) {
+      d[id] = dm.stem_weight(id);
+      continue;
+    }
+    int best = kUnreachableArrival;
+    for (NodeId f : n.fanin) {
+      if (d[f] == kUnreachableArrival) continue;
+      best = std::max(best, d[f] + dm.branch_cost(f) + dm.stem_weight(id));
+    }
+    d[id] = best;
+  }
+  return d;
+}
+
+std::vector<CoverPath> select_line_cover_paths(const LineDelayModel& dm) {
+  const Netlist& nl = dm.netlist();
+  const std::vector<int> arrive = distances_from_inputs(dm);
+  const std::vector<int> depart = distances_to_outputs(dm);
+
+  std::set<std::vector<NodeId>> seen;
+  std::vector<CoverPath> out;
+
+  for (NodeId g = 0; g < nl.node_count(); ++g) {
+    if (arrive[g] == kUnreachableArrival || depart[g] == kUnreachable) continue;
+
+    // Backward half: from g to a primary input, always via the fanin with
+    // the maximum arrival (ties by first, deterministically).
+    std::vector<NodeId> prefix{g};
+    while (nl.node(prefix.back()).type != GateType::Input) {
+      const Node& n = nl.node(prefix.back());
+      NodeId best = kNoNode;
+      for (NodeId f : n.fanin) {
+        if (arrive[f] == kUnreachableArrival) continue;
+        if (best == kNoNode || arrive[f] + dm.branch_cost(f) >
+                                   arrive[best] + dm.branch_cost(best)) {
+          best = f;
+        }
+      }
+      prefix.push_back(best);
+    }
+    std::reverse(prefix.begin(), prefix.end());
+
+    // Forward half: from g to an output, preferring the fanout continuation
+    // while its value exceeds completing at g (when g itself is an output).
+    std::vector<NodeId>& nodes = prefix;
+    for (;;) {
+      const NodeId cur = nodes.back();
+      const Node& n = nl.node(cur);
+      NodeId best = kNoNode;
+      for (NodeId v : n.fanout) {
+        if (depart[v] == kUnreachable) continue;
+        if (best == kNoNode ||
+            dm.stem_weight(v) + depart[v] > dm.stem_weight(best) + depart[best]) {
+          best = v;
+        }
+      }
+      const bool can_complete_here = n.is_output;
+      if (best == kNoNode) break;  // must be an output (depart != unreachable)
+      const int continue_gain = dm.branch_cost(cur) + dm.stem_weight(best) +
+                                depart[best];
+      const int complete_gain = can_complete_here ? dm.branch_cost(cur) : -1;
+      if (can_complete_here && complete_gain >= continue_gain) break;
+      nodes.push_back(best);
+    }
+
+    if (!seen.insert(nodes).second) continue;
+    CoverPath cp;
+    cp.path.nodes = nodes;
+    cp.length = dm.complete_length(cp.path.nodes);
+    out.push_back(std::move(cp));
+  }
+
+  std::stable_sort(out.begin(), out.end(), [](const CoverPath& a, const CoverPath& b) {
+    return a.length > b.length;
+  });
+  return out;
+}
+
+}  // namespace pdf

@@ -1,0 +1,35 @@
+// Line-cover path selection (the criterion of Li, Reddy & Sahni, the paper's
+// reference [3]): select a set of paths such that every line of the circuit
+// lies on at least one selected path, and that path is one of the longest
+// paths through the line. The paper names this as the alternative way of
+// choosing the conventional target set P0.
+//
+// Longest path through a line g = (longest PI-to-g prefix) ++ (longest
+// g-to-output suffix); both halves come from one forward and one backward
+// distance pass, so selection is linear in circuit size after deduplication.
+#pragma once
+
+#include <vector>
+
+#include "paths/path.hpp"
+
+namespace pdf {
+
+/// A selected path with its length under the delay model.
+struct CoverPath {
+  Path path;
+  int length = 0;
+};
+
+/// Arrival distances: for each node, the maximum length in lines of a partial
+/// path from any primary input up to and including the node's stem, or
+/// kUnreachableArrival when no PI reaches it.
+inline constexpr int kUnreachableArrival = -1;
+std::vector<int> distances_from_inputs(const LineDelayModel& dm);
+
+/// Computes the line-cover selection, sorted by descending length and
+/// deduplicated. Nodes that cannot both be reached from a PI and reach an
+/// output are skipped (they lie on no complete path).
+std::vector<CoverPath> select_line_cover_paths(const LineDelayModel& dm);
+
+}  // namespace pdf

@@ -1,0 +1,71 @@
+#include "paths/path.hpp"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+#include "base/rng.hpp"
+
+namespace pdf {
+
+std::string path_to_string(const Netlist& nl, const Path& p) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < p.nodes.size(); ++i) {
+    if (i) os << " -> ";
+    os << nl.node(p.nodes[i]).name;
+  }
+  return os.str();
+}
+
+LineDelayModel::LineDelayModel(const Netlist& nl)
+    : LineDelayModel(nl, std::vector<int>(nl.node_count(), 1)) {}
+
+LineDelayModel::LineDelayModel(const Netlist& nl, std::vector<int> stem_weights)
+    : nl_(&nl), stem_weight_(std::move(stem_weights)) {
+  if (!nl.finalized()) throw std::logic_error("LineDelayModel: netlist not finalized");
+  if (stem_weight_.size() != nl.node_count()) {
+    throw std::invalid_argument("LineDelayModel: wrong stem-weight vector size");
+  }
+  for (int w : stem_weight_) {
+    if (w < 0) throw std::invalid_argument("LineDelayModel: negative stem weight");
+  }
+  consumers_.resize(nl.node_count());
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    const Node& n = nl.node(id);
+    consumers_[id] = static_cast<int>(n.fanout.size()) + (n.is_output ? 1 : 0);
+  }
+}
+
+int LineDelayModel::partial_length(std::span<const NodeId> nodes) const {
+  assert(!nodes.empty());
+  int len = 0;
+  for (NodeId id : nodes) len += stem_weight_[id];
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    len += branch_cost(nodes[i]);
+  }
+  return len;
+}
+
+int LineDelayModel::complete_length(std::span<const NodeId> nodes) const {
+  const NodeId last = nodes.back();
+  if (!nl_->node(last).is_output) {
+    throw std::logic_error("complete_length: path does not end at an output");
+  }
+  return partial_length(nodes) + branch_cost(last);
+}
+
+LineDelayModel random_delay_model(const Netlist& nl, int min_delay,
+                                  int max_delay, std::uint64_t seed) {
+  if (min_delay < 0 || max_delay < min_delay) {
+    throw std::invalid_argument("random_delay_model: bad delay range");
+  }
+  Rng rng(seed);
+  std::vector<int> w(nl.node_count(), 0);
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    if (nl.node(id).type == GateType::Input) continue;
+    w[id] = static_cast<int>(rng.range(min_delay, max_delay));
+  }
+  return LineDelayModel(nl, std::move(w));
+}
+
+}  // namespace pdf

@@ -1,0 +1,67 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace pdf {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+Table& Table::set_title(std::string title) {
+  title_ = std::move(title);
+  return *this;
+}
+
+Table& Table::columns(std::vector<std::string> headers) {
+  headers_ = std::move(headers);
+  return *this;
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i >= width.size()) width.resize(i + 1, 0);
+      width[i] = std::max(width[i], row[i].size());
+    }
+  };
+  widen(headers_);
+  for (const auto& r : rows_) widen(r);
+
+  if (!title_.empty()) os << title_ << "\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      os << (i ? "  " : "");
+      os << cell << std::string(width[i] - cell.size(), ' ');
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ",";
+      os << row[i];
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+}  // namespace pdf

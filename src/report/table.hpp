@@ -1,0 +1,52 @@
+// Minimal ASCII table / CSV emitter used by the table benches to print
+// paper-style result tables.
+#pragma once
+
+#include <cstdio>
+#include <iosfwd>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace pdf {
+
+class Table {
+ public:
+  explicit Table(std::string title = {});
+
+  Table& set_title(std::string title);
+  Table& columns(std::vector<std::string> headers);
+
+  /// Appends a row; cells are stringified by the add_row overloads.
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Convenience: any mix of strings and arithmetic values.
+  template <typename... Ts>
+  Table& row(const Ts&... cells) {
+    return add_row({stringify(cells)...});
+  }
+
+  void print(std::ostream& os) const;
+  std::string to_csv() const;
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  static std::string stringify(const std::string& s) { return s; }
+  static std::string stringify(const char* s) { return s; }
+  template <typename T>
+  static std::string stringify(const T& v) {
+    if constexpr (std::is_floating_point_v<T>) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.2f", static_cast<double>(v));
+      return buf;
+    } else {
+      return std::to_string(v);
+    }
+  }
+
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pdf

@@ -1,0 +1,71 @@
+#include "sim/timed_sim.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace pdf {
+
+V3 Waveform::value_at(int t) const {
+  V3 v = initial;
+  for (const auto& [time, val] : changes) {
+    if (time > t) break;
+    v = val;
+  }
+  return v;
+}
+
+std::vector<Waveform> simulate_timed(const Netlist& nl,
+                                     std::span<const Triple> pi_values,
+                                     std::span<const int> switch_times,
+                                     std::span<const int> gate_delays) {
+  if (pi_values.size() != nl.inputs().size() ||
+      switch_times.size() != nl.inputs().size()) {
+    throw std::invalid_argument("simulate_timed: wrong PI vector size");
+  }
+  if (gate_delays.size() != nl.node_count()) {
+    throw std::invalid_argument("simulate_timed: wrong delay vector size");
+  }
+
+  std::vector<Waveform> wf(nl.node_count());
+  for (std::size_t i = 0; i < pi_values.size(); ++i) {
+    const Triple& t = pi_values[i];
+    if (!is_specified(t.a1) || !is_specified(t.a3)) {
+      throw std::invalid_argument("simulate_timed: test not fully specified");
+    }
+    Waveform& w = wf[nl.inputs()[i]];
+    w.initial = t.a1;
+    if (t.a1 != t.a3) w.changes.emplace_back(switch_times[i], t.a3);
+  }
+
+  std::vector<V3> fanin_vals;
+  for (NodeId id : nl.topo_order()) {
+    const Node& n = nl.node(id);
+    if (n.type == GateType::Input) continue;
+    if (n.type == GateType::Dff) {
+      throw std::invalid_argument("simulate_timed: sequential netlist");
+    }
+    // Candidate evaluation instants: every fanin change time.
+    std::set<int> times;
+    for (NodeId f : n.fanin) {
+      for (const auto& [t, v] : wf[f].changes) times.insert(t);
+    }
+    Waveform& out = wf[id];
+    fanin_vals.clear();
+    for (NodeId f : n.fanin) fanin_vals.push_back(wf[f].initial);
+    out.initial = eval_gate(n.type, fanin_vals);
+    V3 cur = out.initial;
+    for (int t : times) {
+      fanin_vals.clear();
+      for (NodeId f : n.fanin) fanin_vals.push_back(wf[f].value_at(t));
+      const V3 v = eval_gate(n.type, fanin_vals);
+      if (v != cur) {
+        out.changes.emplace_back(t + gate_delays[id], v);
+        cur = v;
+      }
+    }
+  }
+  return wf;
+}
+
+}  // namespace pdf

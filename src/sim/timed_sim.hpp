@@ -1,0 +1,52 @@
+// Timed two-pattern waveform simulation with arbitrary per-gate delays.
+//
+// This is an independent semantic reference for the triple algebra and the
+// robust-detection criterion. A fully specified two-pattern test is applied
+// as waveforms: each primary input holds its first-pattern value, switches
+// (if it switches) at its own launch time, and holds its second-pattern
+// value afterwards. Every gate evaluates its fanin waveforms instantaneously
+// and delays the result by its own integer delay; glitches arise naturally
+// from skewed arrivals.
+//
+// The library uses it only in validation: the conservative intermediate
+// plane of the triple simulator must be sound against every delay
+// assignment (a line reported steady never switches), and a test satisfying
+// A(p) must propagate the launch transition along p such that each on-path
+// gate's output settles exactly when its on-path input settles plus its own
+// delay — the timing property that makes robust tests robust.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "base/triple.hpp"
+#include "netlist/netlist.hpp"
+
+namespace pdf {
+
+/// A binary waveform: value `initial` until the first change time, then the
+/// value of each change in order. Change times are strictly increasing and
+/// consecutive values alternate.
+struct Waveform {
+  V3 initial = V3::Zero;
+  std::vector<std::pair<int, V3>> changes;
+
+  V3 final_value() const { return changes.empty() ? initial : changes.back().second; }
+  V3 value_at(int t) const;
+  bool constant() const { return changes.empty(); }
+  /// Time of the last change; 0 when constant.
+  int settle_time() const { return changes.empty() ? 0 : changes.back().first; }
+};
+
+/// Simulates the netlist under a two-pattern test.
+///   pi_values       — fully specified triples (planes 1 and 3 used)
+///   switch_times    — per input, the instant it switches (ignored for
+///                     steady inputs)
+///   gate_delays     — per node; inputs ignore theirs
+/// Returns one waveform per node.
+std::vector<Waveform> simulate_timed(const Netlist& nl,
+                                     std::span<const Triple> pi_values,
+                                     std::span<const int> switch_times,
+                                     std::span<const int> gate_delays);
+
+}  // namespace pdf

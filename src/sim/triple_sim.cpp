@@ -1,0 +1,70 @@
+#include "sim/triple_sim.hpp"
+
+#include <stdexcept>
+
+namespace pdf {
+
+Triple pi_triple(V3 b1, V3 b3) {
+  const V3 mid = (is_specified(b1) && b1 == b3) ? b1 : V3::X;
+  return Triple{b1, mid, b3};
+}
+
+Triple eval_gate_triple(GateType t, std::span<const Triple> fanin) {
+  // Small stack buffers: per-plane fanin values.
+  std::vector<V3> plane;
+  plane.resize(fanin.size());
+  Triple out;
+  for (int p = 0; p < 3; ++p) {
+    for (std::size_t i = 0; i < fanin.size(); ++i) plane[i] = fanin[i][p];
+    const V3 v = eval_gate(t, plane);
+    switch (p) {
+      case 0: out.a1 = v; break;
+      case 1: out.a2 = v; break;
+      default: out.a3 = v; break;
+    }
+  }
+  return out;
+}
+
+std::vector<Triple> simulate(const Netlist& nl, std::span<const Triple> pi_values) {
+  if (pi_values.size() != nl.inputs().size()) {
+    throw std::invalid_argument("simulate: wrong number of PI triples");
+  }
+  std::vector<Triple> value(nl.node_count(), kAllX);
+  for (std::size_t i = 0; i < pi_values.size(); ++i) {
+    value[nl.inputs()[i]] = pi_values[i];
+  }
+  std::vector<Triple> fanin;
+  for (NodeId id : nl.topo_order()) {
+    const Node& n = nl.node(id);
+    if (n.type == GateType::Input) continue;
+    if (n.type == GateType::Dff) {
+      throw std::invalid_argument("simulate: netlist is sequential");
+    }
+    fanin.clear();
+    for (NodeId f : n.fanin) fanin.push_back(value[f]);
+    value[id] = eval_gate_triple(n.type, fanin);
+  }
+  return value;
+}
+
+std::vector<V3> simulate_plane(const Netlist& nl, std::span<const V3> pi_values) {
+  if (pi_values.size() != nl.inputs().size()) {
+    throw std::invalid_argument("simulate_plane: wrong number of PI values");
+  }
+  std::vector<V3> value(nl.node_count(), V3::X);
+  for (std::size_t i = 0; i < pi_values.size(); ++i) {
+    value[nl.inputs()[i]] = pi_values[i];
+  }
+  std::vector<V3> fanin;
+  for (NodeId id : nl.topo_order()) {
+    const Node& n = nl.node(id);
+    if (n.type == GateType::Input) continue;
+    fanin.clear();
+    for (NodeId f : n.fanin) fanin.push_back(value[f]);
+    value[id] = eval_gate(n.type, fanin);
+  }
+  return value;
+}
+
+}  // namespace pdf

@@ -1,0 +1,40 @@
+// Full-pass two-pattern (triple) simulation.
+//
+// The triple algebra decomposes into three independent three-valued planes
+// (first pattern / intermediate / second pattern); planes are coupled only at
+// primary inputs, where the intermediate value of a PI is its stable value if
+// both patterns agree and x otherwise. Internally each plane is an ordinary
+// 3-valued simulation of the same netlist, evaluated in topological order.
+//
+// The intermediate plane implements the conservative hazard semantics the
+// paper's robust constraints rely on: an internal line's intermediate value
+// is specified only when the logic provably holds it steady for every
+// possible skew of the transitioning inputs (e.g. a steady controlling side
+// input blocks all hazards).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "base/triple.hpp"
+#include "netlist/netlist.hpp"
+
+namespace pdf {
+
+/// Derives a primary-input triple from its two decision bits (first/second
+/// pattern values). The intermediate value is b1 when b1 == b3 and both are
+/// specified, x otherwise.
+Triple pi_triple(V3 b1, V3 b3);
+
+/// Evaluates one gate over fanin triples (plane-wise).
+Triple eval_gate_triple(GateType t, std::span<const Triple> fanin);
+
+/// Simulates the whole netlist. `pi_values[i]` is the triple of
+/// nl.inputs()[i]. Returns one triple per node (indexed by NodeId).
+/// The netlist must be finalized and combinational.
+std::vector<Triple> simulate(const Netlist& nl, std::span<const Triple> pi_values);
+
+/// Single-plane (classic 3-valued) simulation helper.
+std::vector<V3> simulate_plane(const Netlist& nl, std::span<const V3> pi_values);
+
+}  // namespace pdf

@@ -1,0 +1,27 @@
+// VCD (Value Change Dump) export of timed two-pattern waveforms.
+//
+// Lets the waveforms produced by simulate_timed be inspected in any standard
+// waveform viewer (GTKWave etc.) — invaluable when debugging why a defect
+// escapes a test or how a hazard forms. One VCD file covers one two-pattern
+// test application.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "sim/timed_sim.hpp"
+
+namespace pdf {
+
+/// Writes the waveforms (one per node, indexed by NodeId) as VCD. The
+/// timescale is nominal "1ns" per delay unit.
+void write_vcd(std::ostream& out, const Netlist& nl,
+               std::span<const Waveform> waveforms,
+               const std::string& comment = {});
+
+std::string vcd_to_string(const Netlist& nl, std::span<const Waveform> waveforms,
+                          const std::string& comment = {});
+
+}  // namespace pdf

@@ -1,0 +1,128 @@
+#include "atpg/application.hpp"
+
+#include <gtest/gtest.h>
+
+#include "enrich/enrichment.hpp"
+#include "gen/registry.hpp"
+#include "netlist/bench_io.hpp"
+#include "sim/triple_sim.hpp"
+
+namespace pdf {
+namespace {
+
+struct S27 {
+  CombinationalCircuit cc;
+  S27() : cc(extract_combinational(parse_bench_string(s27_bench_text(), "s27"))) {}
+
+  std::size_t pi_index(const std::string& name) const {
+    const Netlist& nl = cc.netlist;
+    for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+      if (nl.node(nl.inputs()[i]).name == name) return i;
+    }
+    throw std::runtime_error("no input " + name);
+  }
+};
+
+TwoPatternTest all_steady0(const Netlist& nl) {
+  TwoPatternTest t;
+  t.pi_values.assign(nl.inputs().size(), kSteady0);
+  return t;
+}
+
+TEST(Application, BroadsideAcceptsConsistentNextState) {
+  S27 s;
+  const Netlist& nl = s.cc.netlist;
+  TestApplicationAnalyzer analyzer(s.cc);
+
+  // Build a test whose V2 state bits are exactly the next state of V1.
+  TwoPatternTest t = all_steady0(nl);
+  // Arbitrary V1 values on the real PIs.
+  t.pi_values[s.pi_index("G0")] = kRise;
+  t.pi_values[s.pi_index("G3")] = kFall;
+  std::vector<V3> v1(nl.inputs().size());
+  for (std::size_t i = 0; i < v1.size(); ++i) v1[i] = t.pi_values[i].a1;
+  const auto values = simulate_plane(nl, v1);
+  const char* dff_data[] = {"G10", "G11", "G13"};
+  const char* dff_out[] = {"G5", "G6", "G7"};
+  for (int k = 0; k < 3; ++k) {
+    const std::size_t idx = s.pi_index(dff_out[k]);
+    const V3 next = values[nl.id_of(dff_data[k])];
+    t.pi_values[idx] = pi_triple(t.pi_values[idx].a1, next);
+  }
+  EXPECT_TRUE(analyzer.broadside_compatible(t));
+
+  // Flip one V2 state bit: no capture clock can produce it.
+  const std::size_t g5 = s.pi_index("G5");
+  t.pi_values[g5] = pi_triple(t.pi_values[g5].a1, not3(t.pi_values[g5].a3));
+  EXPECT_FALSE(analyzer.broadside_compatible(t));
+}
+
+TEST(Application, SkewedLoadShiftRule) {
+  S27 s;
+  const Netlist& nl = s.cc.netlist;
+  TestApplicationAnalyzer analyzer(s.cc);
+  // Chain order = pseudo_inputs order = (G5, G6, G7). V2 must satisfy
+  // V2[G6] = V1[G5], V2[G7] = V1[G6]; V2[G5] is free.
+  TwoPatternTest t = all_steady0(nl);
+  const std::size_t g5 = s.pi_index("G5");
+  const std::size_t g6 = s.pi_index("G6");
+  const std::size_t g7 = s.pi_index("G7");
+  t.pi_values[g5] = pi_triple(V3::One, V3::Zero);   // V1=1, V2 free: 0 ok
+  t.pi_values[g6] = pi_triple(V3::Zero, V3::One);   // V2 must be V1[G5]=1 ok
+  t.pi_values[g7] = pi_triple(V3::One, V3::Zero);   // V2 must be V1[G6]=0 ok
+  EXPECT_TRUE(analyzer.skewed_load_compatible(t));
+
+  t.pi_values[g7] = pi_triple(V3::One, V3::One);    // violates the shift
+  EXPECT_FALSE(analyzer.skewed_load_compatible(t));
+}
+
+TEST(Application, UnspecifiedStateBitsAreRealizable) {
+  S27 s;
+  TestApplicationAnalyzer analyzer(s.cc);
+  TwoPatternTest t;
+  t.pi_values.assign(s.cc.netlist.inputs().size(), kAllX);
+  EXPECT_TRUE(analyzer.broadside_compatible(t));
+  EXPECT_TRUE(analyzer.skewed_load_compatible(t));
+}
+
+TEST(Application, PurelyCombinationalAlwaysCompatible) {
+  const Netlist comb = parse_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = AND(a, b)\n");
+  const CombinationalCircuit cc = extract_combinational(comb);
+  TestApplicationAnalyzer analyzer(cc);
+  TwoPatternTest t;
+  t.pi_values = {kRise, kFall};
+  EXPECT_TRUE(analyzer.broadside_compatible(t));
+  EXPECT_TRUE(analyzer.skewed_load_compatible(t));
+}
+
+TEST(Application, ClassifyCountsAreConsistent) {
+  S27 s;
+  TargetSetConfig cfg;
+  cfg.n_p = 60;
+  cfg.n_p0 = 8;
+  const EnrichmentWorkbench wb(s.cc.netlist, cfg);
+  const GenerationResult r = wb.run_enriched({});
+  ASSERT_FALSE(r.tests.empty());
+
+  TestApplicationAnalyzer analyzer(s.cc);
+  const ApplicationStats st = analyzer.classify(r.tests);
+  EXPECT_EQ(st.total, r.tests.size());
+  EXPECT_LE(st.broadside, st.total);
+  EXPECT_LE(st.skewed_load, st.total);
+  EXPECT_LE(st.enhanced_only, st.total);
+  // Every test is either coverable by some scheme or enhanced-only.
+  EXPECT_GE(st.broadside + st.skewed_load + st.enhanced_only, st.total);
+}
+
+TEST(Application, WidthMismatchThrows) {
+  S27 s;
+  TestApplicationAnalyzer analyzer(s.cc);
+  TwoPatternTest t;
+  t.pi_values.assign(2, kSteady0);
+  EXPECT_THROW(analyzer.broadside_compatible(t), std::invalid_argument);
+  EXPECT_THROW(analyzer.skewed_load_compatible(t), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pdf

@@ -1,0 +1,135 @@
+#include "netlist/bench_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "gen/registry.hpp"
+
+namespace pdf {
+namespace {
+
+TEST(BenchIo, ParsesSimpleCircuit) {
+  const Netlist nl = parse_bench_string(R"(
+    # comment line
+    INPUT(a)
+    INPUT(b)
+    OUTPUT(z)
+    z = AND(a, b)
+  )");
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.node(nl.id_of("z")).type, GateType::And);
+}
+
+TEST(BenchIo, OutOfOrderDefinitions) {
+  const Netlist nl = parse_bench_string(R"(
+    INPUT(a)
+    OUTPUT(z)
+    z = NOT(y)     # uses y before its definition
+    y = BUF(a)
+  )");
+  EXPECT_EQ(nl.node(nl.id_of("z")).fanin[0], nl.id_of("y"));
+  EXPECT_EQ(nl.depth(), 2);
+}
+
+TEST(BenchIo, ParsesDffAndMarksSequential) {
+  const Netlist nl = parse_bench_string(s27_bench_text(), "s27seq");
+  EXPECT_TRUE(nl.has_sequential());
+  EXPECT_EQ(nl.inputs().size(), 4u);
+  EXPECT_EQ(nl.gate_count(), 10u);
+}
+
+TEST(BenchIo, CaseInsensitiveGateNames) {
+  const Netlist nl = parse_bench_string(R"(
+    INPUT(a)
+    INPUT(b)
+    OUTPUT(z)
+    z = nAnD(a, b)
+  )");
+  EXPECT_EQ(nl.node(nl.id_of("z")).type, GateType::Nand);
+}
+
+TEST(BenchIo, WhitespaceAndInlineComments) {
+  const Netlist nl = parse_bench_string(
+      "INPUT( a )\nINPUT(b)\nOUTPUT( z )\n  z =  OR( a ,  b )  # trailing\n");
+  EXPECT_EQ(nl.node(nl.id_of("z")).type, GateType::Or);
+}
+
+TEST(BenchIo, RejectsUnknownGate) {
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nz = FROB(a)\nOUTPUT(z)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, RejectsUndefinedOperand) {
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nOUTPUT(z)\nz = NOT(ghost)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, RejectsUndefinedOutput) {
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nOUTPUT(ghost)\ny = NOT(a)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, RejectsCombinationalCycle) {
+  EXPECT_THROW(parse_bench_string(R"(
+    INPUT(a)
+    OUTPUT(p)
+    p = AND(a, q)
+    q = BUF(p)
+  )"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, RejectsMalformedLine) {
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nz = AND(a,\n"), std::runtime_error);
+  EXPECT_THROW(parse_bench_string("WIBBLE(a)\n"), std::runtime_error);
+  EXPECT_THROW(parse_bench_string("INPUT(a, b)\n"), std::runtime_error);
+}
+
+TEST(BenchIo, ErrorMessagesCarryLineNumbers) {
+  try {
+    parse_bench_string("INPUT(a)\n\nz = FROB(a)\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(BenchIo, RoundTripPreservesStructure) {
+  const Netlist original = parse_bench_string(s27_bench_text(), "s27");
+  const std::string text = to_bench_string(original);
+  const Netlist reparsed = parse_bench_string(text, "s27");
+  EXPECT_EQ(reparsed.node_count(), original.node_count());
+  EXPECT_EQ(reparsed.inputs().size(), original.inputs().size());
+  EXPECT_EQ(reparsed.outputs().size(), original.outputs().size());
+  for (NodeId id = 0; id < original.node_count(); ++id) {
+    const Node& n = original.node(id);
+    const NodeId rid = reparsed.id_of(n.name);
+    EXPECT_EQ(reparsed.node(rid).type, n.type);
+    EXPECT_EQ(reparsed.node(rid).fanin.size(), n.fanin.size());
+    for (std::size_t k = 0; k < n.fanin.size(); ++k) {
+      EXPECT_EQ(reparsed.node(reparsed.node(rid).fanin[k]).name,
+                original.node(n.fanin[k]).name);
+    }
+  }
+}
+
+TEST(BenchIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/pdf_s27.bench";
+  {
+    const Netlist nl = parse_bench_string(s27_bench_text());
+    std::ofstream out(path);
+    write_bench(out, nl);
+  }
+  const Netlist nl = parse_bench_file(path);
+  EXPECT_EQ(nl.gate_count(), 10u);
+  EXPECT_EQ(nl.name(), "pdf_s27");
+}
+
+TEST(BenchIo, MissingFileThrows) {
+  EXPECT_THROW(parse_bench_file("/nonexistent/never.bench"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pdf

@@ -1,0 +1,72 @@
+#include "faults/collapse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "enrich/target_sets.hpp"
+#include "gen/registry.hpp"
+
+namespace pdf {
+namespace {
+
+TargetFault make_fault(std::initializer_list<ValueRequirement> reqs) {
+  TargetFault tf;
+  tf.requirements = reqs;
+  return tf;
+}
+
+TEST(Collapse, GroupsIdenticalSignatures) {
+  std::vector<TargetFault> faults;
+  faults.push_back(make_fault({{1, kRise}, {2, kSteady0}}));
+  faults.push_back(make_fault({{1, kRise}, {2, kSteady1}}));  // differs
+  faults.push_back(make_fault({{1, kRise}, {2, kSteady0}}));  // dup of 0
+  faults.push_back(make_fault({{1, kRise}}));                 // shorter
+
+  const CollapseResult c = collapse_faults(faults);
+  EXPECT_EQ(c.class_count(), 3u);
+  EXPECT_EQ(c.class_of[0], c.class_of[2]);
+  EXPECT_NE(c.class_of[0], c.class_of[1]);
+  EXPECT_NE(c.class_of[0], c.class_of[3]);
+  // Representatives in first-occurrence order.
+  EXPECT_EQ(c.representatives[c.class_of[0]], 0u);
+  EXPECT_EQ(c.representatives[c.class_of[1]], 1u);
+  EXPECT_EQ(c.representatives[c.class_of[3]], 3u);
+}
+
+TEST(Collapse, ExpandDetectionRoundTrip) {
+  std::vector<TargetFault> faults;
+  faults.push_back(make_fault({{1, kRise}}));
+  faults.push_back(make_fault({{2, kFall}}));
+  faults.push_back(make_fault({{1, kRise}}));
+  const CollapseResult c = collapse_faults(faults);
+  ASSERT_EQ(c.class_count(), 2u);
+  const bool flags_arr[] = {true, false};
+  const auto expanded = expand_detection(c, flags_arr);
+  EXPECT_EQ(expanded, (std::vector<bool>{true, false, true}));
+  const bool wrong_arr[] = {true};
+  EXPECT_THROW(expand_detection(c, wrong_arr), std::invalid_argument);
+}
+
+TEST(Collapse, RealCircuitClassesAreConsistent) {
+  const Netlist nl = benchmark_circuit("s953_like");
+  TargetSetConfig cfg;
+  cfg.n_p = 1500;
+  cfg.n_p0 = 200;
+  const TargetSets ts = build_target_sets(nl, cfg);
+  const CollapseResult c = collapse_faults(ts.p0);
+  EXPECT_LE(c.class_count(), ts.p0.size());
+  EXPECT_GT(c.class_count(), 0u);
+  // Faults in the same class really have identical requirement lists.
+  for (std::size_t i = 0; i < ts.p0.size(); ++i) {
+    const std::size_t rep = c.representatives[c.class_of[i]];
+    EXPECT_EQ(ts.p0[i].requirements, ts.p0[rep].requirements);
+  }
+}
+
+TEST(Collapse, EmptyInput) {
+  const CollapseResult c = collapse_faults({});
+  EXPECT_EQ(c.class_count(), 0u);
+  EXPECT_TRUE(expand_detection(c, std::span<const bool>{}).empty());
+}
+
+}  // namespace
+}  // namespace pdf

@@ -1,0 +1,98 @@
+#include "paths/count.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/registry.hpp"
+#include "paths/enumerate.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace pdf {
+namespace {
+
+TEST(PathCount, MatchesEnumerationOnS27) {
+  const Netlist nl = benchmark_circuit("s27");
+  const PathCounts pc = count_paths(nl);
+  const LineDelayModel dm(nl);
+  EnumerationConfig cfg;
+  cfg.max_faults = 1000000;
+  const EnumerationResult r = enumerate_longest_paths(dm, cfg);
+  EXPECT_EQ(pc.total, r.paths.size());
+  EXPECT_FALSE(pc.saturated);
+}
+
+TEST(PathCount, MatchesEnumerationOnRandomCircuits) {
+  Rng rng(606);
+  int checked = 0;
+  for (int iter = 0; iter < 30 && checked < 10; ++iter) {
+    const Netlist nl = testing::random_small_netlist(rng);
+    const PathCounts pc = count_paths(nl);
+    if (pc.total > 20000) continue;
+    ++checked;
+    const LineDelayModel dm(nl);
+    EnumerationConfig cfg;
+    cfg.max_faults = 100000;
+    const EnumerationResult r = enumerate_longest_paths(dm, cfg);
+    EXPECT_EQ(pc.total, r.paths.size()) << "iter " << iter;
+  }
+  EXPECT_GE(checked, 5);
+}
+
+TEST(PathCount, ThroughCountsAreConsistent) {
+  // Each complete path passes through its nodes, so summing path counts per
+  // source PI must equal the total, and through[] of any node never exceeds
+  // the total.
+  const Netlist nl = benchmark_circuit("s27");
+  const PathCounts pc = count_paths(nl);
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    EXPECT_LE(pc.through[id], pc.total);
+  }
+  std::uint64_t by_sources = 0;
+  for (NodeId pi : nl.inputs()) by_sources += pc.through[pi];
+  EXPECT_EQ(by_sources, pc.total);
+}
+
+TEST(PathCount, PaperSelectionCriterion) {
+  // Every table circuit must satisfy the paper's ">= 1000 paths" criterion.
+  for (const auto& name : table_circuits()) {
+    EXPECT_TRUE(has_at_least_paths(benchmark_circuit(name), 1000)) << name;
+  }
+  // s27 famously has far fewer.
+  EXPECT_FALSE(has_at_least_paths(benchmark_circuit("s27"), 1000));
+}
+
+TEST(PathCount, SaturationOnWideDeepFabric) {
+  // A 2-ary fanout tree of depth 70 has ~2^70 paths; counts must clamp, not
+  // wrap.
+  Netlist nl("explode");
+  NodeId a = nl.add_input("a");
+  NodeId b = nl.add_input("b");
+  for (int lvl = 0; lvl < 70; ++lvl) {
+    const std::string p = "l" + std::to_string(lvl);
+    const NodeId x = nl.add_gate(p + "x", GateType::And, {a, b});
+    const NodeId y = nl.add_gate(p + "y", GateType::Or, {a, b});
+    a = x;
+    b = y;
+  }
+  nl.mark_output(a);
+  nl.mark_output(b);
+  nl.finalize();
+  const PathCounts pc = count_paths(nl);
+  EXPECT_TRUE(pc.saturated);
+  EXPECT_EQ(pc.total, kPathCountCap);
+}
+
+TEST(PathCount, DanglingLogicCountsNothing) {
+  Netlist nl("dangle");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId z = nl.add_gate("z", GateType::And, {a, b});
+  const NodeId dead = nl.add_gate("dead", GateType::Not, {a});
+  nl.mark_output(z);
+  nl.finalize();
+  const PathCounts pc = count_paths(nl);
+  EXPECT_EQ(pc.total, 2u);
+  EXPECT_EQ(pc.through[dead], 0u);
+}
+
+}  // namespace
+}  // namespace pdf

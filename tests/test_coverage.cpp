@@ -1,0 +1,87 @@
+#include "report/coverage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "enrich/enrichment.hpp"
+#include "gen/registry.hpp"
+
+namespace pdf {
+namespace {
+
+struct Fixture {
+  Netlist nl = benchmark_circuit("b03_like");
+  TargetSets sets;
+  GenerationResult gen;
+  Fixture() {
+    TargetSetConfig cfg;
+    cfg.n_p = 800;
+    cfg.n_p0 = 120;
+    sets = build_target_sets(nl, cfg);
+    gen = generate_tests(nl, sets.p0, sets.p1, {});
+  }
+};
+
+TEST(Coverage, TotalsMatchDetectionFlags) {
+  Fixture fx;
+  const CoverageBreakdown b = coverage_by_length(fx.sets.p0, fx.gen.detected_p0);
+  EXPECT_EQ(b.total, fx.sets.p0.size());
+  EXPECT_EQ(b.detected, fx.gen.detected_p0_count());
+  std::size_t total = 0, det = 0;
+  for (const auto& bucket : b.buckets) {
+    total += bucket.total;
+    det += bucket.detected;
+    EXPECT_LE(bucket.detected, bucket.total);
+    EXPECT_GE(bucket.ratio(), 0.0);
+    EXPECT_LE(bucket.ratio(), 1.0);
+  }
+  EXPECT_EQ(total, b.total);
+  EXPECT_EQ(det, b.detected);
+}
+
+TEST(Coverage, BucketsDescendByLength) {
+  Fixture fx;
+  const CoverageBreakdown b = coverage_by_length(fx.sets.p1, fx.gen.detected_p1);
+  for (std::size_t i = 0; i + 1 < b.buckets.size(); ++i) {
+    EXPECT_GT(b.buckets[i].length, b.buckets[i + 1].length);
+  }
+}
+
+TEST(Coverage, SimulationOverloadAgrees) {
+  Fixture fx;
+  const CoverageBreakdown from_flags =
+      coverage_by_length(fx.sets.p0, fx.gen.detected_p0);
+  const CoverageBreakdown from_sim =
+      coverage_by_length(fx.nl, fx.gen.tests, fx.sets.p0);
+  ASSERT_EQ(from_flags.buckets.size(), from_sim.buckets.size());
+  for (std::size_t i = 0; i < from_flags.buckets.size(); ++i) {
+    EXPECT_EQ(from_flags.buckets[i].detected, from_sim.buckets[i].detected);
+    EXPECT_EQ(from_flags.buckets[i].total, from_sim.buckets[i].total);
+  }
+}
+
+TEST(Coverage, SummaryRendering) {
+  Fixture fx;
+  const CoverageBreakdown b = coverage_by_length(fx.sets.p0, fx.gen.detected_p0);
+  const std::string s = coverage_summary(b, 3);
+  EXPECT_NE(s.find("L="), std::string::npos);
+  if (b.buckets.size() > 3) {
+    EXPECT_NE(s.find("..."), std::string::npos);
+  }
+}
+
+TEST(Coverage, SizeMismatchThrows) {
+  Fixture fx;
+  std::vector<bool> wrong(fx.sets.p0.size() + 1, false);
+  EXPECT_THROW(coverage_by_length(fx.sets.p0, wrong), std::invalid_argument);
+}
+
+TEST(Coverage, EmptyFaultList) {
+  const CoverageBreakdown b =
+      coverage_by_length(std::span<const TargetFault>{}, std::vector<bool>{});
+  EXPECT_EQ(b.total, 0u);
+  EXPECT_EQ(b.ratio(), 0.0);
+  EXPECT_TRUE(b.buckets.empty());
+}
+
+}  // namespace
+}  // namespace pdf

@@ -1,0 +1,89 @@
+#include "faultsim/diagnosis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "enrich/enrichment.hpp"
+#include "faultsim/fault_sim.hpp"
+#include "gen/registry.hpp"
+
+namespace pdf {
+namespace {
+
+struct Fixture {
+  Netlist nl = benchmark_circuit("b03_like");
+  TargetSets sets;
+  GenerationResult gen;
+  Fixture() {
+    TargetSetConfig cfg;
+    cfg.n_p = 800;
+    cfg.n_p0 = 120;
+    sets = build_target_sets(nl, cfg);
+    gen = generate_tests(nl, sets.p0, sets.p1, {});
+  }
+};
+
+TEST(Diagnosis, SignaturesMatchScalarSimulation) {
+  Fixture fx;
+  const Diagnoser diag(fx.nl, fx.gen.tests, fx.sets.p0);
+  FaultSimulator fsim(fx.nl);
+  for (std::size_t f = 0; f < std::min<std::size_t>(fx.sets.p0.size(), 20); ++f) {
+    const auto sig = diag.signature_of(f);
+    ASSERT_EQ(sig.size(), fx.gen.tests.size());
+    for (std::size_t t = 0; t < fx.gen.tests.size(); ++t) {
+      EXPECT_EQ(sig[t], fsim.detects(fx.gen.tests[t], fx.sets.p0[f]));
+    }
+  }
+}
+
+TEST(Diagnosis, InjectedFaultIsTopRankedExactMatch) {
+  Fixture fx;
+  const Diagnoser diag(fx.nl, fx.gen.tests, fx.sets.p0);
+  // Pretend fault f is the slow path: the chip fails exactly the tests that
+  // detect f. The diagnosis must rank f (or an equivalent fault with the
+  // same signature) first, as an exact match.
+  std::size_t verified = 0;
+  for (std::size_t f = 0; f < fx.sets.p0.size() && verified < 15; ++f) {
+    if (!fx.gen.detected_p0[f]) continue;  // escapes produce no failures
+    ++verified;
+    const std::vector<bool> observed = diag.signature_of(f);
+    const DiagnosisResult r = diag.diagnose(observed);
+    ASSERT_FALSE(r.candidates.empty());
+    const DiagnosisCandidate& top = r.candidates.front();
+    EXPECT_TRUE(top.exact());
+    EXPECT_EQ(diag.signature_of(top.fault_index), observed);
+  }
+  EXPECT_GE(verified, 10u);
+}
+
+TEST(Diagnosis, CandidateCountsAreConsistent) {
+  Fixture fx;
+  const Diagnoser diag(fx.nl, fx.gen.tests, fx.sets.p0);
+  const std::vector<bool> observed = diag.signature_of(0);
+  std::size_t n_fail = 0;
+  for (bool b : observed) n_fail += b;
+  const DiagnosisResult r = diag.diagnose(observed);
+  EXPECT_EQ(r.observed_failures, n_fail);
+  for (const auto& c : r.candidates) {
+    EXPECT_EQ(c.explained + c.missed, n_fail);
+    EXPECT_GT(c.explained, 0u);
+  }
+}
+
+TEST(Diagnosis, NoFailuresYieldsNoCandidates) {
+  Fixture fx;
+  const Diagnoser diag(fx.nl, fx.gen.tests, fx.sets.p0);
+  const std::vector<bool> clean(fx.gen.tests.size(), false);
+  const DiagnosisResult r = diag.diagnose(clean);
+  EXPECT_TRUE(r.candidates.empty());
+  EXPECT_EQ(r.observed_failures, 0u);
+}
+
+TEST(Diagnosis, WrongVectorSizeThrows) {
+  Fixture fx;
+  const Diagnoser diag(fx.nl, fx.gen.tests, fx.sets.p0);
+  EXPECT_THROW(diag.diagnose(std::vector<bool>(3, true)), std::invalid_argument);
+  EXPECT_THROW(diag.signature_of(fx.sets.p0.size() + 5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace pdf

@@ -1,0 +1,104 @@
+#include "paths/distance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "gen/registry.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace pdf {
+namespace {
+
+// Brute-force d(g): max over all complete suffixes from g.
+std::vector<int> brute_distances(const LineDelayModel& dm) {
+  const Netlist& nl = dm.netlist();
+  std::vector<int> d(nl.node_count(), kUnreachable);
+  std::function<int(NodeId)> rec = [&](NodeId u) -> int {
+    int best = kUnreachable;
+    const Node& n = nl.node(u);
+    if (n.is_output) best = dm.branch_cost(u);
+    for (NodeId v : n.fanout) {
+      const int sub = rec(v);
+      if (sub == kUnreachable) continue;
+      best = std::max(best, dm.branch_cost(u) + 1 + sub);
+    }
+    return best;
+  };
+  for (NodeId id = 0; id < nl.node_count(); ++id) d[id] = rec(id);
+  return d;
+}
+
+TEST(Distance, MatchesBruteForceOnS27) {
+  const Netlist nl = benchmark_circuit("s27");
+  const LineDelayModel dm(nl);
+  EXPECT_EQ(distances_to_outputs(dm), brute_distances(dm));
+}
+
+TEST(Distance, MatchesBruteForceOnRandomCircuits) {
+  Rng rng(4242);
+  for (int iter = 0; iter < 20; ++iter) {
+    const Netlist nl = testing::random_small_netlist(rng);
+    const LineDelayModel dm(nl);
+    EXPECT_EQ(distances_to_outputs(dm), brute_distances(dm)) << "iter " << iter;
+  }
+}
+
+TEST(Distance, KnownValuesOnS27) {
+  const Netlist nl = benchmark_circuit("s27");
+  const LineDelayModel dm(nl);
+  const auto d = distances_to_outputs(dm);
+  // G17: real PO, single consumer, nothing after the stem.
+  EXPECT_EQ(d[nl.id_of("G17")], 0);
+  // G13: pseudo output, sole consumer is its tap.
+  EXPECT_EQ(d[nl.id_of("G13")], 0);
+  // G11 (3 consumers): completing at its own tap crosses the branch (1);
+  // going through G17 costs branch + stem (2). Max is 2.
+  EXPECT_EQ(d[nl.id_of("G11")], 2);
+  // Longest path is 10 lines; its source G0 has stem 1 + d = 10.
+  EXPECT_EQ(d[nl.id_of("G0")], 9);
+}
+
+TEST(Distance, BoundIsTightForPartialPaths) {
+  // Property: for every complete path found by DFS, and every prefix of it,
+  // partial_length(prefix) + d(last) >= complete length, with equality for
+  // the longest completion of that prefix.
+  const Netlist nl = benchmark_circuit("s27");
+  const LineDelayModel dm(nl);
+  const auto d = distances_to_outputs(dm);
+
+  std::vector<NodeId> cur;
+  std::function<void(NodeId)> dfs = [&](NodeId u) {
+    cur.push_back(u);
+    const Node& n = nl.node(u);
+    if (n.is_output) {
+      const int full = dm.complete_length(cur);
+      for (std::size_t k = 1; k <= cur.size(); ++k) {
+        std::span<const NodeId> prefix(cur.data(), k);
+        const int bound = dm.partial_length(prefix) + d[cur[k - 1]];
+        EXPECT_GE(bound, full);
+      }
+    }
+    for (NodeId v : n.fanout) dfs(v);
+    cur.pop_back();
+  };
+  for (NodeId pi : nl.inputs()) dfs(pi);
+}
+
+TEST(Distance, DeadEndsAreUnreachable) {
+  Netlist nl("dead");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId z = nl.add_gate("z", GateType::And, {a, b});
+  const NodeId dead = nl.add_gate("dead", GateType::Not, {a});
+  nl.mark_output(z);
+  nl.finalize();
+  const LineDelayModel dm(nl);
+  const auto d = distances_to_outputs(dm);
+  EXPECT_EQ(d[dead], kUnreachable);
+  EXPECT_EQ(d[z], 0);
+  EXPECT_GE(d[a], 1);
+}
+
+}  // namespace
+}  // namespace pdf

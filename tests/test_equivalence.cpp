@@ -1,0 +1,110 @@
+#include "netlist/equivalence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_circuit.hpp"
+#include "gen/registry.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/cleanup.hpp"
+#include "netlist/transform.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace pdf {
+namespace {
+
+TEST(Equivalence, IdenticalNetlistsAreEquivalent) {
+  const Netlist nl = benchmark_circuit("s27");
+  const EquivalenceResult r = check_equivalence(nl, nl);
+  EXPECT_TRUE(r.equivalent);
+  EXPECT_TRUE(r.exhaustive);
+}
+
+TEST(Equivalence, XorDecompositionIsEquivalent) {
+  const Netlist nl = parse_bench_string(
+      "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(z)\nOUTPUT(w)\n"
+      "x = XOR(a, b)\nz = XNOR(x, c)\nw = AND(x, c)\n");
+  const Netlist flat = decompose_xor(nl);
+  const EquivalenceResult r = check_equivalence(nl, flat);
+  EXPECT_TRUE(r.equivalent) << "mismatch on " << r.output_name;
+}
+
+TEST(Equivalence, CleanupIsEquivalent) {
+  const Netlist nl = parse_bench_string(R"(
+    INPUT(a)
+    INPUT(b)
+    OUTPUT(z)
+    b1 = BUF(a)
+    dead = NOT(b1)
+    z = NAND(b1, b)
+  )");
+  const Netlist clean = cleanup(nl);
+  const EquivalenceResult r = check_equivalence(nl, clean);
+  EXPECT_TRUE(r.equivalent);
+}
+
+TEST(Equivalence, DetectsRealDifferenceWithWitness) {
+  const Netlist a = parse_bench_string(
+      "INPUT(x)\nINPUT(y)\nOUTPUT(z)\nz = AND(x, y)\n");
+  const Netlist b = parse_bench_string(
+      "INPUT(x)\nINPUT(y)\nOUTPUT(z)\nz = OR(x, y)\n");
+  const EquivalenceResult r = check_equivalence(a, b);
+  ASSERT_FALSE(r.equivalent);
+  EXPECT_EQ(r.output_name, "z");
+  ASSERT_EQ(r.input_values.size(), 2u);
+  // The witness really distinguishes AND from OR: exactly one input is 1.
+  const int ones = (r.input_values[0] == V3::One) + (r.input_values[1] == V3::One);
+  EXPECT_EQ(ones, 1);
+}
+
+TEST(Equivalence, InputOrderIndependent) {
+  const Netlist a = parse_bench_string(
+      "INPUT(p)\nINPUT(q)\nOUTPUT(z)\nz = NAND(p, q)\n");
+  const Netlist b = parse_bench_string(
+      "INPUT(q)\nINPUT(p)\nOUTPUT(z)\nz = NAND(p, q)\n");
+  EXPECT_TRUE(check_equivalence(a, b).equivalent);
+}
+
+TEST(Equivalence, MismatchedInputsThrow) {
+  const Netlist a = parse_bench_string("INPUT(x)\nOUTPUT(z)\nz = NOT(x)\n");
+  const Netlist b = parse_bench_string("INPUT(y)\nOUTPUT(z)\nz = NOT(y)\n");
+  EXPECT_THROW(check_equivalence(a, b), std::invalid_argument);
+}
+
+TEST(Equivalence, RandomModeFindsInjectedBug) {
+  // Above the exhaustive limit, random vectors still find a planted
+  // single-output inversion quickly.
+  RandomCircuitConfig cfg;
+  cfg.seed = 21;
+  cfg.n_inputs = 24;
+  cfg.n_gates = 120;
+  cfg.levels = 8;
+  const Netlist a = generate_random_circuit(cfg);
+
+  // Rebuild b as a copy with one output's driving gate type flipped.
+  Netlist b = generate_random_circuit(cfg);
+  const NodeId victim = b.outputs().front();
+  const Node& v = b.node(victim);
+  if (v.type == GateType::And || v.type == GateType::Or ||
+      v.type == GateType::Nand || v.type == GateType::Nor) {
+    const GateType flipped = is_inverting(v.type)
+                                 ? (v.type == GateType::Nand ? GateType::And
+                                                             : GateType::Or)
+                                 : (v.type == GateType::And ? GateType::Nand
+                                                            : GateType::Nor);
+    b.redefine_gate(victim, flipped, v.fanin);
+  } else {
+    b.redefine_gate(victim, v.type == GateType::Not ? GateType::Buf
+                                                    : GateType::Not,
+                    v.fanin);
+  }
+  b.finalize();
+
+  EquivalenceConfig ecfg;
+  ecfg.exhaustive_input_limit = 10;  // force random mode
+  const EquivalenceResult r = check_equivalence(a, b, ecfg);
+  EXPECT_FALSE(r.equivalent);
+  EXPECT_FALSE(r.exhaustive);
+}
+
+}  // namespace
+}  // namespace pdf

@@ -1,0 +1,171 @@
+#include "sim/event_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/registry.hpp"
+#include "sim/triple_sim.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace pdf {
+namespace {
+
+TEST(EventSim, MatchesFullSimulationAfterIncrementalUpdates) {
+  Rng rng(99);
+  for (int iter = 0; iter < 25; ++iter) {
+    const Netlist nl = testing::random_small_netlist(rng);
+    EventSim sim(nl);
+    std::vector<Triple> pis(nl.inputs().size(), kAllX);
+    for (int step = 0; step < 40; ++step) {
+      const std::size_t i = rng.below(pis.size());
+      const V3 vals[] = {V3::Zero, V3::One, V3::X};
+      const Triple t = pi_triple(vals[rng.below(3)], vals[rng.below(3)]);
+      pis[i] = t;
+      sim.set_pi(i, t);
+      const auto ref = simulate(nl, pis);
+      for (NodeId id = 0; id < nl.node_count(); ++id) {
+        ASSERT_EQ(sim.value(id), ref[id])
+            << "iter " << iter << " step " << step << " node "
+            << nl.node(id).name;
+      }
+    }
+  }
+}
+
+TEST(EventSim, RollbackRestoresEverything) {
+  Rng rng(123);
+  const Netlist nl = benchmark_circuit("s27");
+  EventSim sim(nl);
+  // Commit a base assignment.
+  sim.set_pi(0, kRise);
+  sim.set_pi(3, kSteady1);
+  const std::vector<Triple> before(sim.values().begin(), sim.values().end());
+
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t token = sim.begin_txn();
+    for (int k = 0; k < 4; ++k) {
+      const V3 vals[] = {V3::Zero, V3::One, V3::X};
+      sim.set_pi(rng.below(nl.inputs().size()),
+                 pi_triple(vals[rng.below(3)], vals[rng.below(3)]));
+    }
+    sim.rollback(token);
+    for (NodeId id = 0; id < nl.node_count(); ++id) {
+      ASSERT_EQ(sim.value(id), before[id]) << nl.node(id).name;
+    }
+    ASSERT_EQ(sim.pi(0), kRise);
+  }
+}
+
+TEST(EventSim, NestedTransactions) {
+  const Netlist nl = testing::tiny_and_or();
+  EventSim sim(nl);
+  const std::size_t outer = sim.begin_txn();
+  sim.set_pi(0, kSteady1);
+  const std::size_t inner = sim.begin_txn();
+  sim.set_pi(1, kSteady1);
+  EXPECT_EQ(sim.value(nl.id_of("y")), kSteady1);
+  sim.rollback(inner);
+  EXPECT_EQ(sim.pi(1), kAllX);
+  EXPECT_EQ(sim.pi(0), kSteady1);
+  sim.rollback(outer);
+  EXPECT_EQ(sim.pi(0), kAllX);
+  EXPECT_EQ(sim.value(nl.id_of("y")), kAllX);
+}
+
+TEST(EventSim, CommitKeepsChanges) {
+  const Netlist nl = testing::tiny_and_or();
+  EventSim sim(nl);
+  const std::size_t token = sim.begin_txn();
+  sim.set_pi(0, kSteady1);
+  sim.commit(token);
+  EXPECT_EQ(sim.pi(0), kSteady1);
+  EXPECT_FALSE(sim.in_txn());
+}
+
+TEST(EventSim, ViolationCounting) {
+  const Netlist nl = testing::tiny_and_or();
+  EventSim sim(nl);
+  sim.add_requirement(nl.id_of("y"), kSteady1);
+  EXPECT_EQ(sim.violations(), 0);
+  EXPECT_EQ(sim.unsatisfied(), 1);
+
+  sim.set_pi(0, kSteady1);  // a = 111
+  EXPECT_EQ(sim.violations(), 0);
+  EXPECT_EQ(sim.unsatisfied(), 1);  // y still xxx-ish
+
+  sim.set_pi(1, kSteady0);  // b = 000 -> y = 000: conflicts with 111
+  EXPECT_EQ(sim.violations(), 1);
+
+  sim.set_pi(1, kSteady1);  // y = 111: satisfied
+  EXPECT_EQ(sim.violations(), 0);
+  EXPECT_EQ(sim.unsatisfied(), 0);
+}
+
+TEST(EventSim, ViolationsRollBackWithValues) {
+  const Netlist nl = testing::tiny_and_or();
+  EventSim sim(nl);
+  sim.add_requirement(nl.id_of("y"), kSteady1);
+  const std::size_t token = sim.begin_txn();
+  sim.set_pi(0, kSteady0);
+  EXPECT_EQ(sim.violations(), 1);
+  sim.rollback(token);
+  EXPECT_EQ(sim.violations(), 0);
+  EXPECT_EQ(sim.unsatisfied(), 1);
+}
+
+TEST(EventSim, RequirementMergeTracksCounters) {
+  const Netlist nl = testing::tiny_and_or();
+  EventSim sim(nl);
+  const NodeId z = nl.id_of("z");
+  sim.add_requirement(z, kFinal1);
+  sim.set_pi(2, kSteady1);  // c=1 -> z = xx1 at least
+  EXPECT_EQ(sim.unsatisfied(), 0);
+  // Strengthen to steady 1: now the x middle on z (a,b unknown) leaves it
+  // satisfied only if z computes 111. c=111 forces exactly that through OR.
+  sim.add_requirement(z, kSteady1);
+  EXPECT_EQ(sim.unsatisfied(), 0);
+  EXPECT_EQ(sim.violations(), 0);
+}
+
+TEST(EventSim, RequirementInsideTransactionRollsBack) {
+  const Netlist nl = testing::tiny_and_or();
+  EventSim sim(nl);
+  const std::size_t token = sim.begin_txn();
+  sim.add_requirement(nl.id_of("y"), kSteady1);
+  EXPECT_EQ(sim.unsatisfied(), 1);
+  sim.rollback(token);
+  EXPECT_EQ(sim.unsatisfied(), 0);
+  EXPECT_FALSE(sim.requirement(nl.id_of("y")).has_value());
+}
+
+TEST(EventSim, ResetClearsState) {
+  const Netlist nl = testing::tiny_and_or();
+  EventSim sim(nl);
+  sim.set_pi(0, kSteady1);
+  sim.add_requirement(nl.id_of("y"), kSteady0);
+  sim.reset();
+  EXPECT_EQ(sim.pi(0), kAllX);
+  EXPECT_EQ(sim.violations(), 0);
+  EXPECT_EQ(sim.unsatisfied(), 0);
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    EXPECT_EQ(sim.value(id), kAllX);
+  }
+}
+
+TEST(EventSim, GuardsAgainstMisuse) {
+  const Netlist nl = testing::tiny_and_or();
+  EventSim sim(nl);
+  const std::size_t token = sim.begin_txn();
+  EXPECT_THROW(sim.reset(), std::logic_error);
+  EXPECT_THROW(sim.clear_requirements(), std::logic_error);
+  sim.rollback(token);
+
+  Netlist seq;
+  seq.add_input("a");
+  const NodeId d = seq.add_gate("d", GateType::Dff, {0});
+  seq.mark_output(d);
+  seq.finalize();
+  EXPECT_THROW(EventSim bad(seq), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pdf

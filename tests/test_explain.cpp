@@ -1,0 +1,116 @@
+#include "faults/explain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "enrich/target_sets.hpp"
+#include "faults/screen.hpp"
+#include "gen/registry.hpp"
+#include "paths/enumerate.hpp"
+
+namespace pdf {
+namespace {
+
+TEST(Explain, TestableFaultReportsClean) {
+  const Netlist nl = benchmark_circuit("s27");
+  Path p;
+  for (const char* n : {"G1", "G12", "G13"}) p.nodes.push_back(nl.id_of(n));
+  const UntestabilityReport r =
+      explain_untestability(nl, {p, true, 4});
+  EXPECT_EQ(r.kind, UntestabilityKind::Testable);
+  EXPECT_FALSE(r.message.empty());
+}
+
+TEST(Explain, LocalConflictNamesTheLine) {
+  // a -> z -> w with w = OR(z, a): the off-path requirement on a clashes
+  // with the launch transition.
+  Netlist nl("conf");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId z = nl.add_gate("z", GateType::And, {a, b});
+  const NodeId w = nl.add_gate("w", GateType::Or, {z, a});
+  nl.mark_output(w);
+  nl.finalize();
+
+  const UntestabilityReport r =
+      explain_untestability(nl, {Path{{a, z, w}}, true, 3});
+  EXPECT_EQ(r.kind, UntestabilityKind::LocalConflict);
+  EXPECT_EQ(r.line, a);
+  EXPECT_TRUE(r.first.conflicts_with(r.second));
+  EXPECT_NE(r.message.find("line a"), std::string::npos);
+}
+
+TEST(Explain, ImplicationConflictDetected) {
+  // The test_screen.cpp construction whose conflict only implication sees.
+  Netlist nl("imp");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId n = nl.add_gate("n", GateType::Not, {a});
+  const NodeId c = nl.add_gate("c", GateType::And, {a, b});
+  const NodeId z = nl.add_gate("z", GateType::And, {c, n});
+  nl.mark_output(z);
+  nl.finalize();
+
+  const UntestabilityReport r =
+      explain_untestability(nl, {Path{{b, c, z}}, true, 3});
+  EXPECT_EQ(r.kind, UntestabilityKind::ImplicationConflict);
+}
+
+TEST(Explain, AgreesWithScreenOnWholeCircuit) {
+  // Consistency: every fault dropped by screen_faults gets a non-Testable
+  // explanation of the matching category; every kept fault reads Testable.
+  const Netlist nl = benchmark_circuit("b09_like");
+  const LineDelayModel dm(nl);
+  EnumerationConfig cfg;
+  cfg.max_faults = 600;
+  auto faults = faults_for_paths(enumerate_longest_paths(dm, cfg).paths);
+
+  ScreenStats stats;
+  const auto kept = screen_faults(nl, faults, &stats);
+
+  std::size_t kept_idx = 0;
+  std::size_t local = 0, implied = 0, testable = 0;
+  for (const auto& f : faults) {
+    const bool was_kept =
+        kept_idx < kept.size() && kept[kept_idx].fault.path == f.path &&
+        kept[kept_idx].fault.rising_source == f.rising_source;
+    const UntestabilityReport r = explain_untestability(nl, f);
+    if (was_kept) {
+      EXPECT_EQ(r.kind, UntestabilityKind::Testable);
+      ++kept_idx;
+      ++testable;
+    } else {
+      EXPECT_NE(r.kind, UntestabilityKind::Testable)
+          << fault_to_string(nl, f);
+      if (r.kind == UntestabilityKind::LocalConflict) ++local;
+      if (r.kind == UntestabilityKind::ImplicationConflict) ++implied;
+    }
+  }
+  EXPECT_EQ(testable, stats.kept);
+  EXPECT_EQ(local, stats.conflict_dropped);
+  EXPECT_EQ(implied, stats.implication_dropped);
+}
+
+TEST(Explain, SensitizationModeChangesTheVerdict) {
+  // a -> z -> w: the rising fault conflicts under both modes (the off-path
+  // requirement xx0 on `a` clashes with the 0x1 launch either way), while
+  // the falling fault is locally consistent (1x0 covers xx0) and indeed
+  // statically testable.
+  Netlist nl("conf2");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId z = nl.add_gate("z", GateType::And, {a, b});
+  const NodeId w = nl.add_gate("w", GateType::Or, {z, a});
+  nl.mark_output(w);
+  nl.finalize();
+  EXPECT_EQ(explain_untestability(nl, {Path{{a, z, w}}, true, 3}).kind,
+            UntestabilityKind::LocalConflict);
+  EXPECT_EQ(explain_untestability(nl, {Path{{a, z, w}}, true, 3},
+                                  Sensitization::NonRobust)
+                .kind,
+            UntestabilityKind::LocalConflict);
+  EXPECT_EQ(explain_untestability(nl, {Path{{a, z, w}}, false, 3}).kind,
+            UntestabilityKind::Testable);
+}
+
+}  // namespace
+}  // namespace pdf

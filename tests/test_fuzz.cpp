@@ -1,0 +1,90 @@
+// Robustness fuzzing of the text front ends: whatever bytes arrive, the
+// parsers either produce a valid object or throw std::runtime_error /
+// std::invalid_argument — never crash, never return a half-built netlist.
+#include <gtest/gtest.h>
+
+#include "atpg/test_io.hpp"
+#include "base/rng.hpp"
+#include "gen/registry.hpp"
+#include "netlist/bench_io.hpp"
+
+namespace pdf {
+namespace {
+
+std::string random_text(Rng& rng, std::size_t max_len) {
+  static const char alphabet[] =
+      "abcGIN OUTPUTDFFANDORX=(),\n\t#0123456789/";
+  std::string s;
+  const std::size_t len = rng.below(max_len);
+  for (std::size_t i = 0; i < len; ++i) {
+    s.push_back(alphabet[rng.below(sizeof(alphabet) - 1)]);
+  }
+  return s;
+}
+
+// Structured mutations of a valid file find deeper paths than pure noise.
+std::string mutate(const std::string& base, Rng& rng) {
+  std::string s = base;
+  const int op = static_cast<int>(rng.below(4));
+  if (s.empty()) return s;
+  const std::size_t pos = rng.below(s.size());
+  switch (op) {
+    case 0: s.erase(pos, 1 + rng.below(4)); break;
+    case 1: s.insert(pos, random_text(rng, 6)); break;
+    case 2: s[pos] = static_cast<char>('!' + rng.below(90)); break;
+    default: {  // duplicate a random slice
+      const std::size_t from = rng.below(s.size());
+      s.insert(pos, s.substr(from, rng.below(12)));
+      break;
+    }
+  }
+  return s;
+}
+
+TEST(Fuzz, BenchParserNeverCrashes) {
+  Rng rng(0xfeedbeef);
+  const std::string base = s27_bench_text();
+  for (int iter = 0; iter < 600; ++iter) {
+    const std::string text =
+        iter % 3 == 0 ? random_text(rng, 200) : mutate(base, rng);
+    try {
+      const Netlist nl = parse_bench_string(text);
+      // If it parsed, the result must be a coherent finalized netlist.
+      EXPECT_TRUE(nl.finalized());
+      for (NodeId id = 0; id < nl.node_count(); ++id) {
+        for (NodeId f : nl.node(id).fanin) EXPECT_LT(f, nl.node_count());
+      }
+    } catch (const std::runtime_error&) {
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+TEST(Fuzz, TestFileParserNeverCrashes) {
+  const Netlist nl = benchmark_circuit("s27");
+  const std::string base =
+      "circuit s27\ninputs G0 G1 G2 G3 G5 G6 G7\ntest 0011010/1111010\n";
+  Rng rng(0xabcdef);
+  for (int iter = 0; iter < 600; ++iter) {
+    const std::string text =
+        iter % 3 == 0 ? random_text(rng, 160) : mutate(base, rng);
+    try {
+      const auto tests = tests_from_string(text, nl);
+      for (const auto& t : tests) {
+        EXPECT_EQ(t.pi_values.size(), nl.inputs().size());
+      }
+    } catch (const std::runtime_error&) {
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+TEST(Fuzz, ValidPrefixPlusGarbageIsRejectedCleanly) {
+  // A well-formed file with trailing binary garbage must not corrupt the
+  // already-parsed part silently: the parser throws.
+  const std::string text = s27_bench_text() + "\n\x01\x02garbage(\n";
+  EXPECT_THROW(parse_bench_string(text), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pdf

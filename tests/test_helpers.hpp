@@ -1,0 +1,103 @@
+// Shared fixtures for the test suite: tiny hand-built circuits and brute
+// force reference utilities.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "base/triple.hpp"
+#include "netlist/netlist.hpp"
+
+namespace pdf::testing {
+
+/// y = AND(a, b), z = OR(y, c); outputs y, z.
+inline Netlist tiny_and_or() {
+  Netlist nl("tiny");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId c = nl.add_input("c");
+  const NodeId y = nl.add_gate("y", GateType::And, {a, b});
+  const NodeId z = nl.add_gate("z", GateType::Or, {y, c});
+  nl.mark_output(y);
+  nl.mark_output(z);
+  nl.finalize();
+  return nl;
+}
+
+/// A 2-level circuit with reconvergent fanout:
+///   n = NOT(a); p = AND(a, b); q = OR(n, b); z = NAND(p, q).
+inline Netlist reconvergent() {
+  Netlist nl("reconv");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId n = nl.add_gate("n", GateType::Not, {a});
+  const NodeId p = nl.add_gate("p", GateType::And, {a, b});
+  const NodeId q = nl.add_gate("q", GateType::Or, {n, b});
+  const NodeId z = nl.add_gate("z", GateType::Nand, {p, q});
+  nl.mark_output(z);
+  nl.finalize();
+  return nl;
+}
+
+/// Random small primitive-only combinational netlist for property tests.
+/// Between 2 and 6 inputs, up to ~24 gates, every sink marked output.
+inline Netlist random_small_netlist(Rng& rng) {
+  Netlist nl("prop");
+  const std::size_t n_in = 2 + rng.below(5);
+  std::vector<NodeId> pool;
+  for (std::size_t i = 0; i < n_in; ++i) {
+    pool.push_back(nl.add_input("i" + std::to_string(i)));
+  }
+  const std::size_t n_gates = 4 + rng.below(21);
+  for (std::size_t g = 0; g < n_gates; ++g) {
+    static constexpr GateType kTypes[] = {GateType::And,  GateType::Nand,
+                                          GateType::Or,   GateType::Nor,
+                                          GateType::Not,  GateType::Buf};
+    const GateType t = kTypes[rng.below(6)];
+    std::vector<NodeId> fanin;
+    fanin.push_back(pool[rng.below(pool.size())]);
+    if (t != GateType::Not && t != GateType::Buf) {
+      const std::size_t extra = 1 + rng.below(2);
+      for (std::size_t e = 0; e < extra; ++e) {
+        const NodeId f = pool[rng.below(pool.size())];
+        bool dup = false;
+        for (NodeId x : fanin) dup = dup || x == f;
+        if (!dup) fanin.push_back(f);
+      }
+      if (fanin.size() < 2) continue;  // skip degenerate gate
+    }
+    pool.push_back(nl.add_gate("g" + std::to_string(g), t, std::move(fanin)));
+  }
+  nl.finalize();
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    if (nl.node(id).fanout.empty() && nl.node(id).type != GateType::Input) {
+      nl.mark_output(id);
+    }
+  }
+  nl.finalize();
+  return nl;
+}
+
+/// Enumerates all fully specified PI triple assignments of small circuits by
+/// calling `fn` with each assignment (both pattern planes binary; the
+/// intermediate plane derived). 9^n assignments would be excessive, so this
+/// walks the 4^n binary pattern pairs.
+inline void for_each_binary_test(std::size_t n_inputs,
+                                 const std::function<void(const std::vector<Triple>&)>& fn) {
+  std::vector<Triple> pis(n_inputs);
+  const std::size_t total = std::size_t{1} << (2 * n_inputs);
+  for (std::size_t code = 0; code < total; ++code) {
+    std::size_t c = code;
+    for (std::size_t i = 0; i < n_inputs; ++i) {
+      const V3 v1 = (c & 1) ? V3::One : V3::Zero;
+      const V3 v3 = (c & 2) ? V3::One : V3::Zero;
+      c >>= 2;
+      const V3 mid = v1 == v3 ? v1 : V3::X;
+      pis[i] = Triple{v1, mid, v3};
+    }
+    fn(pis);
+  }
+}
+
+}  // namespace pdf::testing

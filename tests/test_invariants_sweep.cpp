@@ -1,0 +1,158 @@
+// Registry-wide parameterized property sweeps: structural invariants that
+// must hold for every circuit, checked over the whole benchmark registry.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "enrich/target_sets.hpp"
+#include "faults/fault.hpp"
+#include "gen/registry.hpp"
+#include "paths/count.hpp"
+#include "paths/distance.hpp"
+#include "paths/enumerate.hpp"
+#include "paths/line_cover.hpp"
+
+namespace pdf {
+namespace {
+
+class RegistrySweep : public ::testing::TestWithParam<std::string> {
+ protected:
+  Netlist nl_ = benchmark_circuit(GetParam());
+};
+
+TEST_P(RegistrySweep, RequirementInvariants) {
+  // For every enumerated fault of the circuit: A(p) contains the launch
+  // transition at the source; every off-path constraint is steady or
+  // final-only at the non-controlling value of its consuming gate; on-path
+  // entries alternate with gate inversions.
+  const LineDelayModel dm(nl_);
+  EnumerationConfig cfg;
+  cfg.max_faults = 400;
+  const auto paths = enumerate_longest_paths(dm, cfg).paths;
+  ASSERT_FALSE(paths.empty());
+
+  std::size_t checked = 0;
+  for (const auto& ep : paths) {
+    for (bool rising : {true, false}) {
+      const PathDelayFault f{ep.path, rising, ep.length};
+      const FaultRequirements reqs = build_requirements(nl_, f);
+      if (reqs.conflicting) continue;
+      ++checked;
+
+      // Launch value.
+      bool found_launch = false;
+      for (const auto& r : reqs.values) {
+        if (r.line == f.path.source()) {
+          EXPECT_TRUE(r.value.covers(transition(rising)));
+          found_launch = true;
+        }
+      }
+      EXPECT_TRUE(found_launch);
+
+      // On-path transition parity.
+      bool dir = rising;
+      for (std::size_t k = 1; k < f.path.nodes.size(); ++k) {
+        dir = dir != is_inverting(nl_.node(f.path.nodes[k]).type);
+        for (const auto& r : reqs.values) {
+          if (r.line == f.path.nodes[k]) {
+            EXPECT_TRUE(r.value.covers(transition(dir)) ||
+                        transition(dir).covers(r.value))
+                << nl_.node(r.line).name;
+          }
+        }
+      }
+
+      // Off-path polarity: every requirement on a non-path line must be
+      // steady(nc) or final(nc) for some consuming on-path gate.
+      std::set<NodeId> on_path(f.path.nodes.begin(), f.path.nodes.end());
+      for (const auto& r : reqs.values) {
+        if (on_path.contains(r.line)) continue;
+        const V3 v = r.value.a3;
+        EXPECT_TRUE(is_specified(v)) << nl_.node(r.line).name;
+        EXPECT_TRUE(r.value == steady(v) || r.value == final_only(v))
+            << nl_.node(r.line).name << "=" << r.value.str();
+        // The line feeds at least one on-path gate whose non-controlling
+        // value is v.
+        bool feeds = false;
+        for (NodeId out : nl_.node(r.line).fanout) {
+          if (!on_path.contains(out)) continue;
+          const auto c = controlling_value(nl_.node(out).type);
+          if (c && not3(*c) == v) feeds = true;
+        }
+        EXPECT_TRUE(feeds) << nl_.node(r.line).name;
+      }
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST_P(RegistrySweep, DistanceBoundsAreAdmissible) {
+  // len(p) = partial_length + d(last) over-approximates every completion —
+  // verified on the enumerated longest paths (each prefix of each path).
+  const LineDelayModel dm(nl_);
+  const auto d = distances_to_outputs(dm);
+  EnumerationConfig cfg;
+  cfg.max_faults = 200;
+  const auto paths = enumerate_longest_paths(dm, cfg).paths;
+  for (const auto& ep : paths) {
+    for (std::size_t k = 1; k <= ep.path.nodes.size(); ++k) {
+      std::span<const NodeId> prefix(ep.path.nodes.data(), k);
+      EXPECT_GE(dm.partial_length(prefix) + d[prefix.back()], ep.length);
+    }
+  }
+}
+
+TEST_P(RegistrySweep, CountsDominateEnumeration) {
+  // The non-enumerative total is exact, so the bounded enumeration can never
+  // return more paths than it.
+  const PathCounts pc = count_paths(nl_);
+  const LineDelayModel dm(nl_);
+  EnumerationConfig cfg;
+  cfg.max_faults = 500;
+  const auto r = enumerate_longest_paths(dm, cfg);
+  EXPECT_LE(r.paths.size(), pc.total);
+}
+
+TEST_P(RegistrySweep, LineCoverPathsAreValidAndLongest) {
+  const LineDelayModel dm(nl_);
+  const auto arrive = distances_from_inputs(dm);
+  const auto depart = distances_to_outputs(dm);
+  const auto cover = select_line_cover_paths(dm);
+  ASSERT_FALSE(cover.empty());
+  for (const auto& cp : cover) {
+    EXPECT_EQ(cp.length, dm.complete_length(cp.path.nodes));
+    // Longest-through property at every node of the path.
+    for (NodeId g : cp.path.nodes) {
+      EXPECT_LE(cp.length, arrive[g] + depart[g]);
+    }
+  }
+}
+
+TEST_P(RegistrySweep, TargetSetPartitionIsExactAndOrdered) {
+  TargetSetConfig cfg;
+  cfg.n_p = 600;
+  cfg.n_p0 = 80;
+  const TargetSets ts = build_target_sets(nl_, cfg);
+  EXPECT_EQ(ts.p0.size() + ts.p1.size(), ts.screen.kept);
+  int min_p0 = 1 << 30;
+  int max_p1 = -1;
+  for (const auto& tf : ts.p0) min_p0 = std::min(min_p0, tf.fault.length);
+  for (const auto& tf : ts.p1) max_p1 = std::max(max_p1, tf.fault.length);
+  if (!ts.p0.empty() && !ts.p1.empty()) {
+    EXPECT_GT(min_p0, max_p1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, RegistrySweep,
+    ::testing::Values("s27", "c17", "s641_like", "s953_like", "s1196_like",
+                      "s1423_like", "s1488_like", "b03_like", "b04_like",
+                      "b09_like", "s1423r_like", "s5378r_like", "s9234r_like",
+                      "rca16", "barrel16x4", "skipchain48", "mult8"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+}  // namespace
+}  // namespace pdf

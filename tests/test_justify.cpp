@@ -1,0 +1,174 @@
+#include "atpg/justify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "faultsim/fault_sim.hpp"
+#include "gen/registry.hpp"
+#include "paths/enumerate.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace pdf {
+namespace {
+
+std::vector<TargetFault> screened_faults(const Netlist& nl) {
+  const LineDelayModel dm(nl);
+  EnumerationConfig cfg;
+  cfg.max_faults = 1000000;
+  auto faults = faults_for_paths(enumerate_longest_paths(dm, cfg).paths);
+  return screen_faults(nl, std::move(faults), nullptr);
+}
+
+TEST(Justify, SatisfiesSimpleRequirements) {
+  const Netlist nl = testing::tiny_and_or();
+  JustificationEngine eng(nl, 1);
+  const ValueRequirement reqs[] = {{nl.id_of("y"), kRise}};
+  const auto t = eng.justify(reqs);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_TRUE(t->fully_specified());
+  FaultSimulator fsim(nl);
+  const auto values = fsim.line_values(*t);
+  EXPECT_TRUE(values[nl.id_of("y")].covers(kRise));
+}
+
+TEST(Justify, FailsOnUnsatisfiableRequirements) {
+  const Netlist nl = testing::reconvergent();
+  JustificationEngine eng(nl, 1);
+  // p steady 1 forces a=b=1, hence q=1 and z=0: z steady 1 impossible.
+  const ValueRequirement reqs[] = {
+      {nl.id_of("p"), kSteady1},
+      {nl.id_of("z"), kSteady1},
+  };
+  EXPECT_FALSE(eng.justify(reqs).has_value());
+  EXPECT_GT(eng.stats().failures, 0u);
+}
+
+TEST(Justify, FailsWithoutImplicationSeedToo) {
+  const Netlist nl = testing::reconvergent();
+  JustificationEngine eng(nl, 1);
+  JustifyConfig cfg;
+  cfg.use_implication_seed = false;
+  cfg.max_attempts = 4;
+  const ValueRequirement reqs[] = {
+      {nl.id_of("p"), kSteady1},
+      {nl.id_of("z"), kSteady1},
+  };
+  EXPECT_FALSE(eng.justify(reqs, cfg).has_value());
+}
+
+TEST(Justify, GeneratedTestsDetectTheirFaults) {
+  // Core invariant: whenever justification succeeds on A(p), the resulting
+  // test robustly detects p according to the fault simulator.
+  for (const char* name : {"s27", "b03_like", "rca16"}) {
+    const Netlist nl = benchmark_circuit(name);
+    const auto faults = screened_faults(nl);
+    ASSERT_FALSE(faults.empty()) << name;
+    JustificationEngine eng(nl, 7);
+    FaultSimulator fsim(nl);
+    std::size_t successes = 0;
+    const std::size_t limit = std::min<std::size_t>(faults.size(), 60);
+    for (std::size_t i = 0; i < limit; ++i) {
+      const auto t = eng.justify(faults[i].requirements);
+      if (!t) continue;
+      ++successes;
+      EXPECT_TRUE(t->fully_specified());
+      EXPECT_TRUE(fsim.detects(*t, faults[i]))
+          << name << ": " << fault_to_string(nl, faults[i].fault);
+    }
+    EXPECT_GT(successes, 0u) << name;
+  }
+}
+
+TEST(Justify, DeterministicForFixedSeed) {
+  const Netlist nl = benchmark_circuit("b03_like");
+  const auto faults = screened_faults(nl);
+  ASSERT_GE(faults.size(), 5u);
+  JustificationEngine a(nl, 99), b(nl, 99);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const auto ta = a.justify(faults[i].requirements);
+    const auto tb = b.justify(faults[i].requirements);
+    ASSERT_EQ(ta.has_value(), tb.has_value());
+    if (ta) {
+      EXPECT_EQ(ta->pi_values, tb->pi_values);
+    }
+  }
+}
+
+TEST(Justify, SeedChangesDecisions) {
+  const Netlist nl = benchmark_circuit("b03_like");
+  const auto faults = screened_faults(nl);
+  ASSERT_FALSE(faults.empty());
+  JustificationEngine a(nl, 1), b(nl, 2);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < std::min<std::size_t>(faults.size(), 10); ++i) {
+    const auto ta = a.justify(faults[i].requirements);
+    const auto tb = b.justify(faults[i].requirements);
+    if (ta.has_value() != tb.has_value()) {
+      any_difference = true;
+    } else if (ta && !(ta->pi_values == tb->pi_values)) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Justify, JointRequirementsOfCompatibleFaults) {
+  // Take two faults whose requirement union is conflict-free and justify the
+  // union; the resulting single test must detect both (the compaction
+  // mechanism of Section 2.2).
+  const Netlist nl = benchmark_circuit("s27");
+  const auto faults = screened_faults(nl);
+  JustificationEngine eng(nl, 3);
+  FaultSimulator fsim(nl);
+  int verified = 0;
+  for (std::size_t i = 0; i < faults.size() && verified < 3; ++i) {
+    for (std::size_t j = i + 1; j < faults.size() && verified < 3; ++j) {
+      RequirementSet u;
+      u.add_all(faults[i].requirements);
+      if (u.would_conflict(faults[j].requirements)) continue;
+      if (!u.add_all(faults[j].requirements)) continue;
+      const auto t = eng.justify(u.items());
+      if (!t) continue;
+      EXPECT_TRUE(fsim.detects(*t, faults[i]));
+      EXPECT_TRUE(fsim.detects(*t, faults[j]));
+      ++verified;
+    }
+  }
+  EXPECT_GT(verified, 0);
+}
+
+TEST(Justify, RetriesImproveSuccessOdds) {
+  // With a randomized greedy search, allowing more attempts can only keep or
+  // grow the set of justified requirement sets.
+  const Netlist nl = benchmark_circuit("s1196_like");
+  const auto faults = screened_faults(nl);
+  const std::size_t limit = std::min<std::size_t>(faults.size(), 40);
+  JustifyConfig one, many;
+  one.max_attempts = 1;
+  many.max_attempts = 5;
+  std::size_t ok_one = 0, ok_many = 0;
+  {
+    JustificationEngine eng(nl, 5);
+    for (std::size_t i = 0; i < limit; ++i) {
+      ok_one += eng.justify(faults[i].requirements, one).has_value();
+    }
+  }
+  {
+    JustificationEngine eng(nl, 5);
+    for (std::size_t i = 0; i < limit; ++i) {
+      ok_many += eng.justify(faults[i].requirements, many).has_value();
+    }
+  }
+  EXPECT_GE(ok_many, ok_one);
+}
+
+TEST(Justify, StatsAccumulate) {
+  const Netlist nl = testing::tiny_and_or();
+  JustificationEngine eng(nl, 1);
+  const ValueRequirement reqs[] = {{nl.id_of("z"), kRise}};
+  (void)eng.justify(reqs);
+  EXPECT_GE(eng.stats().attempts, 1u);
+  EXPECT_GE(eng.stats().successes + eng.stats().failures, 1u);
+}
+
+}  // namespace
+}  // namespace pdf

@@ -1,0 +1,82 @@
+#include "paths/length_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdf {
+namespace {
+
+TEST(LengthStats, BucketsAndCumulative) {
+  // Mirrors the structure of the paper's Table 2: lengths descending,
+  // cumulative counts N_p(L_i).
+  const LengthProfile p({96, 96, 95, 95, 95, 94, 94, 93});
+  const auto& b = p.buckets();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0].length, 96);
+  EXPECT_EQ(b[0].count, 2u);
+  EXPECT_EQ(b[0].cumulative, 2u);
+  EXPECT_EQ(b[1].length, 95);
+  EXPECT_EQ(b[1].cumulative, 5u);
+  EXPECT_EQ(b[2].cumulative, 7u);
+  EXPECT_EQ(b[3].cumulative, 8u);
+  EXPECT_EQ(p.total(), 8u);
+}
+
+TEST(LengthStats, SelectI0PicksSmallestIndexReachingThreshold) {
+  const LengthProfile p({10, 10, 9, 9, 9, 8, 8, 8, 8, 7});
+  // Cumulative: 2, 5, 9, 10.
+  EXPECT_EQ(p.select_i0(1), 0u);
+  EXPECT_EQ(p.select_i0(2), 0u);
+  EXPECT_EQ(p.select_i0(3), 1u);
+  EXPECT_EQ(p.select_i0(5), 1u);
+  EXPECT_EQ(p.select_i0(6), 2u);
+  EXPECT_EQ(p.select_i0(9), 2u);
+  EXPECT_EQ(p.select_i0(10), 3u);
+  EXPECT_EQ(p.cutoff_length(6), 8);
+}
+
+TEST(LengthStats, ThresholdBeyondTotalTakesEverything) {
+  const LengthProfile p({5, 4, 3});
+  EXPECT_EQ(p.select_i0(100), 2u);
+  EXPECT_EQ(p.cutoff_length(100), 3);
+}
+
+TEST(LengthStats, UnsortedInputHandled) {
+  const LengthProfile p({3, 9, 5, 9, 3, 9});
+  const auto& b = p.buckets();
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[0].length, 9);
+  EXPECT_EQ(b[0].count, 3u);
+  EXPECT_EQ(b[1].length, 5);
+  EXPECT_EQ(b[2].length, 3);
+  EXPECT_EQ(b[2].cumulative, 6u);
+}
+
+TEST(LengthStats, EmptyProfile) {
+  const LengthProfile p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.total(), 0u);
+  EXPECT_THROW(p.select_i0(1), std::logic_error);
+}
+
+TEST(LengthStats, PaperTable2Shape) {
+  // Build a synthetic fault-length population shaped like the paper's s1423
+  // column and check the cumulative column is reproduced by the profile.
+  std::vector<int> lengths;
+  const std::size_t counts[] = {4, 8, 10, 14, 18, 30};  // n_p(L_0..L_5)
+  const std::size_t cum[] = {4, 12, 22, 36, 54, 84};    // paper Table 2
+  int len = 96;
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t k = 0; k < counts[i]; ++k) lengths.push_back(len);
+    --len;
+  }
+  const LengthProfile p(lengths);
+  const auto& b = p.buckets();
+  ASSERT_EQ(b.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(b[i].length, 96 - static_cast<int>(i));
+    EXPECT_EQ(b[i].cumulative, cum[i]);
+  }
+}
+
+}  // namespace
+}  // namespace pdf

@@ -1,0 +1,113 @@
+#include "base/logic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+
+namespace pdf {
+namespace {
+
+constexpr std::array<V3, 3> kAll = {V3::Zero, V3::One, V3::X};
+
+TEST(Logic, NotTruthTable) {
+  EXPECT_EQ(not3(V3::Zero), V3::One);
+  EXPECT_EQ(not3(V3::One), V3::Zero);
+  EXPECT_EQ(not3(V3::X), V3::X);
+}
+
+TEST(Logic, AndControllingValueDominates) {
+  for (V3 v : kAll) {
+    EXPECT_EQ(and3(V3::Zero, v), V3::Zero);
+    EXPECT_EQ(and3(v, V3::Zero), V3::Zero);
+  }
+  EXPECT_EQ(and3(V3::One, V3::One), V3::One);
+  EXPECT_EQ(and3(V3::One, V3::X), V3::X);
+  EXPECT_EQ(and3(V3::X, V3::X), V3::X);
+}
+
+TEST(Logic, OrControllingValueDominates) {
+  for (V3 v : kAll) {
+    EXPECT_EQ(or3(V3::One, v), V3::One);
+    EXPECT_EQ(or3(v, V3::One), V3::One);
+  }
+  EXPECT_EQ(or3(V3::Zero, V3::Zero), V3::Zero);
+  EXPECT_EQ(or3(V3::Zero, V3::X), V3::X);
+}
+
+TEST(Logic, XorPropagatesUnknown) {
+  EXPECT_EQ(xor3(V3::Zero, V3::One), V3::One);
+  EXPECT_EQ(xor3(V3::One, V3::One), V3::Zero);
+  EXPECT_EQ(xor3(V3::X, V3::One), V3::X);
+  EXPECT_EQ(xor3(V3::Zero, V3::X), V3::X);
+}
+
+TEST(Logic, DeMorganHoldsOverAllValues) {
+  for (V3 a : kAll) {
+    for (V3 b : kAll) {
+      EXPECT_EQ(not3(and3(a, b)), or3(not3(a), not3(b)));
+      EXPECT_EQ(not3(or3(a, b)), and3(not3(a), not3(b)));
+    }
+  }
+}
+
+TEST(Logic, OperatorsAreCommutativeAndAssociative) {
+  for (V3 a : kAll) {
+    for (V3 b : kAll) {
+      EXPECT_EQ(and3(a, b), and3(b, a));
+      EXPECT_EQ(or3(a, b), or3(b, a));
+      EXPECT_EQ(xor3(a, b), xor3(b, a));
+      for (V3 c : kAll) {
+        EXPECT_EQ(and3(and3(a, b), c), and3(a, and3(b, c)));
+        EXPECT_EQ(or3(or3(a, b), c), or3(a, or3(b, c)));
+      }
+    }
+  }
+}
+
+TEST(Logic, XIsMonotoneRefinement) {
+  // Refining an x operand to a concrete value must never contradict an
+  // already-specified result (monotonicity of the information order).
+  for (V3 a : kAll) {
+    for (V3 b : kAll) {
+      for (V3 a2 : {V3::Zero, V3::One}) {
+        if (a != V3::X && a2 != a) continue;
+        if (is_specified(and3(a, b))) {
+          EXPECT_EQ(and3(a2, b), and3(a, b));
+        }
+        if (is_specified(or3(a, b))) {
+          EXPECT_EQ(or3(a2, b), or3(a, b));
+        }
+      }
+    }
+  }
+}
+
+TEST(Logic, CharRoundTrip) {
+  for (V3 v : kAll) EXPECT_EQ(v3_from_char(to_char(v)), v);
+  EXPECT_EQ(v3_from_char('X'), V3::X);
+  EXPECT_THROW(v3_from_char('2'), std::invalid_argument);
+}
+
+TEST(Logic, ConflictsAndCovers) {
+  EXPECT_TRUE(conflicts(V3::Zero, V3::One));
+  EXPECT_TRUE(conflicts(V3::One, V3::Zero));
+  EXPECT_FALSE(conflicts(V3::X, V3::One));
+  EXPECT_FALSE(conflicts(V3::One, V3::X));
+  EXPECT_FALSE(conflicts(V3::One, V3::One));
+
+  EXPECT_TRUE(covers(V3::One, V3::One));
+  EXPECT_TRUE(covers(V3::X, V3::X));
+  EXPECT_TRUE(covers(V3::Zero, V3::X));
+  EXPECT_FALSE(covers(V3::X, V3::One));
+  EXPECT_FALSE(covers(V3::Zero, V3::One));
+}
+
+TEST(Logic, StreamOutput) {
+  std::ostringstream os;
+  os << V3::Zero << V3::One << V3::X;
+  EXPECT_EQ(os.str(), "01x");
+}
+
+}  // namespace
+}  // namespace pdf

@@ -1,0 +1,158 @@
+#include "netlist/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/registry.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace pdf {
+namespace {
+
+TEST(Netlist, BuildAndLookup) {
+  Netlist nl = testing::tiny_and_or();
+  EXPECT_EQ(nl.node_count(), 5u);
+  EXPECT_EQ(nl.inputs().size(), 3u);
+  EXPECT_EQ(nl.outputs().size(), 2u);
+  EXPECT_TRUE(nl.find("y").has_value());
+  EXPECT_FALSE(nl.find("nope").has_value());
+  EXPECT_EQ(nl.node(nl.id_of("y")).type, GateType::And);
+  EXPECT_THROW(nl.id_of("nope"), std::runtime_error);
+}
+
+TEST(Netlist, DuplicateNameRejected) {
+  Netlist nl;
+  nl.add_input("a");
+  EXPECT_THROW(nl.add_input("a"), std::runtime_error);
+  EXPECT_THROW(nl.add_gate("a", GateType::Not, {0}), std::runtime_error);
+}
+
+TEST(Netlist, ArityChecked) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  EXPECT_THROW(nl.add_gate("g", GateType::And, {a}), std::runtime_error);
+  EXPECT_THROW(nl.add_gate("h", GateType::Not, {a, a}), std::runtime_error);
+  EXPECT_NO_THROW(nl.add_gate("k", GateType::Not, {a}));
+}
+
+TEST(Netlist, UnknownFaninRejected) {
+  Netlist nl;
+  nl.add_input("a");
+  EXPECT_THROW(nl.add_gate("g", GateType::Not, {42}), std::runtime_error);
+}
+
+TEST(Netlist, LevelsAndTopoOrder) {
+  Netlist nl = testing::tiny_and_or();
+  EXPECT_EQ(nl.depth(), 2);
+  EXPECT_EQ(nl.node(nl.id_of("a")).level, 0);
+  EXPECT_EQ(nl.node(nl.id_of("y")).level, 1);
+  EXPECT_EQ(nl.node(nl.id_of("z")).level, 2);
+  // Topological order: every fanin precedes its consumer.
+  std::vector<int> pos(nl.node_count(), -1);
+  const auto topo = nl.topo_order();
+  for (std::size_t i = 0; i < topo.size(); ++i) pos[topo[i]] = static_cast<int>(i);
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    for (NodeId f : nl.node(id).fanin) EXPECT_LT(pos[f], pos[id]);
+  }
+}
+
+TEST(Netlist, FanoutComputed) {
+  Netlist nl = testing::tiny_and_or();
+  const auto& y = nl.node(nl.id_of("y"));
+  ASSERT_EQ(y.fanout.size(), 1u);
+  EXPECT_EQ(y.fanout[0], nl.id_of("z"));
+  EXPECT_EQ(nl.node(nl.id_of("a")).fanout.size(), 1u);
+}
+
+TEST(Netlist, FaninIndex) {
+  Netlist nl = testing::tiny_and_or();
+  EXPECT_EQ(nl.fanin_index(nl.id_of("y"), nl.id_of("a")), 0u);
+  EXPECT_EQ(nl.fanin_index(nl.id_of("y"), nl.id_of("b")), 1u);
+  EXPECT_THROW(nl.fanin_index(nl.id_of("y"), nl.id_of("c")), std::runtime_error);
+}
+
+TEST(Netlist, MarkOutputIdempotent) {
+  Netlist nl = testing::tiny_and_or();
+  const std::size_t before = nl.outputs().size();
+  nl.mark_output("y");
+  EXPECT_EQ(nl.outputs().size(), before);
+}
+
+TEST(Netlist, RedefineGateUnfinalizes) {
+  Netlist nl = testing::tiny_and_or();
+  ASSERT_TRUE(nl.finalized());
+  nl.redefine_gate(nl.id_of("z"), GateType::Nor,
+                   {nl.id_of("y"), nl.id_of("c")});
+  EXPECT_FALSE(nl.finalized());
+  nl.finalize();
+  EXPECT_EQ(nl.node(nl.id_of("z")).type, GateType::Nor);
+}
+
+TEST(Netlist, RedefineInputRejected) {
+  Netlist nl = testing::tiny_and_or();
+  EXPECT_THROW(nl.redefine_gate(nl.id_of("a"), GateType::Not, {nl.id_of("b")}),
+               std::runtime_error);
+}
+
+TEST(Netlist, FreshNamesDoNotCollide) {
+  Netlist nl = testing::tiny_and_or();
+  const std::string n1 = nl.fresh_name("y");
+  const std::string n2 = nl.fresh_name("y");
+  EXPECT_NE(n1, "y");
+  EXPECT_NE(n1, n2);
+  EXPECT_FALSE(nl.find(n1).has_value());
+}
+
+TEST(Netlist, TopoOrderRequiresFinalize) {
+  Netlist nl;
+  nl.add_input("a");
+  EXPECT_THROW(nl.topo_order(), std::logic_error);
+}
+
+TEST(Netlist, StatsCountLinesWithBranches) {
+  // s27 combinational core: 17 stems + 9 branch lines = 26 lines, matching
+  // the paper's numbering that runs up to line 26.
+  const Netlist s27 = benchmark_circuit("s27");
+  const NetlistStats st = stats_of(s27);
+  EXPECT_EQ(st.inputs, 7u);   // 4 PIs + 3 state inputs
+  EXPECT_EQ(st.gates, 10u);
+  EXPECT_EQ(st.lines, 26u);
+  EXPECT_EQ(st.outputs, 4u);  // G17 + three DFF data taps
+}
+
+TEST(Netlist, GateTypeHelpers) {
+  EXPECT_EQ(*controlling_value(GateType::And), V3::Zero);
+  EXPECT_EQ(*controlling_value(GateType::Nor), V3::One);
+  EXPECT_FALSE(controlling_value(GateType::Not).has_value());
+  EXPECT_TRUE(is_inverting(GateType::Nand));
+  EXPECT_FALSE(is_inverting(GateType::Or));
+  EXPECT_TRUE(is_primitive_logic(GateType::Buf));
+  EXPECT_FALSE(is_primitive_logic(GateType::Xor));
+  EXPECT_FALSE(is_primitive_logic(GateType::Dff));
+}
+
+TEST(Netlist, EvalGateBasics) {
+  const V3 f00[] = {V3::Zero, V3::Zero};
+  const V3 f11[] = {V3::One, V3::One};
+  const V3 f1x[] = {V3::One, V3::X};
+  EXPECT_EQ(eval_gate(GateType::Nand, f00), V3::One);
+  EXPECT_EQ(eval_gate(GateType::Nand, f11), V3::Zero);
+  EXPECT_EQ(eval_gate(GateType::Nor, f00), V3::One);
+  EXPECT_EQ(eval_gate(GateType::And, f1x), V3::X);
+  const V3 one[] = {V3::One};
+  EXPECT_EQ(eval_gate(GateType::Not, one), V3::Zero);
+  EXPECT_EQ(eval_gate(GateType::Buf, one), V3::One);
+}
+
+TEST(Netlist, GateTypeStringRoundTrip) {
+  for (GateType t : {GateType::Buf, GateType::Not, GateType::And, GateType::Nand,
+                     GateType::Or, GateType::Nor, GateType::Xor, GateType::Xnor,
+                     GateType::Dff}) {
+    EXPECT_EQ(gate_type_from_string(to_string(t)), t);
+  }
+  EXPECT_EQ(gate_type_from_string("BUFF"), GateType::Buf);
+  EXPECT_EQ(gate_type_from_string("NAND"), GateType::Nand);
+  EXPECT_FALSE(gate_type_from_string("mystery").has_value());
+}
+
+}  // namespace
+}  // namespace pdf

@@ -1,0 +1,100 @@
+#include "atpg/ordering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "enrich/enrichment.hpp"
+#include "faultsim/parallel_sim.hpp"
+#include "gen/registry.hpp"
+
+namespace pdf {
+namespace {
+
+struct Fixture {
+  Netlist nl = benchmark_circuit("b09_like");
+  TargetSets sets;
+  GenerationResult gen;
+  Fixture() {
+    TargetSetConfig cfg;
+    cfg.n_p = 800;
+    cfg.n_p0 = 120;
+    sets = build_target_sets(nl, cfg);
+    gen = generate_tests(nl, sets.p0, sets.p1, {});
+  }
+};
+
+TEST(Ordering, IsAPermutation) {
+  Fixture fx;
+  const OrderingResult r =
+      order_tests_by_coverage(fx.nl, fx.gen.tests, fx.sets.p0);
+  ASSERT_EQ(r.order.size(), fx.gen.tests.size());
+  std::vector<std::size_t> sorted = r.order;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Ordering, CumulativeCoverageIsMonotoneAndEndsAtTotal) {
+  Fixture fx;
+  const OrderingResult r =
+      order_tests_by_coverage(fx.nl, fx.gen.tests, fx.sets.p0);
+  ASSERT_EQ(r.cumulative_detected.size(), fx.gen.tests.size());
+  for (std::size_t i = 0; i + 1 < r.cumulative_detected.size(); ++i) {
+    EXPECT_LE(r.cumulative_detected[i], r.cumulative_detected[i + 1]);
+  }
+  ParallelFaultSimulator sim(fx.nl);
+  const auto det = sim.detects_any(fx.gen.tests, fx.sets.p0);
+  const std::size_t total =
+      static_cast<std::size_t>(std::count(det.begin(), det.end(), true));
+  EXPECT_EQ(r.cumulative_detected.back(), total);
+}
+
+TEST(Ordering, GreedyFirstPickIsTheBestSingleTest) {
+  Fixture fx;
+  const OrderingResult r =
+      order_tests_by_coverage(fx.nl, fx.gen.tests, fx.sets.p0);
+  ParallelFaultSimulator sim(fx.nl);
+  std::size_t best_single = 0;
+  for (const auto& t : fx.gen.tests) {
+    const TwoPatternTest one[] = {t};
+    const auto det = sim.detects_any(one, fx.sets.p0);
+    best_single = std::max<std::size_t>(
+        best_single,
+        static_cast<std::size_t>(std::count(det.begin(), det.end(), true)));
+  }
+  EXPECT_EQ(r.cumulative_detected.front(), best_single);
+}
+
+TEST(Ordering, OrderedPrefixDominatesOriginalPrefix) {
+  // The whole point: after k tests, the greedy order has detected at least
+  // as many faults as the original order, for every k.
+  Fixture fx;
+  const OrderingResult r =
+      order_tests_by_coverage(fx.nl, fx.gen.tests, fx.sets.p0);
+  ParallelFaultSimulator sim(fx.nl);
+  const auto ordered = apply_order(fx.gen.tests, r.order);
+  for (std::size_t k = 1; k <= fx.gen.tests.size(); k += 7) {
+    const auto det_orig = sim.detects_any(
+        std::span<const TwoPatternTest>(fx.gen.tests.data(), k), fx.sets.p0);
+    const auto det_ord = sim.detects_any(
+        std::span<const TwoPatternTest>(ordered.data(), k), fx.sets.p0);
+    const auto count = [](const std::vector<bool>& v) {
+      return std::count(v.begin(), v.end(), true);
+    };
+    EXPECT_GE(count(det_ord), count(det_orig)) << "prefix " << k;
+  }
+}
+
+TEST(Ordering, ApplyOrderValidation) {
+  Fixture fx;
+  std::vector<std::size_t> bad(fx.gen.tests.size(), 0);
+  EXPECT_NO_THROW(apply_order(fx.gen.tests, bad));  // duplicate but in range
+  bad.pop_back();
+  EXPECT_THROW(apply_order(fx.gen.tests, bad), std::invalid_argument);
+  bad.assign(fx.gen.tests.size(), fx.gen.tests.size() + 1);
+  EXPECT_THROW(apply_order(fx.gen.tests, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pdf

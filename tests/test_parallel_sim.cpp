@@ -1,0 +1,130 @@
+#include "faultsim/parallel_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "enrich/enrichment.hpp"
+#include "faultsim/fault_sim.hpp"
+#include "gen/registry.hpp"
+#include "sim/triple_sim.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace pdf {
+namespace {
+
+std::vector<TwoPatternTest> random_tests(const Netlist& nl, std::size_t count,
+                                         Rng& rng) {
+  std::vector<TwoPatternTest> tests(count);
+  for (auto& t : tests) {
+    t.pi_values.resize(nl.inputs().size());
+    for (auto& v : t.pi_values) {
+      v = pi_triple(rng.coin() ? V3::One : V3::Zero,
+                    rng.coin() ? V3::One : V3::Zero);
+    }
+  }
+  return tests;
+}
+
+TEST(ParallelSim, MatchesScalarSimulatorOnRandomTests) {
+  for (const char* name : {"s27", "b03_like", "rca16"}) {
+    const Netlist nl = benchmark_circuit(name);
+    TargetSetConfig cfg;
+    cfg.n_p = 600;
+    cfg.n_p0 = 100;
+    const TargetSets ts = build_target_sets(nl, cfg);
+    if (ts.p0.empty()) continue;
+
+    Rng rng(777);
+    // Deliberately not a multiple of 64 to cover the partial last word.
+    const auto tests = random_tests(nl, 130, rng);
+
+    FaultSimulator scalar(nl);
+    ParallelFaultSimulator parallel(nl);
+    EXPECT_EQ(parallel.detects_any(tests, ts.p0),
+              scalar.detects_any(tests, ts.p0))
+        << name;
+    EXPECT_EQ(parallel.detects_any(tests, ts.p1),
+              scalar.detects_any(tests, ts.p1))
+        << name;
+  }
+}
+
+TEST(ParallelSim, DetectionMatrixMatchesPerTestScalar) {
+  const Netlist nl = benchmark_circuit("s27");
+  TargetSetConfig cfg;
+  cfg.n_p = 100;
+  cfg.n_p0 = 10;
+  const TargetSets ts = build_target_sets(nl, cfg);
+  ASSERT_FALSE(ts.p0.empty());
+
+  Rng rng(9);
+  const auto tests = random_tests(nl, 70, rng);
+  FaultSimulator scalar(nl);
+  ParallelFaultSimulator parallel(nl);
+  const auto matrix = parallel.detection_matrix(tests, ts.p0);
+  ASSERT_EQ(matrix.size(), ts.p0.size());
+  for (std::size_t f = 0; f < ts.p0.size(); ++f) {
+    ASSERT_EQ(matrix[f].size(), 2u);  // 70 tests -> 2 words
+    for (std::size_t t = 0; t < tests.size(); ++t) {
+      const bool bit = (matrix[f][t / 64] >> (t % 64)) & 1;
+      EXPECT_EQ(bit, scalar.detects(tests[t], ts.p0[f]))
+          << "fault " << f << " test " << t;
+    }
+    // Lanes beyond the test count stay clear.
+    for (std::size_t lane = 70 - 64; lane < 64; ++lane) {
+      EXPECT_EQ((matrix[f][1] >> lane) & 1, 0u);
+    }
+  }
+}
+
+TEST(ParallelSim, WordLogicMatchesTripleSimExactly) {
+  // Property: pack 64 random tests and compare every line's computed triple
+  // against the scalar triple simulator, via the detection of per-line
+  // "probe requirements".
+  Rng rng(31);
+  for (int iter = 0; iter < 10; ++iter) {
+    const Netlist nl = testing::random_small_netlist(rng);
+    const auto tests = random_tests(nl, 64, rng);
+    ParallelFaultSimulator parallel(nl);
+    FaultSimulator scalar(nl);
+
+    // One synthetic "fault" per node and interesting triple.
+    std::vector<TargetFault> probes;
+    for (NodeId id = 0; id < nl.node_count(); ++id) {
+      for (const Triple& req : {kSteady0, kSteady1, kRise, kFall}) {
+        TargetFault tf;
+        tf.requirements = {{id, req}};
+        probes.push_back(std::move(tf));
+      }
+    }
+    EXPECT_EQ(parallel.detects_any(tests, probes),
+              scalar.detects_any(tests, probes))
+        << "iter " << iter;
+  }
+}
+
+TEST(ParallelSim, EmptyInputs) {
+  const Netlist nl = benchmark_circuit("s27");
+  ParallelFaultSimulator parallel(nl);
+  EXPECT_TRUE(parallel.detects_any({}, {}).empty());
+  TargetSetConfig cfg;
+  cfg.n_p = 40;
+  cfg.n_p0 = 4;
+  const TargetSets ts = build_target_sets(nl, cfg);
+  const auto none = parallel.detects_any({}, ts.p0);
+  for (bool b : none) EXPECT_FALSE(b);
+}
+
+TEST(ParallelSim, BadTestWidthThrows) {
+  const Netlist nl = benchmark_circuit("s27");
+  ParallelFaultSimulator parallel(nl);
+  TwoPatternTest t;
+  t.pi_values.assign(2, kSteady0);
+  TargetFault tf;
+  tf.requirements = {{0, kSteady0}};
+  const TwoPatternTest tests[] = {t};
+  const TargetFault faults[] = {tf};
+  EXPECT_THROW(parallel.detects_any(tests, faults), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pdf

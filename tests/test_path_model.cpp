@@ -1,0 +1,94 @@
+#include "paths/path.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/registry.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace pdf {
+namespace {
+
+// Resolves a name path to node ids.
+Path named_path(const Netlist& nl, std::initializer_list<const char*> names) {
+  Path p;
+  for (const char* n : names) p.nodes.push_back(nl.id_of(n));
+  return p;
+}
+
+TEST(PathModel, ConsumerCountsOnS27) {
+  const Netlist nl = benchmark_circuit("s27");
+  const LineDelayModel dm(nl);
+  // G14 feeds G8 and G10.
+  EXPECT_EQ(dm.consumers(nl.id_of("G14")), 2);
+  // G11 feeds G17 and G10 and is a pseudo output (DFF G6 data): 3 consumers.
+  EXPECT_EQ(dm.consumers(nl.id_of("G11")), 3);
+  // G13 only feeds its DFF tap.
+  EXPECT_EQ(dm.consumers(nl.id_of("G13")), 1);
+  // G17 is the real PO with no gate fanout.
+  EXPECT_EQ(dm.consumers(nl.id_of("G17")), 1);
+  EXPECT_EQ(dm.branch_cost(nl.id_of("G14")), 1);
+  EXPECT_EQ(dm.branch_cost(nl.id_of("G13")), 0);
+}
+
+TEST(PathModel, PaperLengthsReproduceOnS27) {
+  // The paper's Table 1 lengths, in its line counting:
+  //   (G2, G13)                          -> length 2
+  //   (G1, G12, G13)                     -> length 4  (branch after G12)
+  //   (G0, G14, G10)                     -> length 4
+  //   (G0, G14, G8, G15, G9, G11, G17)   -> length 10 (the longest path)
+  const Netlist nl = benchmark_circuit("s27");
+  const LineDelayModel dm(nl);
+  EXPECT_EQ(dm.complete_length(named_path(nl, {"G2", "G13"}).nodes), 2);
+  EXPECT_EQ(dm.complete_length(named_path(nl, {"G1", "G12", "G13"}).nodes), 4);
+  EXPECT_EQ(dm.complete_length(named_path(nl, {"G0", "G14", "G10"}).nodes), 4);
+  EXPECT_EQ(dm.complete_length(
+                named_path(nl, {"G0", "G14", "G8", "G15", "G9", "G11", "G17"}).nodes),
+            10);
+  // Completing at the multi-consumer pseudo output G11 crosses its output
+  // branch: one line longer than the partial prefix.
+  const Path to_g11 = named_path(nl, {"G3", "G16", "G9", "G11"});
+  EXPECT_EQ(dm.complete_length(to_g11.nodes), dm.partial_length(to_g11.nodes) + 1);
+}
+
+TEST(PathModel, PartialLengthCountsStemsAndBranches) {
+  const Netlist nl = benchmark_circuit("s27");
+  const LineDelayModel dm(nl);
+  // G0(1) G14(2) branch(3) G8(4): partial length 4.
+  EXPECT_EQ(dm.partial_length(named_path(nl, {"G0", "G14", "G8"}).nodes), 4);
+  // Single-node partial: just the stem.
+  EXPECT_EQ(dm.partial_length(named_path(nl, {"G0"}).nodes), 1);
+}
+
+TEST(PathModel, CompleteLengthRequiresOutputSink) {
+  const Netlist nl = benchmark_circuit("s27");
+  const LineDelayModel dm(nl);
+  EXPECT_THROW(dm.complete_length(named_path(nl, {"G0", "G14"}).nodes),
+               std::logic_error);
+}
+
+TEST(PathModel, PathToString) {
+  const Netlist nl = testing::tiny_and_or();
+  const Path p = named_path(nl, {"a", "y", "z"});
+  EXPECT_EQ(path_to_string(nl, p), "a -> y -> z");
+  EXPECT_EQ(p.source(), nl.id_of("a"));
+  EXPECT_EQ(p.sink(), nl.id_of("z"));
+}
+
+TEST(PathModel, SingleConsumerChainHasNoBranchLines) {
+  // A pure chain: every length equals the node count.
+  Netlist nl("chain");
+  NodeId prev = nl.add_input("i");
+  for (int k = 0; k < 5; ++k) {
+    prev = nl.add_gate("n" + std::to_string(k), GateType::Not, {prev});
+  }
+  nl.mark_output(prev);
+  nl.finalize();
+  const LineDelayModel dm(nl);
+  std::vector<NodeId> nodes;
+  for (NodeId id = 0; id < nl.node_count(); ++id) nodes.push_back(id);
+  EXPECT_EQ(dm.complete_length(nodes), 6);
+  EXPECT_EQ(dm.partial_length(nodes), 6);
+}
+
+}  // namespace
+}  // namespace pdf

@@ -1,0 +1,101 @@
+#include "gen/random_circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "netlist/bench_io.hpp"
+#include "netlist/transform.hpp"
+#include "paths/distance.hpp"
+#include "paths/enumerate.hpp"
+
+namespace pdf {
+namespace {
+
+TEST(RandomCircuit, DeterministicFromSeed) {
+  RandomCircuitConfig cfg;
+  cfg.seed = 7;
+  const Netlist a = generate_random_circuit(cfg);
+  const Netlist b = generate_random_circuit(cfg);
+  EXPECT_EQ(to_bench_string(a), to_bench_string(b));
+}
+
+TEST(RandomCircuit, SeedChangesStructure) {
+  RandomCircuitConfig cfg;
+  cfg.seed = 7;
+  const Netlist a = generate_random_circuit(cfg);
+  cfg.seed = 8;
+  const Netlist b = generate_random_circuit(cfg);
+  EXPECT_NE(to_bench_string(a), to_bench_string(b));
+}
+
+TEST(RandomCircuit, MeetsStructuralRequests) {
+  RandomCircuitConfig cfg;
+  cfg.n_inputs = 30;
+  cfg.n_gates = 250;
+  cfg.levels = 15;
+  cfg.seed = 3;
+  const Netlist nl = generate_random_circuit(cfg);
+  EXPECT_EQ(nl.inputs().size(), 30u);
+  // Gate budget is approximate (chains are sized to it) and unary sub-chains
+  // deepen the spine beyond the requested level count.
+  EXPECT_GE(nl.gate_count(), 200u);
+  EXPECT_LE(nl.gate_count(), 320u);
+  EXPECT_GE(nl.depth(), 15);
+  EXPECT_LE(nl.depth(), 30);
+  EXPECT_TRUE(is_atpg_ready(nl));
+  EXPECT_FALSE(nl.has_sequential());
+}
+
+TEST(RandomCircuit, EveryInputFeedsLogicAndEveryGateIsObservable) {
+  RandomCircuitConfig cfg;
+  cfg.seed = 11;
+  const Netlist nl = generate_random_circuit(cfg);
+  for (NodeId pi : nl.inputs()) {
+    EXPECT_FALSE(nl.node(pi).fanout.empty()) << nl.node(pi).name;
+  }
+  // No dangling non-output gates.
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    const Node& n = nl.node(id);
+    if (n.type == GateType::Input) continue;
+    EXPECT_TRUE(!n.fanout.empty() || n.is_output) << n.name;
+  }
+  // Every node reaches an output.
+  const LineDelayModel dm(nl);
+  const auto d = distances_to_outputs(dm);
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    if (nl.node(id).type == GateType::Input && nl.node(id).fanout.empty()) {
+      continue;
+    }
+    EXPECT_NE(d[id], kUnreachable) << nl.node(id).name;
+  }
+}
+
+TEST(RandomCircuit, HasManyPathsWithSpreadLengths) {
+  RandomCircuitConfig cfg;
+  cfg.seed = 5;
+  cfg.n_gates = 300;
+  cfg.levels = 18;
+  const Netlist nl = generate_random_circuit(cfg);
+  const LineDelayModel dm(nl);
+  EnumerationConfig ecfg;
+  ecfg.max_faults = 4000;
+  const EnumerationResult r = enumerate_longest_paths(dm, ecfg);
+  EXPECT_GE(r.paths.size() * 2, 1000u);  // >= 1000 faults, like the paper's cut
+  // Path lengths spread over multiple values (needed for a P0/P1 split).
+  std::set<int> lengths;
+  for (const auto& p : r.paths) lengths.insert(p.length);
+  EXPECT_GE(lengths.size(), 4u);
+}
+
+TEST(RandomCircuit, RejectsDegenerateConfig) {
+  RandomCircuitConfig cfg;
+  cfg.n_inputs = 1;
+  EXPECT_THROW(generate_random_circuit(cfg), std::invalid_argument);
+  cfg.n_inputs = 8;
+  cfg.levels = 1;
+  EXPECT_THROW(generate_random_circuit(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pdf

@@ -1,0 +1,74 @@
+#include "gen/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/transform.hpp"
+#include "paths/enumerate.hpp"
+#include "paths/path.hpp"
+
+namespace pdf {
+namespace {
+
+TEST(Registry, CatalogIsConsistent) {
+  const auto catalog = benchmark_catalog();
+  EXPECT_GE(catalog.size(), 14u);
+  for (const auto& info : catalog) {
+    EXPECT_TRUE(has_benchmark(info.name)) << info.name;
+    EXPECT_FALSE(info.description.empty()) << info.name;
+  }
+  EXPECT_FALSE(has_benchmark("definitely_not_a_circuit"));
+  EXPECT_THROW(benchmark_circuit("definitely_not_a_circuit"),
+               std::invalid_argument);
+}
+
+TEST(Registry, AllCircuitsAreAtpgReady) {
+  for (const auto& info : benchmark_catalog()) {
+    const Netlist nl = benchmark_circuit(info.name);
+    EXPECT_TRUE(nl.finalized()) << info.name;
+    EXPECT_FALSE(nl.has_sequential()) << info.name;
+    EXPECT_TRUE(is_atpg_ready(nl)) << info.name;
+    EXPECT_FALSE(nl.inputs().empty()) << info.name;
+    EXPECT_FALSE(nl.outputs().empty()) << info.name;
+  }
+}
+
+TEST(Registry, TableCircuitsFollowPaperOrder) {
+  const auto circuits = table_circuits();
+  ASSERT_EQ(circuits.size(), 8u);
+  EXPECT_EQ(circuits[0], "s641_like");
+  EXPECT_EQ(circuits[7], "b09_like");
+  for (const auto& name : circuits) EXPECT_TRUE(has_benchmark(name));
+  const auto extra = table6_extra_circuits();
+  ASSERT_EQ(extra.size(), 3u);
+  for (const auto& name : extra) EXPECT_TRUE(has_benchmark(name));
+}
+
+TEST(Registry, TableCircuitsHaveAtLeast1000Paths) {
+  // The paper "only consider[s] circuits with at least 1000 paths".
+  for (const auto& name : table_circuits()) {
+    const Netlist nl = benchmark_circuit(name);
+    const LineDelayModel dm(nl);
+    EnumerationConfig cfg;
+    cfg.max_faults = 1200;  // stop early; we only need the threshold
+    const EnumerationResult r = enumerate_longest_paths(dm, cfg);
+    EXPECT_GE(r.paths.size() * 2 + r.trace.prunes.size(), 1000u / 2)
+        << name;  // kept near budget implies plenty of paths
+  }
+}
+
+TEST(Registry, BuildersAreDeterministic) {
+  for (const auto& name : {"s641_like", "b03_like", "rca16"}) {
+    const Netlist a = benchmark_circuit(name);
+    const Netlist b = benchmark_circuit(name);
+    EXPECT_EQ(a.node_count(), b.node_count()) << name;
+    EXPECT_EQ(a.depth(), b.depth()) << name;
+  }
+}
+
+TEST(Registry, S27TextAvailable) {
+  EXPECT_NE(s27_bench_text().find("G17 = NOT(G11)"), std::string::npos);
+  EXPECT_NE(s27_bench_text().find("G5 = DFF(G10)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdf

@@ -1,0 +1,49 @@
+#include "report/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pdf {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t("Demo");
+  t.columns({"circuit", "tests"});
+  t.row("s641", 129);
+  t.row("b03", 96);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("circuit"), std::string::npos);
+  EXPECT_NE(s.find("129"), std::string::npos);
+  EXPECT_NE(s.find("b03"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t;
+  t.columns({"a", "b", "c"});
+  t.row("x", 1, 2.5);
+  EXPECT_EQ(t.to_csv(), "a,b,c\nx,1,2.50\n");
+}
+
+TEST(Table, MixedCellTypes) {
+  Table t;
+  t.columns({"name", "int", "double", "literal"});
+  t.row(std::string("n"), std::size_t{7}, 0.25, "lit");
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_EQ(t.to_csv(), "name,int,double,literal\nn,7,0.25,lit\n");
+}
+
+TEST(Table, RowsShorterThanHeaderAreSafe) {
+  Table t;
+  t.columns({"a", "b"});
+  t.add_row({"only"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdf

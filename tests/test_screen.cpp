@@ -1,0 +1,110 @@
+#include "faults/screen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/registry.hpp"
+#include "paths/enumerate.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace pdf {
+namespace {
+
+std::vector<PathDelayFault> all_faults(const Netlist& nl) {
+  const LineDelayModel dm(nl);
+  EnumerationConfig cfg;
+  cfg.max_faults = 1000000;
+  return faults_for_paths(enumerate_longest_paths(dm, cfg).paths);
+}
+
+TEST(Screen, KeepsDetectableS27Faults) {
+  const Netlist nl = benchmark_circuit("s27");
+  ScreenStats stats;
+  const auto kept = screen_faults(nl, all_faults(nl), &stats);
+  EXPECT_EQ(stats.input_faults, stats.conflict_dropped +
+                                    stats.implication_dropped + stats.kept);
+  EXPECT_GT(stats.kept, 0u);
+  // The paper example fault must survive with its requirements attached.
+  bool found = false;
+  for (const auto& tf : kept) {
+    if (fault_to_string(nl, tf.fault).find("G1 -> G12 -> G13") == 0 &&
+        tf.fault.rising_source) {
+      found = true;
+      EXPECT_EQ(tf.requirements.size(), 5u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Screen, DropsLocallyConflictingFault) {
+  // Path a -> z -> w where w = OR(z, a): off-path requirement xx0 on a
+  // conflicts with the rising source requirement.
+  Netlist nl("conf");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId z = nl.add_gate("z", GateType::And, {a, b});
+  const NodeId w = nl.add_gate("w", GateType::Or, {z, a});
+  nl.mark_output(w);
+  nl.finalize();
+
+  std::vector<PathDelayFault> faults;
+  faults.push_back({Path{{a, z, w}}, true, 3});
+  faults.push_back({Path{{a, z, w}}, false, 3});
+  faults.push_back({Path{{b, z, w}}, true, 3});
+
+  ScreenStats stats;
+  const auto kept = screen_faults(nl, std::move(faults), &stats);
+  EXPECT_EQ(stats.input_faults, 3u);
+  EXPECT_GE(stats.conflict_dropped, 1u);
+  // The rising a-fault must be gone (it needs a=0x1 and a=xx0).
+  for (const auto& tf : kept) {
+    EXPECT_FALSE(tf.fault.path.source() == a && tf.fault.rising_source);
+  }
+}
+
+TEST(Screen, DropsImplicationContradiction) {
+  // c = AND(a, b); z = AND(c, n); n = NOT(a).
+  // Path b -> c -> z (rising): off-path a steady 1 (c ends at AND's
+  // non-controlling... rising into AND ends at non-controlling 1 => side
+  // inputs need xx1; at z the on-path c rises, so n needs xx1 which implies
+  // a = xx0 — together with a = xx1 a contradiction only implication sees.
+  Netlist nl("imp");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId n = nl.add_gate("n", GateType::Not, {a});
+  const NodeId c = nl.add_gate("c", GateType::And, {a, b});
+  const NodeId z = nl.add_gate("z", GateType::And, {c, n});
+  nl.mark_output(z);
+  nl.finalize();
+
+  std::vector<PathDelayFault> faults;
+  faults.push_back({Path{{b, c, z}}, true, 3});
+
+  ScreenStats stats;
+  const auto kept = screen_faults(nl, std::move(faults), &stats);
+  EXPECT_EQ(kept.size(), 0u);
+  EXPECT_EQ(stats.implication_dropped + stats.conflict_dropped, 1u);
+  EXPECT_GE(stats.implication_dropped, 1u);
+}
+
+TEST(Screen, SurvivorsKeepInputOrder) {
+  const Netlist nl = benchmark_circuit("s27");
+  const auto faults = all_faults(nl);
+  const auto kept = screen_faults(nl, faults, nullptr);
+  // Lengths must appear in the same (descending-by-pairs) order as input.
+  std::size_t j = 0;
+  for (const auto& f : faults) {
+    if (j < kept.size() && kept[j].fault.path == f.path &&
+        kept[j].fault.rising_source == f.rising_source) {
+      ++j;
+    }
+  }
+  EXPECT_EQ(j, kept.size());
+}
+
+TEST(Screen, NullStatsAccepted) {
+  const Netlist nl = benchmark_circuit("s27");
+  EXPECT_NO_THROW(screen_faults(nl, all_faults(nl), nullptr));
+}
+
+}  // namespace
+}  // namespace pdf

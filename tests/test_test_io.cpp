@@ -1,0 +1,96 @@
+#include "atpg/test_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "enrich/enrichment.hpp"
+#include "gen/registry.hpp"
+
+namespace pdf {
+namespace {
+
+std::vector<TwoPatternTest> sample_tests(const Netlist& nl) {
+  TargetSetConfig cfg;
+  cfg.n_p = 60;
+  cfg.n_p0 = 8;
+  const EnrichmentWorkbench wb(nl, cfg);
+  return wb.run_enriched({}).tests;
+}
+
+TEST(TestIo, RoundTrip) {
+  const Netlist nl = benchmark_circuit("s27");
+  const auto tests = sample_tests(nl);
+  ASSERT_FALSE(tests.empty());
+  const std::string text = tests_to_string(nl, tests);
+  const auto back = tests_from_string(text, nl);
+  ASSERT_EQ(back.size(), tests.size());
+  for (std::size_t i = 0; i < tests.size(); ++i) {
+    EXPECT_EQ(back[i].pi_values, tests[i].pi_values);
+  }
+}
+
+TEST(TestIo, FileRoundTrip) {
+  const Netlist nl = benchmark_circuit("s27");
+  const auto tests = sample_tests(nl);
+  const std::string path = ::testing::TempDir() + "/pdf_tests.txt";
+  write_tests_file(path, nl, tests);
+  const auto back = read_tests_file(path, nl);
+  ASSERT_EQ(back.size(), tests.size());
+  EXPECT_EQ(back.front().pi_values, tests.front().pi_values);
+}
+
+TEST(TestIo, UnknownValuesSurvive) {
+  const Netlist nl = benchmark_circuit("s27");
+  const std::string text =
+      "circuit s27\n"
+      "inputs G0 G1 G2 G3 G5 G6 G7\n"
+      "test 0x11010/1x01010\n";
+  const auto tests = tests_from_string(text, nl);
+  ASSERT_EQ(tests.size(), 1u);
+  EXPECT_EQ(tests[0].pi_values[0], kRise);
+  EXPECT_FALSE(is_specified(tests[0].pi_values[1].a1));
+}
+
+TEST(TestIo, ValidatesInputNames) {
+  const Netlist nl = benchmark_circuit("s27");
+  EXPECT_THROW(tests_from_string("inputs WRONG G1 G2 G3 G5 G6 G7\n", nl),
+               std::runtime_error);
+  EXPECT_THROW(tests_from_string("inputs G0 G1\n", nl), std::runtime_error);
+  EXPECT_THROW(
+      tests_from_string("inputs G0 G1 G2 G3 G5 G6 G7 EXTRA\n", nl),
+      std::runtime_error);
+}
+
+TEST(TestIo, ValidatesPatterns) {
+  const Netlist nl = benchmark_circuit("s27");
+  const std::string header = "inputs G0 G1 G2 G3 G5 G6 G7\n";
+  EXPECT_THROW(tests_from_string(header + "test 0101010\n", nl),
+               std::runtime_error);  // no slash
+  EXPECT_THROW(tests_from_string(header + "test 010/1100110\n", nl),
+               std::runtime_error);  // width
+  EXPECT_THROW(tests_from_string(header + "test 0101012/1100110\n", nl),
+               std::runtime_error);  // bad character
+  EXPECT_THROW(tests_from_string("test 0101010/1100110\n", nl),
+               std::runtime_error);  // test before inputs
+  EXPECT_THROW(tests_from_string(header + "frobnicate\n", nl),
+               std::runtime_error);  // unknown keyword
+}
+
+TEST(TestIo, CommentsAndBlankLinesIgnored) {
+  const Netlist nl = benchmark_circuit("s27");
+  const std::string text =
+      "# header comment\n\n"
+      "circuit whatever\n"
+      "inputs G0 G1 G2 G3 G5 G6 G7  # trailing comment\n"
+      "test 0000000/1111111 # flip everything\n";
+  const auto tests = tests_from_string(text, nl);
+  ASSERT_EQ(tests.size(), 1u);
+  EXPECT_TRUE(tests[0].fully_specified());
+}
+
+TEST(TestIo, MissingFileThrows) {
+  const Netlist nl = benchmark_circuit("s27");
+  EXPECT_THROW(read_tests_file("/nonexistent/tests.txt", nl), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pdf

@@ -1,0 +1,42 @@
+#include "atpg/test_pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_helpers.hpp"
+
+namespace pdf {
+namespace {
+
+TEST(TestPattern, FullySpecified) {
+  TwoPatternTest t;
+  EXPECT_FALSE(t.fully_specified());  // empty test
+  t.pi_values = {kRise, kSteady0, kFall};
+  EXPECT_TRUE(t.fully_specified());
+  t.pi_values.push_back(Triple{V3::X, V3::X, V3::One});
+  EXPECT_FALSE(t.fully_specified());
+}
+
+TEST(TestPattern, PatternsString) {
+  TwoPatternTest t;
+  t.pi_values = {kRise, kSteady0, kFall, kSteady1};
+  EXPECT_EQ(t.patterns_string(), "0011/1001");
+}
+
+TEST(TestPattern, PatternsStringWithUnknowns) {
+  TwoPatternTest t;
+  t.pi_values = {Triple{V3::X, V3::X, V3::One}, kSteady0};
+  EXPECT_EQ(t.patterns_string(), "x0/10");
+}
+
+TEST(TestPattern, ToStringUsesInputNames) {
+  const Netlist nl = testing::tiny_and_or();
+  TwoPatternTest t;
+  t.pi_values = {kRise, kSteady1, kSteady0};
+  const std::string s = test_to_string(nl, t);
+  EXPECT_NE(s.find("a=0x1"), std::string::npos);
+  EXPECT_NE(s.find("b=111"), std::string::npos);
+  EXPECT_NE(s.find("c=000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdf

@@ -1,0 +1,117 @@
+#include "base/triple.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pdf {
+namespace {
+
+std::vector<Triple> all_triples() {
+  std::vector<Triple> out;
+  const V3 vals[] = {V3::Zero, V3::One, V3::X};
+  for (V3 a : vals) {
+    for (V3 b : vals) {
+      for (V3 c : vals) out.push_back({a, b, c});
+    }
+  }
+  return out;
+}
+
+TEST(Triple, NamedConstants) {
+  EXPECT_EQ(kSteady0.str(), "000");
+  EXPECT_EQ(kSteady1.str(), "111");
+  EXPECT_EQ(kRise.str(), "0x1");
+  EXPECT_EQ(kFall.str(), "1x0");
+  EXPECT_EQ(kAllX.str(), "xxx");
+  EXPECT_EQ(kFinal0.str(), "xx0");
+  EXPECT_EQ(kFinal1.str(), "xx1");
+}
+
+TEST(Triple, StringRoundTrip) {
+  for (const Triple& t : all_triples()) {
+    EXPECT_EQ(triple_from_string(t.str()), t);
+  }
+  EXPECT_THROW(triple_from_string("01"), std::invalid_argument);
+  EXPECT_THROW(triple_from_string("0123"), std::invalid_argument);
+  EXPECT_THROW(triple_from_string("0y1"), std::invalid_argument);
+}
+
+TEST(Triple, PlaneIndexing) {
+  const Triple t = triple_from_string("01x");
+  EXPECT_EQ(t[0], V3::Zero);
+  EXPECT_EQ(t[1], V3::One);
+  EXPECT_EQ(t[2], V3::X);
+  EXPECT_THROW(t[3], std::out_of_range);
+}
+
+TEST(Triple, CoversIsReflexiveAndXIsBottom) {
+  for (const Triple& t : all_triples()) {
+    EXPECT_TRUE(t.covers(t)) << t.str();
+    EXPECT_TRUE(t.covers(kAllX)) << t.str();
+    if (!(t == kAllX)) {
+      EXPECT_FALSE(kAllX.covers(t)) << t.str();
+    }
+  }
+}
+
+TEST(Triple, CoversExamples) {
+  EXPECT_TRUE(kSteady0.covers(kFinal0));   // steady 0 guarantees final 0
+  EXPECT_FALSE(kFinal0.covers(kSteady0));  // final 0 does not guarantee steady
+  EXPECT_TRUE(kRise.covers(kFinal1));
+  EXPECT_FALSE(kRise.covers(kSteady1));
+  EXPECT_FALSE(kFall.covers(kFinal1));
+}
+
+TEST(Triple, ConflictIsSymmetricAndCoverImpliesNoConflict) {
+  for (const Triple& a : all_triples()) {
+    for (const Triple& b : all_triples()) {
+      EXPECT_EQ(a.conflicts_with(b), b.conflicts_with(a));
+      if (a.covers(b)) {
+        EXPECT_FALSE(a.conflicts_with(b));
+      }
+    }
+  }
+}
+
+TEST(Triple, MergeIsLeastUpperBound) {
+  for (const Triple& a : all_triples()) {
+    for (const Triple& b : all_triples()) {
+      if (a.conflicts_with(b)) continue;
+      const Triple m = merge(a, b);
+      EXPECT_TRUE(m.covers(a)) << a.str() << " " << b.str();
+      EXPECT_TRUE(m.covers(b)) << a.str() << " " << b.str();
+      // Minimality: every specified component of m comes from a or b.
+      for (int p = 0; p < 3; ++p) {
+        if (is_specified(m[p])) {
+          EXPECT_TRUE(m[p] == a[p] || m[p] == b[p]);
+        }
+      }
+    }
+  }
+}
+
+TEST(Triple, ConflictExamples) {
+  EXPECT_TRUE(kRise.conflicts_with(kFall));
+  EXPECT_TRUE(kSteady0.conflicts_with(kFinal1));
+  EXPECT_FALSE(kSteady0.conflicts_with(kFinal0));
+  EXPECT_FALSE(kRise.conflicts_with(kFinal1));
+  EXPECT_TRUE(kRise.conflicts_with(kSteady0));
+}
+
+TEST(Triple, TransitionHelpers) {
+  EXPECT_EQ(transition(true), kRise);
+  EXPECT_EQ(transition(false), kFall);
+  EXPECT_EQ(steady(V3::One), kSteady1);
+  EXPECT_EQ(final_only(V3::Zero), kFinal0);
+}
+
+TEST(Triple, FullySpecifiedAndAllX) {
+  EXPECT_TRUE(kSteady1.fully_specified());
+  EXPECT_FALSE(kRise.fully_specified());
+  EXPECT_TRUE(kAllX.all_x());
+  EXPECT_FALSE(kFinal0.all_x());
+}
+
+}  // namespace
+}  // namespace pdf

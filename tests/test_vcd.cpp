@@ -1,0 +1,72 @@
+#include "sim/vcd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/registry.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace pdf {
+namespace {
+
+std::vector<Waveform> sample_waveforms(const Netlist& nl) {
+  std::vector<Triple> pis(nl.inputs().size(), kSteady0);
+  pis[0] = kRise;
+  std::vector<int> sw(nl.inputs().size(), 5);
+  std::vector<int> delays(nl.node_count(), 2);
+  return simulate_timed(nl, pis, sw, delays);
+}
+
+TEST(Vcd, StructureAndContent) {
+  const Netlist nl = testing::tiny_and_or();
+  const auto wf = sample_waveforms(nl);
+  const std::string vcd = vcd_to_string(nl, wf, "unit test");
+
+  EXPECT_NE(vcd.find("$timescale 1ns $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$comment unit test $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$scope module tiny $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+  // One $var per node.
+  std::size_t vars = 0, pos = 0;
+  while ((pos = vcd.find("$var wire 1 ", pos)) != std::string::npos) {
+    ++vars;
+    ++pos;
+  }
+  EXPECT_EQ(vars, nl.node_count());
+  // The rising input a produces a timestamped change at t=5.
+  EXPECT_NE(vcd.find("#5"), std::string::npos);
+  EXPECT_NE(vcd.find("#0"), std::string::npos);
+}
+
+TEST(Vcd, ChangesAreTimeOrdered) {
+  const Netlist nl = benchmark_circuit("s27");
+  std::vector<Triple> pis(nl.inputs().size(), kSteady1);
+  pis[1] = kFall;
+  std::vector<int> sw(nl.inputs().size(), 3);
+  std::vector<int> delays(nl.node_count(), 1);
+  const auto wf = simulate_timed(nl, pis, sw, delays);
+  const std::string vcd = vcd_to_string(nl, wf);
+
+  int prev = -1;
+  std::istringstream in(vcd);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] == '#') {
+      const int t = std::stoi(line.substr(1));
+      EXPECT_GT(t, prev);
+      prev = t;
+    }
+  }
+  EXPECT_GE(prev, 0);
+}
+
+TEST(Vcd, WrongSizeThrows) {
+  const Netlist nl = testing::tiny_and_or();
+  std::vector<Waveform> too_few(2);
+  std::ostringstream os;
+  EXPECT_THROW(write_vcd(os, nl, too_few), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pdf

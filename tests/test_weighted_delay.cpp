@@ -1,0 +1,132 @@
+// Tests for the weighted (non-unit) delay model extension.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "enrich/target_sets.hpp"
+#include "gen/registry.hpp"
+#include "paths/distance.hpp"
+#include "paths/enumerate.hpp"
+
+namespace pdf {
+namespace {
+
+Path named_path(const Netlist& nl, std::initializer_list<const char*> names) {
+  Path p;
+  for (const char* n : names) p.nodes.push_back(nl.id_of(n));
+  return p;
+}
+
+TEST(WeightedDelay, UnitWeightsMatchDefaultModel) {
+  const Netlist nl = benchmark_circuit("s27");
+  const LineDelayModel unit(nl);
+  const LineDelayModel explicit_unit(nl, std::vector<int>(nl.node_count(), 1));
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    EXPECT_EQ(unit.stem_weight(id), explicit_unit.stem_weight(id));
+  }
+  const Path p = named_path(nl, {"G0", "G14", "G8", "G15", "G9", "G11", "G17"});
+  EXPECT_EQ(unit.complete_length(p.nodes), explicit_unit.complete_length(p.nodes));
+}
+
+TEST(WeightedDelay, LengthsUseStemWeights) {
+  const Netlist nl = benchmark_circuit("s27");
+  std::vector<int> w(nl.node_count(), 2);
+  w[nl.id_of("G14")] = 7;
+  const LineDelayModel dm(nl, w);
+  // G0(2) + G14(7) + branch(1) + G10(2) + output-branch... G10 single
+  // consumer -> complete = partial.
+  const Path p = named_path(nl, {"G0", "G14", "G10"});
+  EXPECT_EQ(dm.partial_length(p.nodes), 2 + 7 + 1 + 2);
+  EXPECT_EQ(dm.complete_length(p.nodes), 2 + 7 + 1 + 2);
+}
+
+TEST(WeightedDelay, Validation) {
+  const Netlist nl = benchmark_circuit("s27");
+  EXPECT_THROW(LineDelayModel(nl, std::vector<int>(3, 1)), std::invalid_argument);
+  std::vector<int> neg(nl.node_count(), 1);
+  neg[0] = -1;
+  EXPECT_THROW(LineDelayModel(nl, neg), std::invalid_argument);
+  EXPECT_THROW(random_delay_model(nl, 5, 2, 1), std::invalid_argument);
+}
+
+TEST(WeightedDelay, RandomModelDeterministic) {
+  const Netlist nl = benchmark_circuit("b03_like");
+  const LineDelayModel a = random_delay_model(nl, 1, 9, 42);
+  const LineDelayModel b = random_delay_model(nl, 1, 9, 42);
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    EXPECT_EQ(a.stem_weight(id), b.stem_weight(id));
+    EXPECT_GE(a.stem_weight(id), 0);
+    EXPECT_LE(a.stem_weight(id), 9);
+  }
+  // Inputs weigh 0.
+  for (NodeId pi : nl.inputs()) EXPECT_EQ(a.stem_weight(pi), 0);
+}
+
+TEST(WeightedDelay, DistancesStayConsistentWithBruteForce) {
+  const Netlist nl = benchmark_circuit("s27");
+  const LineDelayModel dm = random_delay_model(nl, 1, 5, 7);
+  const auto d = distances_to_outputs(dm);
+
+  // Brute force over all complete suffixes.
+  std::function<int(NodeId)> rec = [&](NodeId u) -> int {
+    int best = kUnreachable;
+    const Node& n = nl.node(u);
+    if (n.is_output) best = dm.branch_cost(u);
+    for (NodeId v : n.fanout) {
+      const int sub = rec(v);
+      if (sub == kUnreachable) continue;
+      best = std::max(best, dm.branch_cost(u) + dm.stem_weight(v) + sub);
+    }
+    return best;
+  };
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    EXPECT_EQ(d[id], rec(id)) << nl.node(id).name;
+  }
+}
+
+TEST(WeightedDelay, EnumerationKeepsWeightedLongest) {
+  const Netlist nl = benchmark_circuit("s27");
+  const LineDelayModel dm = random_delay_model(nl, 1, 9, 99);
+
+  EnumerationConfig all_cfg;
+  all_cfg.max_faults = 1000000;
+  const EnumerationResult all = enumerate_longest_paths(dm, all_cfg);
+  ASSERT_FALSE(all.paths.empty());
+  for (const auto& p : all.paths) {
+    EXPECT_EQ(p.length, dm.complete_length(p.path.nodes));
+  }
+
+  EnumerationConfig small_cfg;
+  small_cfg.max_faults = 8;
+  small_cfg.faults_per_path = 1;
+  const EnumerationResult top = enumerate_longest_paths(dm, small_cfg);
+  ASSERT_FALSE(top.paths.empty());
+  EXPECT_EQ(top.paths.front().length, all.paths.front().length);
+  // Every kept path is at least as long as the 8th longest overall.
+  const int floor_len = all.paths[std::min<std::size_t>(7, all.paths.size() - 1)].length;
+  for (const auto& p : top.paths) EXPECT_GE(p.length, floor_len);
+}
+
+TEST(WeightedDelay, TargetSetsUnderWeightedModel) {
+  const Netlist nl = benchmark_circuit("s953_like");
+  const LineDelayModel dm = random_delay_model(nl, 1, 9, 5);
+  TargetSetConfig cfg;
+  cfg.n_p = 1000;
+  cfg.n_p0 = 100;
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    cfg.stem_weights.push_back(dm.stem_weight(id));
+  }
+  const TargetSets ts = build_target_sets(nl, cfg);
+  ASSERT_FALSE(ts.p0.empty());
+  for (const auto& tf : ts.p0) EXPECT_GE(tf.fault.length, ts.cutoff_length);
+  for (const auto& tf : ts.p1) EXPECT_LT(tf.fault.length, ts.cutoff_length);
+  // The weighted profile is much more spread than the unit profile: the
+  // number of distinct lengths grows.
+  TargetSetConfig unit = cfg;
+  unit.stem_weights.clear();
+  const TargetSets tu = build_target_sets(nl, unit);
+  EXPECT_GT(ts.profile.buckets().size(), tu.profile.buckets().size());
+}
+
+}  // namespace
+}  // namespace pdf
