@@ -1,9 +1,25 @@
 // Microbenchmarks of the hot engines (google-benchmark): full triple
 // simulation, event-driven PI probing, implication closure, justification,
 // and batched fault simulation.
+//
+// Special mode:
+//   micro_engines compiled-vs-legacy [--circuit NAME] [--csv]
+// times robust (triple) simulation through the legacy Netlist walker against
+// the flattened CompiledCircuit path on NAME (default: the largest registry
+// circuit), verifies the two produce bit-identical values on every line, and
+// reports the speedup. Any other invocation falls through to the normal
+// google-benchmark driver.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+
 #include "atpg/justify.hpp"
+#include "core/compiled_circuit.hpp"
 #include "enrich/target_sets.hpp"
 #include "faultsim/fault_sim.hpp"
 #include "faultsim/parallel_sim.hpp"
@@ -44,6 +60,37 @@ void BM_FullTripleSim(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * nl.node_count());
 }
 BENCHMARK(BM_FullTripleSim);
+
+void BM_CompiledTripleSim(benchmark::State& state) {
+  const Netlist& nl = circuit();
+  const CompiledCircuit cc(nl);
+  SimScratch scratch;
+  Rng rng(1);
+  std::vector<Triple> pis(nl.inputs().size());
+  for (auto& t : pis) {
+    t = pi_triple(rng.coin() ? V3::One : V3::Zero,
+                  rng.coin() ? V3::One : V3::Zero);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate(cc, pis, scratch));
+  }
+  state.SetItemsProcessed(state.iterations() * nl.node_count());
+}
+BENCHMARK(BM_CompiledTripleSim);
+
+void BM_CompiledPlaneSim(benchmark::State& state) {
+  const Netlist& nl = circuit();
+  const CompiledCircuit cc(nl);
+  SimScratch scratch;
+  Rng rng(1);
+  std::vector<V3> pis(nl.inputs().size());
+  for (auto& v : pis) v = rng.coin() ? V3::One : V3::Zero;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate_plane(cc, pis, scratch));
+  }
+  state.SetItemsProcessed(state.iterations() * nl.node_count());
+}
+BENCHMARK(BM_CompiledPlaneSim);
 
 void BM_EventSimProbe(benchmark::State& state) {
   const Netlist& nl = circuit();
@@ -141,6 +188,113 @@ void BM_FaultSimScalar64(benchmark::State& state) {
 }
 BENCHMARK(BM_FaultSimScalar64);
 
+// ---- compiled-vs-legacy comparison mode ------------------------------------
+
+double measure_ms(const std::function<void()>& fn, int rounds) {
+  using clock = std::chrono::steady_clock;
+  double best = 1e300;
+  for (int r = 0; r < rounds; ++r) {
+    const auto t0 = clock::now();
+    fn();
+    const auto t1 = clock::now();
+    best = std::min(best,
+                    std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+int run_compiled_vs_legacy(const std::string& name, bool csv) {
+  if (!has_benchmark(name)) {
+    std::fprintf(stderr, "unknown circuit '%s' (see bench_atpg --list)\n",
+                 name.c_str());
+    return 2;
+  }
+  const Netlist nl = benchmark_circuit(name);
+  const CompiledCircuit cc(nl);
+  SimScratch scratch;
+
+  // A batch of random fully specified two-pattern tests.
+  constexpr std::size_t kTests = 64;
+  Rng rng(12345);
+  std::vector<std::vector<Triple>> tests(kTests);
+  for (auto& pis : tests) {
+    pis.resize(nl.inputs().size());
+    for (auto& t : pis) {
+      t = pi_triple(rng.coin() ? V3::One : V3::Zero,
+                    rng.coin() ? V3::One : V3::Zero);
+    }
+  }
+
+  // Bit-identicality first: every line, every test.
+  for (const auto& pis : tests) {
+    const auto legacy = simulate(nl, pis);
+    const auto compiled = simulate(cc, pis, scratch);
+    for (NodeId id = 0; id < nl.node_count(); ++id) {
+      if (!(compiled[id] == legacy[id])) {
+        std::fprintf(stderr, "MISMATCH on %s node %u\n", name.c_str(), id);
+        return 1;
+      }
+    }
+  }
+
+  // Scale the inner repeat count to the circuit so one round is ~measurable.
+  const int repeats =
+      static_cast<int>(std::max<std::size_t>(1, 2'000'000 / nl.node_count()));
+  const int rounds = 7;
+
+  const double legacy_ms = measure_ms(
+      [&] {
+        for (int r = 0; r < repeats; ++r) {
+          benchmark::DoNotOptimize(simulate(nl, tests[r % kTests]));
+        }
+      },
+      rounds);
+  const double compiled_ms = measure_ms(
+      [&] {
+        for (int r = 0; r < repeats; ++r) {
+          benchmark::DoNotOptimize(simulate(cc, tests[r % kTests], scratch));
+        }
+      },
+      rounds);
+
+  const double speedup = legacy_ms / compiled_ms;
+  std::printf("== compiled-vs-legacy robust simulation ==\n");
+  std::printf("circuit: %s (%zu nodes, %zu inputs, depth %d)\n", name.c_str(),
+              nl.node_count(), nl.inputs().size(), cc.depth());
+  std::printf("repeats per round: %d, rounds (best-of): %d\n", repeats, rounds);
+  std::printf("legacy:   %10.3f ms\n", legacy_ms);
+  std::printf("compiled: %10.3f ms\n", compiled_ms);
+  std::printf("speedup:  %10.2fx (bit-identical on all %zu lines)\n", speedup,
+              nl.node_count());
+  if (csv) {
+    std::printf("\ncsv:\ncircuit,nodes,repeats,legacy_ms,compiled_ms,speedup\n");
+    std::printf("%s,%zu,%d,%.4f,%.4f,%.3f\n", name.c_str(), nl.node_count(),
+                repeats, legacy_ms, compiled_ms, speedup);
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool compare = false;
+  bool csv = false;
+  std::string circuit_name = "s13207_like";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "compiled-vs-legacy") == 0) {
+      compare = true;
+    } else if (compare && std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;
+    } else if (compare && std::strcmp(argv[i], "--circuit") == 0 &&
+               i + 1 < argc) {
+      circuit_name = argv[++i];
+    }
+  }
+  if (compare) return run_compiled_vs_legacy(circuit_name, csv);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,7 +6,7 @@
 namespace pdf {
 
 BnbJustifier::BnbJustifier(const Netlist& nl)
-    : nl_(&nl), sim_(nl), implication_(nl) {}
+    : cc_(nl), sim_(cc_), implication_(cc_) {}
 
 bool BnbJustifier::bit_specified(std::size_t input, int plane) const {
   const Triple& t = sim_.pi(input);
@@ -136,13 +136,13 @@ BnbResult BnbJustifier::justify(std::span<const ValueRequirement> reqs,
 
   if (sim_.violations() > 0) return finish(BnbStatus::Unsatisfiable);
 
-  support_ = support_inputs(*nl_, reqs);
+  support_ = support_inputs(cc_, reqs);
 
   if (cfg.use_implication_seed) {
     const ImplicationResult imp = implication_.imply(reqs);
     if (!imp.consistent) return finish(BnbStatus::Unsatisfiable);
-    for (std::size_t i = 0; i < nl_->inputs().size(); ++i) {
-      const Triple& t = imp.values[nl_->inputs()[i]];
+    for (std::size_t i = 0; i < cc_.inputs().size(); ++i) {
+      const Triple& t = imp.values[cc_.inputs()[i]];
       if (is_specified(t.a1)) apply_bit(i, 0, t.a1);
       if (is_specified(t.a3)) apply_bit(i, 2, t.a3);
     }
@@ -155,7 +155,7 @@ BnbResult BnbJustifier::justify(std::span<const ValueRequirement> reqs,
 
   // Fill non-support bits with stable zeros (they cannot affect any
   // required line) and extract the witness.
-  for (std::size_t i = 0; i < nl_->inputs().size(); ++i) {
+  for (std::size_t i = 0; i < cc_.inputs().size(); ++i) {
     const Triple& t = sim_.pi(i);
     const V3 b1 = is_specified(t.a1) ? t.a1 : V3::Zero;
     const V3 b3 = is_specified(t.a3) ? t.a3 : V3::Zero;

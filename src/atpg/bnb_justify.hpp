@@ -25,6 +25,7 @@
 #include <span>
 
 #include "atpg/test_pattern.hpp"
+#include "core/compiled_circuit.hpp"
 #include "faults/requirements.hpp"
 #include "implication/implication.hpp"
 #include "netlist/netlist.hpp"
@@ -61,7 +62,12 @@ struct BnbResult {
 
 class BnbJustifier {
  public:
+  /// Compiles `nl` once; the event simulator and the implication engine share
+  /// the flattened view.
   explicit BnbJustifier(const Netlist& nl);
+
+  BnbJustifier(const BnbJustifier&) = delete;
+  BnbJustifier& operator=(const BnbJustifier&) = delete;
 
   BnbResult justify(std::span<const ValueRequirement> reqs,
                     const BnbConfig& cfg = {});
@@ -78,7 +84,7 @@ class BnbJustifier {
   void apply_bit(std::size_t input, int plane, V3 v);
   bool bit_specified(std::size_t input, int plane) const;
 
-  const Netlist* nl_;
+  CompiledCircuit cc_;  // shared execution view (declared first: members below borrow it)
   EventSim sim_;
   ImplicationEngine implication_;
   BnbStats stats_;

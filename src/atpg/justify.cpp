@@ -8,15 +8,11 @@
 namespace pdf {
 
 JustificationEngine::JustificationEngine(const Netlist& nl, std::uint64_t seed)
-    : nl_(&nl), sim_(nl), implication_(nl), rng_(seed) {
-  input_index_.assign(nl.node_count(), -1);
-  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
-    input_index_[nl.inputs()[i]] = static_cast<int>(i);
-  }
-  bit1_.assign(nl.inputs().size(), V3::X);
-  bit3_.assign(nl.inputs().size(), V3::X);
-  in_support_.assign(nl.inputs().size(), false);
-  visit_mark_.assign(nl.node_count(), 0);
+    : cc_(nl), sim_(cc_), implication_(cc_), rng_(seed) {
+  bit1_.assign(cc_.inputs().size(), V3::X);
+  bit3_.assign(cc_.inputs().size(), V3::X);
+  in_support_.assign(cc_.inputs().size(), false);
+  visit_mark_.assign(cc_.node_count(), 0);
 }
 
 bool JustificationEngine::bit_specified(std::size_t input, int plane) const {
@@ -54,13 +50,13 @@ void JustificationEngine::compute_support(
   while (!stack.empty()) {
     const NodeId id = stack.back();
     stack.pop_back();
-    if (const int idx = input_index_[id]; idx >= 0) {
+    if (const int idx = cc_.input_index(id); idx >= 0) {
       if (!in_support_[static_cast<std::size_t>(idx)]) {
         in_support_[static_cast<std::size_t>(idx)] = true;
         support_inputs_.push_back(static_cast<std::size_t>(idx));
       }
     }
-    for (NodeId f : nl_->node(id).fanin) {
+    for (NodeId f : cc_.fanins(id)) {
       if (!visit_mark_[f]) {
         visit_mark_[f] = 1;
         stack.push_back(f);
@@ -107,8 +103,8 @@ bool JustificationEngine::attempt(std::span<const ValueRequirement> reqs,
   if (cfg.use_implication_seed) {
     const ImplicationResult imp = implication_.imply(reqs);
     if (!imp.consistent) return false;
-    for (std::size_t i = 0; i < nl_->inputs().size(); ++i) {
-      const Triple& t = imp.values[nl_->inputs()[i]];
+    for (std::size_t i = 0; i < cc_.inputs().size(); ++i) {
+      const Triple& t = imp.values[cc_.inputs()[i]];
       if (is_specified(t.a1)) apply_bit(i, 0, t.a1);
       if (is_specified(t.a3)) apply_bit(i, 2, t.a3);
     }

@@ -32,6 +32,7 @@
 
 #include "atpg/test_pattern.hpp"
 #include "base/rng.hpp"
+#include "core/compiled_circuit.hpp"
 #include "faults/requirements.hpp"
 #include "implication/implication.hpp"
 #include "netlist/netlist.hpp"
@@ -57,7 +58,12 @@ struct JustifyStats {
 
 class JustificationEngine {
  public:
+  /// Compiles `nl` once; the event simulator and the implication engine share
+  /// the flattened view.
   JustificationEngine(const Netlist& nl, std::uint64_t seed);
+
+  JustificationEngine(const JustificationEngine&) = delete;
+  JustificationEngine& operator=(const JustificationEngine&) = delete;
 
   /// Searches for a test satisfying `reqs`. nullopt when every attempt fails.
   std::optional<TwoPatternTest> justify(std::span<const ValueRequirement> reqs,
@@ -76,13 +82,12 @@ class JustificationEngine {
   /// failure.
   bool necessary_passes();
 
-  const Netlist* nl_;
+  CompiledCircuit cc_;  // shared execution view (declared first: members below borrow it)
   EventSim sim_;
   ImplicationEngine implication_;
   Rng rng_;
   JustifyStats stats_;
 
-  std::vector<int> input_index_;   // NodeId -> PI index or -1
   std::vector<V3> bit1_, bit3_;    // decision bits per PI
   std::vector<bool> in_support_;   // per PI index
   std::vector<std::size_t> support_inputs_;

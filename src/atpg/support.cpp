@@ -37,4 +37,32 @@ std::vector<std::size_t> support_inputs(const Netlist& nl,
   return out;
 }
 
+std::vector<std::size_t> support_inputs(const CompiledCircuit& cc,
+                                        std::span<const ValueRequirement> reqs) {
+  std::vector<char> visited(cc.node_count(), 0);
+  std::vector<NodeId> stack;
+  std::vector<std::size_t> out;
+  for (const auto& r : reqs) {
+    if (!visited[r.line]) {
+      visited[r.line] = 1;
+      stack.push_back(r.line);
+    }
+  }
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    if (const int idx = cc.input_index(id); idx >= 0) {
+      out.push_back(static_cast<std::size_t>(idx));
+    }
+    for (NodeId f : cc.fanins(id)) {
+      if (!visited[f]) {
+        visited[f] = 1;
+        stack.push_back(f);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 }  // namespace pdf

@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "core/compiled_circuit.hpp"
 #include "faults/requirements.hpp"
 #include "netlist/netlist.hpp"
 
@@ -14,6 +15,11 @@ namespace pdf {
 /// Indices into nl.inputs() of the PIs in the fanin cone of any required
 /// line, ascending.
 std::vector<std::size_t> support_inputs(const Netlist& nl,
+                                        std::span<const ValueRequirement> reqs);
+
+/// Compiled-core overload: walks the CSR fanin arrays and reuses the view's
+/// PI index map instead of rebuilding it per call.
+std::vector<std::size_t> support_inputs(const CompiledCircuit& cc,
                                         std::span<const ValueRequirement> reqs);
 
 }  // namespace pdf

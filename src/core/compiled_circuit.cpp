@@ -1,0 +1,72 @@
+#include "core/compiled_circuit.hpp"
+
+#include <stdexcept>
+
+namespace pdf {
+
+CompiledCircuit::CompiledCircuit(const Netlist& nl) : nl_(&nl) {
+  if (!nl.finalized()) {
+    throw std::logic_error("CompiledCircuit: netlist not finalized");
+  }
+  const std::size_t n = nl.node_count();
+
+  type_.resize(n);
+  level_.resize(n);
+  is_output_.resize(n);
+  input_index_.assign(n, -1);
+
+  // CSR adjacency. Fanin/fanout orders are preserved exactly as the netlist
+  // stores them so traversals see the same neighbor sequences as before.
+  fanin_off_.assign(n + 1, 0);
+  fanout_off_.assign(n + 1, 0);
+  std::size_t fanin_total = 0, fanout_total = 0;
+  for (NodeId id = 0; id < n; ++id) {
+    const Node& nd = nl.node(id);
+    fanin_total += nd.fanin.size();
+    fanout_total += nd.fanout.size();
+  }
+  fanin_.reserve(fanin_total);
+  fanout_.reserve(fanout_total);
+
+  depth_ = nl.depth();
+  for (NodeId id = 0; id < n; ++id) {
+    const Node& nd = nl.node(id);
+    type_[id] = nd.type;
+    level_[id] = nd.level;
+    is_output_[id] = nd.is_output ? 1 : 0;
+    has_sequential_ |= nd.type == GateType::Dff;
+    max_fanin_ = std::max(max_fanin_, nd.fanin.size());
+    for (NodeId f : nd.fanin) fanin_.push_back(f);
+    fanin_off_[id + 1] = static_cast<std::uint32_t>(fanin_.size());
+    for (NodeId f : nd.fanout) fanout_.push_back(f);
+    fanout_off_[id + 1] = static_cast<std::uint32_t>(fanout_.size());
+  }
+  if (max_fanin_ > kMaxGateFanin) {
+    throw std::logic_error("CompiledCircuit: fanin exceeds kMaxGateFanin");
+  }
+
+  inputs_.assign(nl.inputs().begin(), nl.inputs().end());
+  outputs_.assign(nl.outputs().begin(), nl.outputs().end());
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    input_index_[inputs_[i]] = static_cast<int>(i);
+  }
+
+  // Level-packed topological order via a counting sort by level (ascending
+  // NodeId within a level). Every combinational edge goes to a strictly
+  // higher level, so this is a valid evaluation order; DFF nodes are level-0
+  // sources exactly as in Netlist::topo_order().
+  level_off_.assign(static_cast<std::size_t>(depth_) + 2, 0);
+  for (NodeId id = 0; id < n; ++id) {
+    ++level_off_[static_cast<std::size_t>(level_[id]) + 1];
+  }
+  for (std::size_t l = 1; l < level_off_.size(); ++l) {
+    level_off_[l] += level_off_[l - 1];
+  }
+  topo_.resize(n);
+  std::vector<std::uint32_t> cursor(level_off_.begin(), level_off_.end() - 1);
+  for (NodeId id = 0; id < n; ++id) {
+    topo_[cursor[static_cast<std::size_t>(level_[id])]++] = id;
+  }
+}
+
+}  // namespace pdf

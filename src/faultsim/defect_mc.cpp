@@ -6,9 +6,8 @@
 namespace pdf {
 
 DefectSimulator::DefectSimulator(const Netlist& nl, const DefectMcConfig& cfg)
-    : nl_(&nl), cfg_(cfg) {
-  if (!nl.finalized()) throw std::logic_error("DefectSimulator: not finalized");
-  if (nl.has_sequential()) {
+    : nl_(&nl), cc_(nl), cfg_(cfg) {
+  if (cc_.has_sequential()) {
     throw std::logic_error("DefectSimulator: netlist is sequential");
   }
   if (cfg.nominal_gate_delay <= 0) {
@@ -25,14 +24,14 @@ DefectSimulator::DefectSimulator(const Netlist& nl, const DefectMcConfig& cfg)
 std::vector<Waveform> DefectSimulator::run(const TwoPatternTest& test,
                                            const Defect* defect) const {
   if (defect == nullptr) {
-    return simulate_timed(*nl_, test.pi_values, zero_switch_, nominal_delays_);
+    return simulate_timed(cc_, test.pi_values, zero_switch_, nominal_delays_);
   }
   std::vector<int> delays = nominal_delays_;
   if (defect->gate >= delays.size()) {
     throw std::invalid_argument("DefectSimulator: bad defect gate");
   }
   delays[defect->gate] += defect->extra_delay;
-  return simulate_timed(*nl_, test.pi_values, zero_switch_, delays);
+  return simulate_timed(cc_, test.pi_values, zero_switch_, delays);
 }
 
 int DefectSimulator::nominal_settle(const TwoPatternTest& test) const {

@@ -21,6 +21,7 @@
 
 #include "atpg/test_pattern.hpp"
 #include "base/rng.hpp"
+#include "core/compiled_circuit.hpp"
 #include "netlist/netlist.hpp"
 #include "sim/timed_sim.hpp"
 
@@ -44,6 +45,9 @@ class DefectSimulator {
   /// Netlist must be finalized, combinational, primitive-only.
   DefectSimulator(const Netlist& nl, const DefectMcConfig& cfg);
 
+  DefectSimulator(const DefectSimulator&) = delete;
+  DefectSimulator& operator=(const DefectSimulator&) = delete;
+
   /// Latest settle time over all outputs with nominal delays under `test`.
   int nominal_settle(const TwoPatternTest& test) const;
 
@@ -66,6 +70,7 @@ class DefectSimulator {
                             const Defect* defect) const;
 
   const Netlist* nl_;
+  CompiledCircuit cc_;
   DefectMcConfig cfg_;
   std::vector<int> nominal_delays_;
   std::vector<int> zero_switch_;

@@ -6,21 +6,40 @@
 
 namespace pdf {
 
-FaultSimulator::FaultSimulator(const Netlist& nl) : nl_(&nl) {
-  if (!nl.finalized()) throw std::logic_error("FaultSimulator: not finalized");
-}
+FaultSimulator::FaultSimulator(const Netlist& nl) : cc_(nl) {}
 
-std::vector<Triple> FaultSimulator::line_values(const TwoPatternTest& test) const {
-  if (test.pi_values.size() != nl_->inputs().size()) {
+std::span<const Triple> FaultSimulator::simulate_test(
+    const TwoPatternTest& test) const {
+  const std::size_t n = cc_.inputs().size();
+  if (test.pi_values.size() != n) {
     throw std::invalid_argument("FaultSimulator: test has wrong PI count");
   }
   // Normalize plane 2 of the PI triples from the pattern planes so callers
-  // may hand in tests with stale intermediate values.
-  std::vector<Triple> pis(test.pi_values.size());
-  for (std::size_t i = 0; i < pis.size(); ++i) {
-    pis[i] = pi_triple(test.pi_values[i].a1, test.pi_values[i].a3);
+  // may hand in tests with stale intermediate values, and compare against the
+  // memoized test while doing so.
+  bool same = memo_valid_ && pi_buf_.size() == n;
+  pi_buf_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Triple t = pi_triple(test.pi_values[i].a1, test.pi_values[i].a3);
+    same = same && t == pi_buf_[i];
+    pi_buf_[i] = t;
   }
-  return simulate(*nl_, pis);
+  if (same) return scratch_.triples;
+  memo_valid_ = false;  // invalid while scratch is being rewritten
+  const std::span<const Triple> values = simulate(cc_, pi_buf_, scratch_);
+  memo_valid_ = true;
+  return values;
+}
+
+std::vector<Triple> FaultSimulator::line_values(const TwoPatternTest& test) const {
+  const std::span<const Triple> values = simulate_test(test);
+  return std::vector<Triple>(values.begin(), values.end());
+}
+
+void FaultSimulator::line_values(const TwoPatternTest& test,
+                                 std::vector<Triple>& out) const {
+  const std::span<const Triple> values = simulate_test(test);
+  out.assign(values.begin(), values.end());
 }
 
 bool FaultSimulator::satisfied(std::span<const Triple> values,
@@ -33,7 +52,7 @@ bool FaultSimulator::satisfied(std::span<const Triple> values,
 
 std::vector<bool> FaultSimulator::detects(
     const TwoPatternTest& test, std::span<const TargetFault> faults) const {
-  const std::vector<Triple> values = line_values(test);
+  const std::span<const Triple> values = simulate_test(test);
   std::vector<bool> out(faults.size(), false);
   for (std::size_t i = 0; i < faults.size(); ++i) {
     out[i] = satisfied(values, faults[i].requirements);
@@ -43,8 +62,7 @@ std::vector<bool> FaultSimulator::detects(
 
 bool FaultSimulator::detects(const TwoPatternTest& test,
                              const TargetFault& fault) const {
-  const std::vector<Triple> values = line_values(test);
-  return satisfied(values, fault.requirements);
+  return satisfied(simulate_test(test), fault.requirements);
 }
 
 std::vector<bool> FaultSimulator::detects_any(
@@ -52,7 +70,7 @@ std::vector<bool> FaultSimulator::detects_any(
     std::span<const TargetFault> faults) const {
   std::vector<bool> out(faults.size(), false);
   for (const auto& t : tests) {
-    const std::vector<Triple> values = line_values(t);
+    const std::span<const Triple> values = simulate_test(t);
     for (std::size_t i = 0; i < faults.size(); ++i) {
       if (!out[i] && satisfied(values, faults[i].requirements)) out[i] = true;
     }

@@ -3,15 +3,23 @@
 // The paper's detection criterion is exact in the triple algebra: a
 // two-pattern test t robustly detects fault p iff t satisfies every value in
 // A(p) (Section 2.1, "necessary and sufficient"). The simulator therefore
-// simulates the test once per invocation and checks each fault's requirement
-// list against the computed line triples (a requirement is satisfied when
-// the computed triple covers it).
+// simulates the test once and checks each fault's requirement list against
+// the computed line triples (a requirement is satisfied when the computed
+// triple covers it).
+//
+// Simulation runs on the compiled execution core into a reusable scratch
+// arena, and the triples of the most recently simulated test are memoized:
+// a sequence of single-fault `detects(test, fault)` queries against the same
+// test costs one simulation total, and the batched entry points cost exactly
+// one simulation per test. The memo makes the simulator non-thread-safe;
+// use one instance per thread.
 #pragma once
 
 #include <span>
 #include <vector>
 
 #include "atpg/test_pattern.hpp"
+#include "core/compiled_circuit.hpp"
 #include "faults/screen.hpp"
 #include "netlist/netlist.hpp"
 
@@ -19,7 +27,11 @@ namespace pdf {
 
 class FaultSimulator {
  public:
+  /// The netlist must be finalized, combinational, and outlive the simulator.
   explicit FaultSimulator(const Netlist& nl);
+
+  FaultSimulator(const FaultSimulator&) = delete;
+  FaultSimulator& operator=(const FaultSimulator&) = delete;
 
   /// Simulates `test` and returns, for each fault in `faults`, whether it is
   /// robustly detected.
@@ -27,20 +39,39 @@ class FaultSimulator {
                             std::span<const TargetFault> faults) const;
 
   /// True when `test` robustly detects `fault` (single-fault convenience).
+  /// Repeated queries with the same test reuse one memoized simulation.
   bool detects(const TwoPatternTest& test, const TargetFault& fault) const;
 
+  /// Query a fault against line triples already produced by line_values():
+  /// no simulation at all.
+  static bool detects(std::span<const Triple> line_values,
+                      const TargetFault& fault) {
+    return satisfied(line_values, fault.requirements);
+  }
+
   /// Simulates a whole test set against a fault list, OR-accumulating
-  /// detections. Returns per-fault detection flags.
+  /// detections (one simulation per test). Returns per-fault detection flags.
   std::vector<bool> detects_any(std::span<const TwoPatternTest> tests,
                                 std::span<const TargetFault> faults) const;
 
   /// Line triples produced by a test (exposes the underlying simulation).
   std::vector<Triple> line_values(const TwoPatternTest& test) const;
 
+  /// Buffer-reuse overload: fills `out` (resized to node_count()) without
+  /// allocating when `out` is already warm.
+  void line_values(const TwoPatternTest& test, std::vector<Triple>& out) const;
+
  private:
   static bool satisfied(std::span<const Triple> values,
                         std::span<const ValueRequirement> reqs);
-  const Netlist* nl_;
+
+  /// One compiled simulation of `test`, memoized on the test's PI triples.
+  std::span<const Triple> simulate_test(const TwoPatternTest& test) const;
+
+  CompiledCircuit cc_;
+  mutable SimScratch scratch_;
+  mutable std::vector<Triple> pi_buf_;     // normalized PI triples of the memo
+  mutable bool memo_valid_ = false;
 };
 
 }  // namespace pdf

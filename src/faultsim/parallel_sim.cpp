@@ -11,11 +11,8 @@ constexpr std::uint64_t kAll = ~std::uint64_t{0};
 
 }  // namespace
 
-ParallelFaultSimulator::ParallelFaultSimulator(const Netlist& nl) : nl_(&nl) {
-  if (!nl.finalized()) {
-    throw std::logic_error("ParallelFaultSimulator: not finalized");
-  }
-  if (nl.has_sequential()) {
+ParallelFaultSimulator::ParallelFaultSimulator(const Netlist& nl) : cc_(nl) {
+  if (cc_.has_sequential()) {
     throw std::logic_error("ParallelFaultSimulator: netlist is sequential");
   }
 }
@@ -23,21 +20,22 @@ ParallelFaultSimulator::ParallelFaultSimulator(const Netlist& nl) : nl_(&nl) {
 void ParallelFaultSimulator::simulate_word(
     std::span<const TwoPatternTest> tests, std::size_t base, std::size_t lanes,
     std::vector<PlaneWord> planes[3]) const {
-  const Netlist& nl = *nl_;
+  const CompiledCircuit& cc = cc_;
   for (int q = 0; q < 3; ++q) {
-    planes[q].assign(nl.node_count(), PlaneWord{});
+    planes[q].assign(cc.node_count(), PlaneWord{});
   }
 
   // Pack the PI triples lane by lane.
+  const std::span<const NodeId> inputs = cc.inputs();
   for (std::size_t lane = 0; lane < lanes; ++lane) {
     const TwoPatternTest& t = tests[base + lane];
-    if (t.pi_values.size() != nl.inputs().size()) {
+    if (t.pi_values.size() != inputs.size()) {
       throw std::invalid_argument("ParallelFaultSimulator: bad test width");
     }
     const std::uint64_t bit = std::uint64_t{1} << lane;
-    for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
       const Triple tri = pi_triple(t.pi_values[i].a1, t.pi_values[i].a3);
-      const NodeId id = nl.inputs()[i];
+      const NodeId id = inputs[i];
       const V3 vals[3] = {tri.a1, tri.a2, tri.a3};
       for (int q = 0; q < 3; ++q) {
         if (is_specified(vals[q])) {
@@ -48,33 +46,35 @@ void ParallelFaultSimulator::simulate_word(
     }
   }
 
-  // Word-parallel 3-valued evaluation per plane in topological order.
-  for (NodeId id : nl.topo_order()) {
-    const Node& n = nl.node(id);
-    if (n.type == GateType::Input) continue;
+  // Word-parallel 3-valued evaluation per plane, level-packed over the
+  // compiled arrays.
+  for (NodeId id : cc.topo_order()) {
+    const GateType t = cc.type(id);
+    if (t == GateType::Input) continue;
+    const std::span<const NodeId> fanin = cc.fanins(id);
     for (int q = 0; q < 3; ++q) {
       auto& out = planes[q][id];
-      switch (n.type) {
+      switch (t) {
         case GateType::Buf:
         case GateType::Not: {
-          const PlaneWord& a = planes[q][n.fanin[0]];
+          const PlaneWord& a = planes[q][fanin[0]];
           out.known = a.known;
-          out.value = n.type == GateType::Not ? (~a.value & a.known)
-                                              : (a.value & a.known);
+          out.value = t == GateType::Not ? (~a.value & a.known)
+                                         : (a.value & a.known);
           break;
         }
         case GateType::And:
         case GateType::Nand: {
           std::uint64_t all_one = kAll;  // every fanin known-1
           std::uint64_t any_zero = 0;    // some fanin known-0
-          for (NodeId f : n.fanin) {
+          for (NodeId f : fanin) {
             const PlaneWord& a = planes[q][f];
             all_one &= a.value & a.known;
             any_zero |= ~a.value & a.known;
           }
           std::uint64_t one = all_one & ~any_zero;
           std::uint64_t zero = any_zero;
-          if (n.type == GateType::Nand) std::swap(one, zero);
+          if (t == GateType::Nand) std::swap(one, zero);
           out.known = one | zero;
           out.value = one;
           break;
@@ -83,21 +83,21 @@ void ParallelFaultSimulator::simulate_word(
         case GateType::Nor: {
           std::uint64_t any_one = 0;
           std::uint64_t all_zero = kAll;
-          for (NodeId f : n.fanin) {
+          for (NodeId f : fanin) {
             const PlaneWord& a = planes[q][f];
             any_one |= a.value & a.known;
             all_zero &= ~a.value & a.known;
           }
           std::uint64_t one = any_one;
           std::uint64_t zero = all_zero & ~any_one;
-          if (n.type == GateType::Nor) std::swap(one, zero);
+          if (t == GateType::Nor) std::swap(one, zero);
           out.known = one | zero;
           out.value = one;
           break;
         }
         default:
-          throw std::logic_error(
-              "ParallelFaultSimulator: non-primitive gate " + n.name);
+          throw std::logic_error("ParallelFaultSimulator: non-primitive gate " +
+                                 cc.netlist().node(id).name);
       }
     }
   }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "atpg/test_pattern.hpp"
+#include "core/compiled_circuit.hpp"
 #include "faults/screen.hpp"
 #include "netlist/netlist.hpp"
 
@@ -27,6 +28,9 @@ namespace pdf {
 class ParallelFaultSimulator {
  public:
   explicit ParallelFaultSimulator(const Netlist& nl);
+
+  ParallelFaultSimulator(const ParallelFaultSimulator&) = delete;
+  ParallelFaultSimulator& operator=(const ParallelFaultSimulator&) = delete;
 
   /// Per-fault flags: detected by at least one of `tests`.
   std::vector<bool> detects_any(std::span<const TwoPatternTest> tests,
@@ -49,7 +53,7 @@ class ParallelFaultSimulator {
                      std::size_t lanes,
                      std::vector<PlaneWord> planes[3]) const;
 
-  const Netlist* nl_;
+  CompiledCircuit cc_;
 };
 
 }  // namespace pdf

@@ -8,17 +8,17 @@ namespace {
 
 // Working state of one implication run.
 struct State {
-  const Netlist& nl;
+  const CompiledCircuit& cc;
   // value[plane][node]
   std::vector<V3> value[3];
   std::deque<std::pair<NodeId, int>> work;  // (node, plane) whose value was set
   std::vector<bool> queued[3];
   bool conflict = false;
 
-  explicit State(const Netlist& n) : nl(n) {
+  explicit State(const CompiledCircuit& c) : cc(c) {
     for (int p = 0; p < 3; ++p) {
-      value[p].assign(n.node_count(), V3::X);
-      queued[p].assign(n.node_count(), false);
+      value[p].assign(c.node_count(), V3::X);
+      queued[p].assign(c.node_count(), false);
     }
   }
 
@@ -43,48 +43,45 @@ struct State {
 
 // Forward evaluation of `gate` in `plane`; assigns the output if determined.
 void forward(State& st, NodeId gate, int plane) {
-  const Node& n = st.nl.node(gate);
-  if (n.type == GateType::Input) return;
-  std::vector<V3> fanin;
-  fanin.reserve(n.fanin.size());
-  for (NodeId f : n.fanin) fanin.push_back(st.get(f, plane));
-  const V3 v = eval_gate(n.type, fanin);
+  if (st.cc.type(gate) == GateType::Input) return;
+  const V3 v = eval_node_plane(st.cc, gate, st.value[plane].data());
   if (is_specified(v)) st.assign(gate, plane, v);
 }
 
 // Backward inference for `gate` in `plane` from its (possibly specified)
 // output value.
 void backward(State& st, NodeId gate, int plane) {
-  const Node& n = st.nl.node(gate);
-  if (n.type == GateType::Input) return;
+  const GateType t = st.cc.type(gate);
+  if (t == GateType::Input) return;
   const V3 out = st.get(gate, plane);
   if (!is_specified(out)) return;
+  const std::span<const NodeId> fanin = st.cc.fanins(gate);
 
-  switch (n.type) {
+  switch (t) {
     case GateType::Buf:
-      st.assign(n.fanin[0], plane, out);
+      st.assign(fanin[0], plane, out);
       return;
     case GateType::Not:
-      st.assign(n.fanin[0], plane, not3(out));
+      st.assign(fanin[0], plane, not3(out));
       return;
     case GateType::And:
     case GateType::Nand:
     case GateType::Or:
     case GateType::Nor: {
-      const V3 c = *controlling_value(n.type);
+      const V3 c = *controlling_value(t);
       const V3 nc = not3(c);
       // Output seen through the gate's inversion: the value the underlying
       // AND/OR core produces.
-      const V3 core = is_inverting(n.type) ? not3(out) : out;
+      const V3 core = is_inverting(t) ? not3(out) : out;
       if (core == nc) {
         // Non-controlled output: every input must be non-controlling.
-        for (NodeId f : n.fanin) st.assign(f, plane, nc);
+        for (NodeId f : fanin) st.assign(f, plane, nc);
       } else {
         // Controlled output: if all inputs but one are non-controlling, the
         // remaining input must be controlling.
         NodeId unknown = kNoNode;
         int unknown_count = 0;
-        for (NodeId f : n.fanin) {
+        for (NodeId f : fanin) {
           const V3 v = st.get(f, plane);
           if (v == c) return;  // already justified
           if (!is_specified(v)) {
@@ -103,27 +100,32 @@ void backward(State& st, NodeId gate, int plane) {
       return;
     }
     default:
-      throw std::logic_error("implication on non-primitive gate " + n.name);
+      throw std::logic_error("implication on non-primitive gate " +
+                             st.cc.netlist().node(gate).name);
   }
 }
 
 }  // namespace
 
-ImplicationEngine::ImplicationEngine(const Netlist& nl) : nl_(&nl) {
+ImplicationEngine::ImplicationEngine(const Netlist& nl) {
   if (!nl.finalized()) throw std::logic_error("ImplicationEngine: not finalized");
-  if (nl.has_sequential()) {
+  owned_.emplace(nl);
+  init(*owned_);
+}
+
+ImplicationEngine::ImplicationEngine(const CompiledCircuit& cc) { init(cc); }
+
+void ImplicationEngine::init(const CompiledCircuit& cc) {
+  cc_ = &cc;
+  if (cc.has_sequential()) {
     throw std::logic_error("ImplicationEngine: netlist is sequential");
-  }
-  input_index_.assign(nl.node_count(), -1);
-  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
-    input_index_[nl.inputs()[i]] = static_cast<int>(i);
   }
 }
 
 ImplicationResult ImplicationEngine::imply(
     std::span<const ValueRequirement> reqs) const {
-  const Netlist& nl = *nl_;
-  State st(nl);
+  const CompiledCircuit& cc = *cc_;
+  State st(cc);
 
   for (const auto& r : reqs) {
     st.assign(r.line, 0, r.value.a1);
@@ -138,14 +140,13 @@ ImplicationResult ImplicationEngine::imply(
     st.queued[plane][id] = false;
 
     // PI plane coupling.
-    if (input_index_[id] >= 0) {
+    if (cc.input_index(id) >= 0) {
       const V3 b1 = st.get(id, 0), b2 = st.get(id, 1), b3 = st.get(id, 2);
       if (is_specified(b1) && b1 == b3) st.assign(id, 1, b1);
       if (is_specified(b2)) {
         st.assign(id, 0, b2);
         st.assign(id, 2, b2);
       }
-      (void)b2;
     }
 
     // The node's own gate: re-evaluate forward (consistency with fanins) and
@@ -155,7 +156,7 @@ ImplicationResult ImplicationEngine::imply(
 
     // Every consumer: the changed input may determine the output (forward) or
     // enable sibling inference (backward).
-    for (NodeId g : nl.node(id).fanout) {
+    for (NodeId g : cc.fanouts(id)) {
       forward(st, g, plane);
       backward(st, g, plane);
       if (st.conflict) break;
@@ -165,8 +166,8 @@ ImplicationResult ImplicationEngine::imply(
   ImplicationResult out;
   out.consistent = !st.conflict;
   if (out.consistent) {
-    out.values.resize(nl.node_count());
-    for (NodeId id = 0; id < nl.node_count(); ++id) {
+    out.values.resize(cc.node_count());
+    for (NodeId id = 0; id < cc.node_count(); ++id) {
       out.values[id] = Triple{st.get(id, 0), st.get(id, 1), st.get(id, 2)};
     }
   }

@@ -17,12 +17,18 @@
 // A derived value that contradicts an existing one proves the requirement set
 // unsatisfiable — the paper's second screen for undetectable faults
 // (Section 3.1).
+//
+// Traversal runs on the flattened CompiledCircuit view (CSR fanin/fanout,
+// dense gate types); gate evaluation gathers fanin values into fixed stack
+// buffers, so the fixpoint loop performs no per-gate allocation.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "base/triple.hpp"
+#include "core/compiled_circuit.hpp"
 #include "faults/requirements.hpp"
 #include "netlist/netlist.hpp"
 
@@ -37,8 +43,15 @@ struct ImplicationResult {
 
 class ImplicationEngine {
  public:
-  /// Netlist must be finalized, combinational, primitive-only.
+  /// Netlist must be finalized, combinational, primitive-only. Builds (and
+  /// owns) a compiled view.
   explicit ImplicationEngine(const Netlist& nl);
+
+  /// Shares an existing compiled view (must outlive the engine).
+  explicit ImplicationEngine(const CompiledCircuit& cc);
+
+  ImplicationEngine(const ImplicationEngine&) = delete;
+  ImplicationEngine& operator=(const ImplicationEngine&) = delete;
 
   /// Runs the fixpoint from the given requirements.
   ImplicationResult imply(std::span<const ValueRequirement> reqs) const;
@@ -49,8 +62,10 @@ class ImplicationEngine {
   }
 
  private:
-  const Netlist* nl_;
-  std::vector<int> input_index_;  // NodeId -> index into nl.inputs(), or -1
+  void init(const CompiledCircuit& cc);
+
+  std::optional<CompiledCircuit> owned_;
+  const CompiledCircuit* cc_ = nullptr;
 };
 
 }  // namespace pdf

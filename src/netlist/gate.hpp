@@ -50,6 +50,12 @@ bool is_primitive_logic(GateType t) ;
 int min_fanin(GateType t);
 int max_fanin(GateType t);
 
+/// Hard cap on the fanin count of any single gate, enforced by
+/// Netlist::finalize(). The execution plane (triple evaluation, compiled
+/// simulation) relies on it to gather fanin values into fixed-size stack
+/// buffers instead of heap-allocating per gate evaluation.
+inline constexpr std::size_t kMaxGateFanin = 64;
+
 /// Three-valued evaluation of a gate over its fanin values. Input gates must
 /// not be evaluated; DFF evaluates as a buffer (only used by full-netlist
 /// sanity simulation before extraction).

@@ -150,6 +150,11 @@ void Netlist::finalize() {
     if (nf < min_fanin(n.type) || nf > max_fanin(n.type)) {
       throw std::runtime_error("bad fanin count on node " + n.name);
     }
+    if (n.fanin.size() > kMaxGateFanin) {
+      throw std::runtime_error("fanin of node " + n.name + " exceeds the " +
+                               std::to_string(kMaxGateFanin) +
+                               "-input execution-plane bound");
+    }
     for (NodeId f : n.fanin) {
       if (f >= nodes_.size()) throw std::runtime_error("dangling fanin on " + n.name);
       nodes_[f].fanout.push_back(id);

@@ -5,19 +5,22 @@
 namespace pdf {
 
 std::vector<int> distances_to_outputs(const LineDelayModel& dm) {
-  const Netlist& nl = dm.netlist();
-  std::vector<int> d(nl.node_count(), kUnreachable);
-  const auto topo = nl.topo_order();
+  return distances_to_outputs(dm, CompiledCircuit(dm.netlist()));
+}
+
+std::vector<int> distances_to_outputs(const LineDelayModel& dm,
+                                      const CompiledCircuit& cc) {
+  std::vector<int> d(cc.node_count(), kUnreachable);
+  const auto topo = cc.topo_order();
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
     const NodeId id = *it;
-    const Node& n = nl.node(id);
     int best = kUnreachable;
-    if (n.is_output) {
+    if (cc.is_output(id)) {
       // Completing here crosses the output branch if the node also feeds
       // other consumers.
       best = dm.branch_cost(id);
     }
-    for (NodeId v : n.fanout) {
+    for (NodeId v : cc.fanouts(id)) {
       if (d[v] == kUnreachable) continue;
       best = std::max(best, dm.branch_cost(id) + dm.stem_weight(v) + d[v]);
     }

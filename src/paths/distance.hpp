@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "core/compiled_circuit.hpp"
 #include "paths/path.hpp"
 
 namespace pdf {
@@ -18,5 +19,10 @@ inline constexpr int kUnreachable = -1;
 /// kUnreachable when id cannot reach an output. An output node with no
 /// further fanout has d == branch-cost contribution 0.
 std::vector<int> distances_to_outputs(const LineDelayModel& dm);
+
+/// Compiled-core overload: one reverse pass over the level-packed order and
+/// the CSR fanout arrays. `cc` must view dm.netlist().
+std::vector<int> distances_to_outputs(const LineDelayModel& dm,
+                                      const CompiledCircuit& cc);
 
 }  // namespace pdf

@@ -42,7 +42,11 @@ struct MinCmp {
 class Enumerator {
  public:
   Enumerator(const LineDelayModel& dm, const EnumerationConfig& cfg)
-      : dm_(dm), nl_(dm.netlist()), cfg_(cfg), dist_(distances_to_outputs(dm)) {}
+      : dm_(dm),
+        nl_(dm.netlist()),
+        cfg_(cfg),
+        cc_(dm.netlist()),
+        dist_(distances_to_outputs(dm, cc_)) {}
 
   EnumerationResult run() {
     seed();
@@ -63,7 +67,7 @@ class Enumerator {
 
  private:
   void seed() {
-    for (NodeId pi : nl_.inputs()) {
+    for (NodeId pi : cc_.inputs()) {
       make_entries_for(Path{{pi}}, /*replace_pos=*/order_.size());
     }
   }
@@ -74,7 +78,7 @@ class Enumerator {
   // entries append.
   void make_entries_for(Path p, std::size_t replace_pos) {
     const NodeId last = p.sink();
-    const Node& n = nl_.node(last);
+    const auto fanouts = cc_.fanouts(last);
     bool first = true;
     auto place = [&](Entry e) {
       const std::size_t idx = slab_.size();
@@ -89,10 +93,10 @@ class Enumerator {
     };
 
     const bool can_extend = std::any_of(
-        n.fanout.begin(), n.fanout.end(),
+        fanouts.begin(), fanouts.end(),
         [&](NodeId v) { return dist_[v] != kUnreachable; });
 
-    if (n.is_output) {
+    if (cc_.is_output(last)) {
       Entry e;
       e.complete = true;
       e.length = dm_.complete_length(p.nodes);
@@ -168,7 +172,7 @@ class Enumerator {
 
     const NodeId last = base.sink();
     std::size_t pos = replace_pos;
-    for (NodeId v : nl_.node(last).fanout) {
+    for (NodeId v : cc_.fanouts(last)) {
       if (dist_[v] == kUnreachable) continue;
       Path child;
       child.nodes.reserve(base.nodes.size() + 1);
@@ -276,8 +280,9 @@ class Enumerator {
   }
 
   const LineDelayModel& dm_;
-  const Netlist& nl_;
+  const Netlist& nl_;  // names for trace rendering; traversal uses cc_
   EnumerationConfig cfg_;
+  CompiledCircuit cc_;
   std::vector<int> dist_;
 
   std::vector<Entry> slab_;

@@ -3,29 +3,33 @@
 #include <cassert>
 #include <stdexcept>
 
-#include "sim/triple_sim.hpp"
-
 namespace pdf {
 
-EventSim::EventSim(const Netlist& nl) : nl_(&nl) {
+EventSim::EventSim(const Netlist& nl) {
   if (!nl.finalized()) throw std::logic_error("EventSim: netlist not finalized");
-  if (nl.has_sequential()) throw std::logic_error("EventSim: netlist is sequential");
-  value_.assign(nl.node_count(), kAllX);
-  pi_value_.assign(nl.inputs().size(), kAllX);
-  required_.assign(nl.node_count(), kAllX);
-  has_requirement_.assign(nl.node_count(), false);
-  buckets_.resize(static_cast<std::size_t>(nl.depth()) + 1);
-  queued_.assign(nl.node_count(), false);
+  owned_.emplace(nl);
+  init(*owned_);
+}
+
+EventSim::EventSim(const CompiledCircuit& cc) { init(cc); }
+
+void EventSim::init(const CompiledCircuit& cc) {
+  cc_ = &cc;
+  if (cc.has_sequential()) {
+    throw std::logic_error("EventSim: netlist is sequential");
+  }
+  value_.assign(cc.node_count(), kAllX);
+  pi_value_.assign(cc.inputs().size(), kAllX);
+  required_.assign(cc.node_count(), kAllX);
+  has_requirement_.assign(cc.node_count(), false);
+  buckets_.resize(static_cast<std::size_t>(cc.depth()) + 1);
+  queued_.assign(cc.node_count(), false);
   // With all PIs at xxx, most internal values are xxx too, but constant-free
   // gates of nonzero arity still evaluate to xxx; a full pass keeps us exact
   // even for degenerate netlists.
-  for (NodeId id : nl.topo_order()) {
-    const Node& n = nl.node(id);
-    if (n.type == GateType::Input) continue;
-    std::vector<Triple> fanin;
-    fanin.reserve(n.fanin.size());
-    for (NodeId f : n.fanin) fanin.push_back(value_[f]);
-    value_[id] = eval_gate_triple(n.type, fanin);
+  for (NodeId id : cc.topo_order()) {
+    if (cc.type(id) == GateType::Input) continue;
+    value_[id] = eval_node_triple(cc, id, value_.data());
   }
 }
 
@@ -62,33 +66,31 @@ void EventSim::set_node_value(NodeId id, const Triple& v) {
 
 void EventSim::propagate(NodeId from) {
   // Seed the worklist with the fanouts of the changed node and process in
-  // level order; each node is evaluated at most once.
-  int min_level = nl_->depth() + 1;
-  for (NodeId out : nl_->node(from).fanout) {
+  // level order; each node is evaluated at most once, directly over the
+  // compiled CSR arrays (no per-propagation allocation).
+  const CompiledCircuit& cc = *cc_;
+  int min_level = cc.depth() + 1;
+  for (NodeId out : cc.fanouts(from)) {
     if (!queued_[out]) {
       queued_[out] = true;
-      const int lvl = nl_->node(out).level;
+      const int lvl = cc.level(out);
       buckets_[static_cast<std::size_t>(lvl)].push_back(out);
       if (lvl < min_level) min_level = lvl;
     }
   }
-  std::vector<Triple> fanin;
   for (std::size_t lvl = static_cast<std::size_t>(min_level); lvl < buckets_.size();
        ++lvl) {
     auto& bucket = buckets_[lvl];
     for (std::size_t i = 0; i < bucket.size(); ++i) {
       const NodeId id = bucket[i];
       queued_[id] = false;
-      const Node& n = nl_->node(id);
-      fanin.clear();
-      for (NodeId f : n.fanin) fanin.push_back(value_[f]);
-      const Triple nv = eval_gate_triple(n.type, fanin);
+      const Triple nv = eval_node_triple(cc, id, value_.data());
       if (nv == value_[id]) continue;
       set_node_value(id, nv);
-      for (NodeId out : n.fanout) {
+      for (NodeId out : cc.fanouts(id)) {
         if (!queued_[out]) {
           queued_[out] = true;
-          buckets_[static_cast<std::size_t>(nl_->node(out).level)].push_back(out);
+          buckets_[static_cast<std::size_t>(cc.level(out))].push_back(out);
         }
       }
     }
@@ -97,7 +99,7 @@ void EventSim::propagate(NodeId from) {
 }
 
 void EventSim::set_pi(std::size_t input_index, const Triple& t) {
-  const NodeId id = nl_->inputs()[input_index];
+  const NodeId id = cc_->inputs()[input_index];
   if (pi_value_[input_index] == t) return;
   if (txn_depth_ > 0) {
     undo_log_.push_back({ChangeKind::PiValue, static_cast<NodeId>(input_index),
@@ -135,8 +137,8 @@ void EventSim::clear_requirements() {
   if (txn_depth_ > 0) {
     throw std::logic_error("EventSim::clear_requirements inside a transaction");
   }
-  required_.assign(nl_->node_count(), kAllX);
-  has_requirement_.assign(nl_->node_count(), false);
+  required_.assign(cc_->node_count(), kAllX);
+  has_requirement_.assign(cc_->node_count(), false);
   violations_ = 0;
   unsatisfied_ = 0;
 }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "base/triple.hpp"
+#include "core/compiled_circuit.hpp"
 #include "netlist/netlist.hpp"
 
 namespace pdf {
@@ -29,9 +30,20 @@ namespace pdf {
 class EventSim {
  public:
   /// The netlist must be finalized, combinational, and outlive the simulator.
+  /// Builds (and owns) a compiled view of the netlist.
   explicit EventSim(const Netlist& nl);
 
-  const Netlist& netlist() const { return *nl_; }
+  /// Shares an existing compiled view (must be combinational and outlive the
+  /// simulator). Lets one engine build the view once for all its components.
+  explicit EventSim(const CompiledCircuit& cc);
+
+  // The simulator may own its compiled view; copying would dangle the
+  // internal pointer, so instances are pinned.
+  EventSim(const EventSim&) = delete;
+  EventSim& operator=(const EventSim&) = delete;
+
+  const Netlist& netlist() const { return cc_->netlist(); }
+  const CompiledCircuit& circuit() const { return *cc_; }
 
   // ---- assignment ----------------------------------------------------------
 
@@ -88,6 +100,7 @@ class EventSim {
     bool had_requirement;    // Requirement changes: whether one existed before
   };
 
+  void init(const CompiledCircuit& cc);
   void propagate(NodeId from);
   void set_node_value(NodeId id, const Triple& v);
   void update_counters_for(NodeId id, const Triple& old_req, bool had_old,
@@ -97,7 +110,8 @@ class EventSim {
   void add_counter_contribution(NodeId id);
   void sub_counter_contribution(NodeId id, const Triple& req, const Triple& val);
 
-  const Netlist* nl_;
+  std::optional<CompiledCircuit> owned_;  // set by the Netlist constructor
+  const CompiledCircuit* cc_;
   std::vector<Triple> value_;
   std::vector<Triple> pi_value_;
 

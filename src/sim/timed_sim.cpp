@@ -1,7 +1,6 @@
 #include "sim/timed_sim.hpp"
 
 #include <algorithm>
-#include <set>
 #include <stdexcept>
 
 namespace pdf {
@@ -15,57 +14,75 @@ V3 Waveform::value_at(int t) const {
   return v;
 }
 
-std::vector<Waveform> simulate_timed(const Netlist& nl,
+std::vector<Waveform> simulate_timed(const CompiledCircuit& cc,
                                      std::span<const Triple> pi_values,
                                      std::span<const int> switch_times,
                                      std::span<const int> gate_delays) {
-  if (pi_values.size() != nl.inputs().size() ||
-      switch_times.size() != nl.inputs().size()) {
+  if (pi_values.size() != cc.inputs().size() ||
+      switch_times.size() != cc.inputs().size()) {
     throw std::invalid_argument("simulate_timed: wrong PI vector size");
   }
-  if (gate_delays.size() != nl.node_count()) {
+  if (gate_delays.size() != cc.node_count()) {
     throw std::invalid_argument("simulate_timed: wrong delay vector size");
   }
 
-  std::vector<Waveform> wf(nl.node_count());
+  std::vector<Waveform> wf(cc.node_count());
   for (std::size_t i = 0; i < pi_values.size(); ++i) {
     const Triple& t = pi_values[i];
     if (!is_specified(t.a1) || !is_specified(t.a3)) {
       throw std::invalid_argument("simulate_timed: test not fully specified");
     }
-    Waveform& w = wf[nl.inputs()[i]];
+    Waveform& w = wf[cc.inputs()[i]];
     w.initial = t.a1;
     if (t.a1 != t.a3) w.changes.emplace_back(switch_times[i], t.a3);
   }
 
-  std::vector<V3> fanin_vals;
-  for (NodeId id : nl.topo_order()) {
-    const Node& n = nl.node(id);
-    if (n.type == GateType::Input) continue;
-    if (n.type == GateType::Dff) {
+  // Reused across gates: candidate evaluation instants and gathered fanin
+  // values (fixed stack buffer, bounded by kMaxGateFanin).
+  std::vector<int> times;
+  V3 fanin_vals[kMaxGateFanin];
+  for (NodeId id : cc.topo_order()) {
+    const GateType t = cc.type(id);
+    if (t == GateType::Input) continue;
+    if (t == GateType::Dff) {
       throw std::invalid_argument("simulate_timed: sequential netlist");
     }
-    // Candidate evaluation instants: every fanin change time.
-    std::set<int> times;
-    for (NodeId f : n.fanin) {
-      for (const auto& [t, v] : wf[f].changes) times.insert(t);
+    const std::span<const NodeId> fanin = cc.fanins(id);
+    // Candidate evaluation instants: every fanin change time, ascending and
+    // deduplicated.
+    times.clear();
+    for (NodeId f : fanin) {
+      for (const auto& [ct, v] : wf[f].changes) times.push_back(ct);
     }
+    std::sort(times.begin(), times.end());
+    times.erase(std::unique(times.begin(), times.end()), times.end());
+
     Waveform& out = wf[id];
-    fanin_vals.clear();
-    for (NodeId f : n.fanin) fanin_vals.push_back(wf[f].initial);
-    out.initial = eval_gate(n.type, fanin_vals);
+    for (std::size_t i = 0; i < fanin.size(); ++i) {
+      fanin_vals[i] = wf[fanin[i]].initial;
+    }
+    out.initial = eval_gate(t, std::span<const V3>(fanin_vals, fanin.size()));
     V3 cur = out.initial;
-    for (int t : times) {
-      fanin_vals.clear();
-      for (NodeId f : n.fanin) fanin_vals.push_back(wf[f].value_at(t));
-      const V3 v = eval_gate(n.type, fanin_vals);
+    for (int at : times) {
+      for (std::size_t i = 0; i < fanin.size(); ++i) {
+        fanin_vals[i] = wf[fanin[i]].value_at(at);
+      }
+      const V3 v = eval_gate(t, std::span<const V3>(fanin_vals, fanin.size()));
       if (v != cur) {
-        out.changes.emplace_back(t + gate_delays[id], v);
+        out.changes.emplace_back(at + gate_delays[id], v);
         cur = v;
       }
     }
   }
   return wf;
+}
+
+std::vector<Waveform> simulate_timed(const Netlist& nl,
+                                     std::span<const Triple> pi_values,
+                                     std::span<const int> switch_times,
+                                     std::span<const int> gate_delays) {
+  return simulate_timed(CompiledCircuit(nl), pi_values, switch_times,
+                        gate_delays);
 }
 
 }  // namespace pdf

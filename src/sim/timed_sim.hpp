@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "base/triple.hpp"
+#include "core/compiled_circuit.hpp"
 #include "netlist/netlist.hpp"
 
 namespace pdf {
@@ -45,6 +46,14 @@ struct Waveform {
 ///   gate_delays     — per node; inputs ignore theirs
 /// Returns one waveform per node.
 std::vector<Waveform> simulate_timed(const Netlist& nl,
+                                     std::span<const Triple> pi_values,
+                                     std::span<const int> switch_times,
+                                     std::span<const int> gate_delays);
+
+/// Compiled-core overload: same semantics over the flattened view. Repeated
+/// callers (e.g. the defect Monte Carlo) build the view once and avoid
+/// re-walking the node graph per run.
+std::vector<Waveform> simulate_timed(const CompiledCircuit& cc,
                                      std::span<const Triple> pi_values,
                                      std::span<const int> switch_times,
                                      std::span<const int> gate_delays);

@@ -1,5 +1,6 @@
 #include "sim/triple_sim.hpp"
 
+#include <cassert>
 #include <stdexcept>
 
 namespace pdf {
@@ -10,13 +11,13 @@ Triple pi_triple(V3 b1, V3 b3) {
 }
 
 Triple eval_gate_triple(GateType t, std::span<const Triple> fanin) {
-  // Small stack buffers: per-plane fanin values.
-  std::vector<V3> plane;
-  plane.resize(fanin.size());
+  // Fixed stack buffer: finalize() bounds fanin at kMaxGateFanin.
+  assert(fanin.size() <= kMaxGateFanin);
+  V3 plane[kMaxGateFanin];
   Triple out;
   for (int p = 0; p < 3; ++p) {
     for (std::size_t i = 0; i < fanin.size(); ++i) plane[i] = fanin[i][p];
-    const V3 v = eval_gate(t, plane);
+    const V3 v = eval_gate(t, std::span<const V3>(plane, fanin.size()));
     switch (p) {
       case 0: out.a1 = v; break;
       case 1: out.a2 = v; break;
@@ -65,6 +66,46 @@ std::vector<V3> simulate_plane(const Netlist& nl, std::span<const V3> pi_values)
     value[id] = eval_gate(n.type, fanin);
   }
   return value;
+}
+
+std::span<const Triple> simulate(const CompiledCircuit& cc,
+                                 std::span<const Triple> pi_values,
+                                 SimScratch& scratch) {
+  if (pi_values.size() != cc.inputs().size()) {
+    throw std::invalid_argument("simulate: wrong number of PI triples");
+  }
+  scratch.prepare_triples(cc);
+  Triple* value = scratch.triples.data();
+  for (std::size_t i = 0; i < pi_values.size(); ++i) {
+    value[cc.inputs()[i]] = pi_values[i];
+  }
+  for (NodeId id : cc.topo_order()) {
+    const GateType t = cc.type(id);
+    if (t == GateType::Input) continue;
+    if (t == GateType::Dff) {
+      throw std::invalid_argument("simulate: netlist is sequential");
+    }
+    value[id] = eval_node_triple(cc, id, value);
+  }
+  return scratch.triples;
+}
+
+std::span<const V3> simulate_plane(const CompiledCircuit& cc,
+                                   std::span<const V3> pi_values,
+                                   SimScratch& scratch) {
+  if (pi_values.size() != cc.inputs().size()) {
+    throw std::invalid_argument("simulate_plane: wrong number of PI values");
+  }
+  scratch.prepare_plane(cc);
+  V3* value = scratch.plane.data();
+  for (std::size_t i = 0; i < pi_values.size(); ++i) {
+    value[cc.inputs()[i]] = pi_values[i];
+  }
+  for (NodeId id : cc.topo_order()) {
+    if (cc.type(id) == GateType::Input) continue;
+    value[id] = eval_node_plane(cc, id, value);
+  }
+  return scratch.plane;
 }
 
 }  // namespace pdf

@@ -11,12 +11,22 @@
 // is specified only when the logic provably holds it steady for every
 // possible skew of the transitioning inputs (e.g. a steady controlling side
 // input blocks all hazards).
+//
+// Two entry points per simulation:
+//   * the `Netlist` overloads walk the node graph directly and allocate the
+//     result — the legacy reference path, kept as the differential-testing
+//     baseline;
+//   * the `CompiledCircuit` overloads run linear scans over the flattened
+//     arrays into a caller-owned `SimScratch` and allocate nothing in the
+//     steady state — the execution path every engine uses.
+// Both produce bit-identical values.
 #pragma once
 
 #include <span>
 #include <vector>
 
 #include "base/triple.hpp"
+#include "core/compiled_circuit.hpp"
 #include "netlist/netlist.hpp"
 
 namespace pdf {
@@ -26,7 +36,8 @@ namespace pdf {
 /// specified, x otherwise.
 Triple pi_triple(V3 b1, V3 b3);
 
-/// Evaluates one gate over fanin triples (plane-wise).
+/// Evaluates one gate over fanin triples (plane-wise). Fanin count must not
+/// exceed kMaxGateFanin (Netlist::finalize() guarantees this).
 Triple eval_gate_triple(GateType t, std::span<const Triple> fanin);
 
 /// Simulates the whole netlist. `pi_values[i]` is the triple of
@@ -36,5 +47,16 @@ std::vector<Triple> simulate(const Netlist& nl, std::span<const Triple> pi_value
 
 /// Single-plane (classic 3-valued) simulation helper.
 std::vector<V3> simulate_plane(const Netlist& nl, std::span<const V3> pi_values);
+
+/// Compiled-core simulation: fills scratch.triples (one triple per node) and
+/// returns a view of it. No allocation once the scratch is warm.
+std::span<const Triple> simulate(const CompiledCircuit& cc,
+                                 std::span<const Triple> pi_values,
+                                 SimScratch& scratch);
+
+/// Compiled-core single-plane simulation into scratch.plane.
+std::span<const V3> simulate_plane(const CompiledCircuit& cc,
+                                   std::span<const V3> pi_values,
+                                   SimScratch& scratch);
 
 }  // namespace pdf
