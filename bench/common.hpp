@@ -6,6 +6,8 @@
 //   --seed S         RNG seed (default 1)
 //   --circuits a,b   restrict the circuit list
 //   --csv            also print CSV after the table
+//   --threads N      size the runtime thread pool (0 = hardware concurrency)
+//   --metrics        dump the runtime metrics registry to stderr at exit
 // Defaults are the scaled parameters recorded in EXPERIMENTS.md
 // (N_P=4000, N_P0=300), chosen so the full table reproduces in seconds.
 #pragma once
@@ -21,6 +23,8 @@
 #include "enrich/enrichment.hpp"
 #include "gen/registry.hpp"
 #include "report/table.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace pdf::bench {
 
@@ -28,10 +32,20 @@ struct Options {
   std::size_t n_p = 4000;
   std::size_t n_p0 = 300;
   std::uint64_t seed = 1;
+  std::size_t threads = 1;
   bool csv = false;
   bool paper = false;
+  bool metrics = false;
   std::vector<std::string> circuits;
 };
+
+/// Prints the runtime metrics registry to stderr when --metrics was given.
+/// Call at the end of main, after the tables.
+inline void dump_metrics(const Options& o) {
+  if (!o.metrics) return;
+  std::fprintf(stderr, "\n-- runtime metrics --\n%s",
+               runtime::Metrics::global().dump().c_str());
+}
 
 inline Options parse_options(int argc, char** argv,
                              std::vector<std::string> default_circuits) {
@@ -58,6 +72,10 @@ inline Options parse_options(int argc, char** argv,
       o.seed = std::strtoull(next(), nullptr, 10);
     } else if (a == "--csv") {
       o.csv = true;
+    } else if (a == "--threads") {
+      o.threads = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--metrics") {
+      o.metrics = true;
     } else if (a == "--circuits") {
       o.circuits.clear();
       std::string list = next();
@@ -73,13 +91,14 @@ inline Options parse_options(int argc, char** argv,
     } else if (a == "--help" || a == "-h") {
       std::printf(
           "options: [--paper] [--np N] [--np0 N] [--seed S] [--csv] "
-          "[--circuits a,b,c]\n");
+          "[--threads N] [--metrics] [--circuits a,b,c]\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown option %s (try --help)\n", a.c_str());
       std::exit(2);
     }
   }
+  runtime::set_global_threads(o.threads);
   return o;
 }
 

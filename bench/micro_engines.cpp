@@ -2,13 +2,17 @@
 // simulation, event-driven PI probing, implication closure, justification,
 // and batched fault simulation.
 //
-// Special mode:
+// Special modes:
 //   micro_engines compiled-vs-legacy [--circuit NAME] [--csv]
 // times robust (triple) simulation through the legacy Netlist walker against
 // the flattened CompiledCircuit path on NAME (default: the largest registry
 // circuit), verifies the two produce bit-identical values on every line, and
-// reports the speedup. Any other invocation falls through to the normal
-// google-benchmark driver.
+// reports the speedup.
+//   micro_engines threads [--circuit NAME] [--csv] [--metrics]
+// thread-scaling sweep: runs ParallelFaultSimulator::detection_matrix on NAME
+// at 1, 2, 4 and 8 pool threads, verifies every matrix is bit-identical to
+// the single-thread run, and reports wall time and speedup per thread count.
+// Any other invocation falls through to the normal google-benchmark driver.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -24,6 +28,8 @@
 #include "faultsim/fault_sim.hpp"
 #include "faultsim/parallel_sim.hpp"
 #include "gen/registry.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/thread_pool.hpp"
 #include "sim/event_sim.hpp"
 #include "sim/triple_sim.hpp"
 
@@ -274,23 +280,106 @@ int run_compiled_vs_legacy(const std::string& name, bool csv) {
   return 0;
 }
 
+// ---- thread-scaling mode ---------------------------------------------------
+
+int run_thread_scaling(const std::string& name, bool csv, bool metrics) {
+  if (!has_benchmark(name)) {
+    std::fprintf(stderr, "unknown circuit '%s' (see bench_atpg --list)\n",
+                 name.c_str());
+    return 2;
+  }
+  const Netlist nl = benchmark_circuit(name);
+
+  TargetSetConfig tcfg;
+  tcfg.n_p = 4000;
+  tcfg.n_p0 = 300;
+  const TargetSets ts = build_target_sets(nl, tcfg);
+  if (ts.p0.empty()) {
+    std::fprintf(stderr, "no target faults on %s\n", name.c_str());
+    return 2;
+  }
+
+  constexpr std::size_t kTests = 1024;
+  Rng rng(98765);
+  std::vector<TwoPatternTest> tests(kTests);
+  for (auto& t : tests) {
+    t.pi_values.resize(nl.inputs().size());
+    for (auto& v : t.pi_values) {
+      v = pi_triple(rng.coin() ? V3::One : V3::Zero,
+                    rng.coin() ? V3::One : V3::Zero);
+    }
+  }
+
+  const ParallelFaultSimulator fsim(nl);
+  const int rounds = 5;
+
+  std::printf("== detection_matrix thread scaling ==\n");
+  std::printf("circuit: %s (%zu nodes), faults: %zu, tests: %zu\n",
+              name.c_str(), nl.node_count(), ts.p0.size(), kTests);
+  std::printf("%8s %12s %10s %12s\n", "threads", "best ms", "speedup",
+              "identical");
+
+  struct Row {
+    std::size_t threads;
+    double ms;
+    bool identical;
+  };
+  std::vector<Row> rows;
+  DetectionMatrix reference;
+  bool all_identical = true;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    runtime::set_global_threads(threads);
+    DetectionMatrix m;
+    const double ms = measure_ms(
+        [&] { m = fsim.detection_matrix(tests, ts.p0); }, rounds);
+    if (threads == 1) reference = m;
+    const bool identical = m == reference;
+    all_identical = all_identical && identical;
+    rows.push_back({threads, ms, identical});
+    std::printf("%8zu %12.3f %9.2fx %12s\n", threads, ms, rows.front().ms / ms,
+                identical ? "yes" : "NO");
+  }
+  runtime::set_global_threads(1);
+
+  if (csv) {
+    std::printf("\ncsv:\nthreads,ms,speedup,identical\n");
+    for (const Row& r : rows) {
+      std::printf("%zu,%.4f,%.3f,%d\n", r.threads, r.ms, rows.front().ms / r.ms,
+                  r.identical ? 1 : 0);
+    }
+  }
+  if (metrics) {
+    std::fprintf(stderr, "\n-- runtime metrics --\n%s",
+                 runtime::Metrics::global().dump().c_str());
+  }
+  return all_identical ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool compare = false;
+  bool thread_scaling = false;
   bool csv = false;
+  bool metrics = false;
   std::string circuit_name = "s13207_like";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "compiled-vs-legacy") == 0) {
       compare = true;
-    } else if (compare && std::strcmp(argv[i], "--csv") == 0) {
+    } else if (std::strcmp(argv[i], "threads") == 0 && !compare) {
+      thread_scaling = true;
+    } else if ((compare || thread_scaling) &&
+               std::strcmp(argv[i], "--csv") == 0) {
       csv = true;
-    } else if (compare && std::strcmp(argv[i], "--circuit") == 0 &&
-               i + 1 < argc) {
+    } else if (thread_scaling && std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
+    } else if ((compare || thread_scaling) &&
+               std::strcmp(argv[i], "--circuit") == 0 && i + 1 < argc) {
       circuit_name = argv[++i];
     }
   }
   if (compare) return run_compiled_vs_legacy(circuit_name, csv);
+  if (thread_scaling) return run_thread_scaling(circuit_name, csv, metrics);
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

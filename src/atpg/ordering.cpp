@@ -1,9 +1,13 @@
 #include "atpg/ordering.hpp"
 
 #include <bit>
+#include <cstdint>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "faultsim/parallel_sim.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace pdf {
 
@@ -11,45 +15,63 @@ OrderingResult order_tests_by_coverage(const Netlist& nl,
                                        std::span<const TwoPatternTest> tests,
                                        std::span<const TargetFault> faults) {
   ParallelFaultSimulator sim(nl);
-  const auto matrix = sim.detection_matrix(tests, faults);
+  const DetectionMatrix matrix = sim.detection_matrix(tests, faults);
+  runtime::ThreadPool& pool = runtime::global_pool();
 
-  // Transpose into per-test fault masks.
+  // Transpose into per-test fault masks (flat, test-major). Each task owns a
+  // range of tests, so writes never collide.
   const std::size_t fault_words = (faults.size() + 63) / 64;
-  std::vector<std::vector<std::uint64_t>> per_test(
-      tests.size(), std::vector<std::uint64_t>(fault_words, 0));
-  for (std::size_t f = 0; f < faults.size(); ++f) {
-    for (std::size_t t = 0; t < tests.size(); ++t) {
-      if ((matrix[f][t / 64] >> (t % 64)) & 1) {
-        per_test[t][f / 64] |= std::uint64_t{1} << (f % 64);
+  std::vector<std::uint64_t> per_test(tests.size() * fault_words, 0);
+  pool.parallel_for(tests.size(), 16, [&](std::size_t t0, std::size_t t1) {
+    for (std::size_t t = t0; t < t1; ++t) {
+      std::uint64_t* row = per_test.data() + t * fault_words;
+      for (std::size_t f = 0; f < faults.size(); ++f) {
+        if (matrix.bit(f, t)) row[f / 64] |= std::uint64_t{1} << (f % 64);
       }
     }
-  }
+  });
 
   OrderingResult out;
   std::vector<bool> used(tests.size(), false);
   std::vector<std::uint64_t> covered(fault_words, 0);
   std::size_t covered_count = 0;
 
+  // Greedy max-gain selection. The scan over candidate tests is a
+  // deterministic parallel reduce: per-chunk maxima are joined in chunk
+  // order with ties won by the smaller test index, which is exactly the
+  // sequential first-maximum rule.
+  using Best = std::pair<std::size_t, std::size_t>;  // (test, gain)
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
   for (std::size_t round = 0; round < tests.size(); ++round) {
-    std::size_t best = static_cast<std::size_t>(-1);
-    std::size_t best_gain = 0;
-    for (std::size_t t = 0; t < tests.size(); ++t) {
-      if (used[t]) continue;
-      std::size_t gain = 0;
-      for (std::size_t w = 0; w < fault_words; ++w) {
-        gain += static_cast<std::size_t>(
-            std::popcount(per_test[t][w] & ~covered[w]));
-      }
-      if (best == static_cast<std::size_t>(-1) || gain > best_gain) {
-        best = t;
-        best_gain = gain;
-      }
-      if (gain == faults.size()) break;  // cannot be beaten
-    }
-    used[best] = true;
-    for (std::size_t w = 0; w < fault_words; ++w) covered[w] |= per_test[best][w];
-    covered_count += best_gain;
-    out.order.push_back(best);
+    const Best best = pool.parallel_reduce<Best>(
+        tests.size(), 64, Best{kNone, 0},
+        [&](std::size_t t0, std::size_t t1) {
+          Best local{kNone, 0};
+          for (std::size_t t = t0; t < t1; ++t) {
+            if (used[t]) continue;
+            const std::uint64_t* row = per_test.data() + t * fault_words;
+            std::size_t gain = 0;
+            for (std::size_t w = 0; w < fault_words; ++w) {
+              gain += static_cast<std::size_t>(
+                  std::popcount(row[w] & ~covered[w]));
+            }
+            if (local.first == kNone || gain > local.second) {
+              local = {t, gain};
+            }
+          }
+          return local;
+        },
+        [](const Best& a, const Best& b) {
+          if (a.first == kNone) return b;
+          if (b.first == kNone) return a;
+          return b.second > a.second ? b : a;
+        });
+
+    used[best.first] = true;
+    const std::uint64_t* row = per_test.data() + best.first * fault_words;
+    for (std::size_t w = 0; w < fault_words; ++w) covered[w] |= row[w];
+    covered_count += best.second;
+    out.order.push_back(best.first);
     out.cumulative_detected.push_back(covered_count);
   }
   return out;

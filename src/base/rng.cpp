@@ -56,4 +56,15 @@ double Rng::uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
 
 Rng Rng::fork() { return Rng(next()); }
 
+Rng Rng::split(std::uint64_t stream) const {
+  // Hash the full parent state with the stream index so distinct parents and
+  // distinct streams both decorrelate; Rng's seeding then splitmixes again.
+  std::uint64_t sm = stream;
+  std::uint64_t h = splitmix64(sm);
+  h ^= s_[0];
+  h = splitmix64(h);
+  h ^= s_[1] ^ rotl(s_[2], 29) ^ rotl(s_[3], 47);
+  return Rng(splitmix64(h));
+}
+
 }  // namespace pdf

@@ -30,8 +30,16 @@ class Rng {
   double uniform();
 
   /// Forks an independently seeded generator (for per-task determinism that
-  /// is insensitive to the number of draws made by other tasks).
+  /// is insensitive to the number of draws made by other tasks). Advances
+  /// this generator by one draw.
   Rng fork();
+
+  /// Derives the `stream`-th child generator from the current state without
+  /// advancing it: split(i) always returns the same generator for the same
+  /// parent state and i. This is the runtime's RNG contract for parallel
+  /// work — task i draws only from split(i), so results are bit-identical
+  /// regardless of how tasks are scheduled across threads.
+  Rng split(std::uint64_t stream) const;
 
  private:
   std::uint64_t s_[4];

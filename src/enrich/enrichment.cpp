@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "faultsim/parallel_sim.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace pdf {
 
@@ -17,6 +18,23 @@ GenerationResult EnrichmentWorkbench::run_basic(const GeneratorConfig& cfg) cons
 GenerationResult EnrichmentWorkbench::run_enriched(
     const GeneratorConfig& cfg) const {
   return generate_tests(*nl_, targets_.p0, targets_.p1, cfg);
+}
+
+std::vector<EnrichmentWorkbench::SeedRun> EnrichmentWorkbench::run_enriched_sweep(
+    std::span<const std::uint64_t> seeds, const GeneratorConfig& base) const {
+  std::vector<SeedRun> out(seeds.size());
+  runtime::global_pool().parallel_for(
+      seeds.size(), 1, [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          GeneratorConfig cfg = base;
+          cfg.seed = seeds[i];
+          SeedRun& run = out[i];
+          run.seed = seeds[i];
+          run.result = run_enriched(cfg);
+          run.coverage = coverage_of(run.result);
+        }
+      });
+  return out;
 }
 
 UnionCoverage EnrichmentWorkbench::simulate_union(

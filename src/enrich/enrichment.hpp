@@ -3,7 +3,9 @@
 // table benches and examples are thin wrappers over this type.
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <vector>
 
 #include "atpg/generator.hpp"
 #include "enrich/target_sets.hpp"
@@ -36,6 +38,20 @@ class EnrichmentWorkbench {
 
   /// Test enrichment targeting P0 with P1 as the second set (Section 3.2).
   GenerationResult run_enriched(const GeneratorConfig& cfg = {}) const;
+
+  /// One whole enrichment experiment (generation + coverage) per seed. The
+  /// seeds run concurrently on the runtime pool — each seed's generation is
+  /// self-contained, and any parallelism nested inside a seed (coverage
+  /// simulation) runs inline — so results[i] is bit-identical to a
+  /// sequential run_enriched/coverage_of with seeds[i], in seed order,
+  /// regardless of the thread count.
+  struct SeedRun {
+    std::uint64_t seed = 0;
+    GenerationResult result;
+    UnionCoverage coverage;
+  };
+  std::vector<SeedRun> run_enriched_sweep(std::span<const std::uint64_t> seeds,
+                                          const GeneratorConfig& base = {}) const;
 
   /// Simulates an existing test set against P0 and P1 — the paper's Table 5
   /// accidental-detection experiment when applied to basic test sets.

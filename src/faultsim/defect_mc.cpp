@@ -1,9 +1,22 @@
 #include "faultsim/defect_mc.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <stdexcept>
 
+#include "runtime/metrics.hpp"
+#include "runtime/thread_pool.hpp"
+
 namespace pdf {
+namespace {
+
+runtime::Metrics::Counter& trial_counter() {
+  static runtime::Metrics::Counter& c =
+      runtime::Metrics::global().counter("defect_mc.trials");
+  return c;
+}
+
+}  // namespace
 
 DefectSimulator::DefectSimulator(const Netlist& nl, const DefectMcConfig& cfg)
     : nl_(&nl), cc_(nl), cfg_(cfg) {
@@ -67,11 +80,47 @@ bool DefectSimulator::caught_by_any(std::span<const TwoPatternTest> tests,
 double DefectSimulator::catch_rate(std::span<const TwoPatternTest> tests,
                                    std::span<const Defect> defects) const {
   if (defects.empty()) return 0.0;
-  std::size_t caught = 0;
-  for (const auto& d : defects) {
-    if (caught_by_any(tests, d)) ++caught;
-  }
+  const std::size_t caught = runtime::global_pool().parallel_reduce<std::size_t>(
+      defects.size(), 4, std::size_t{0},
+      [&](std::size_t b, std::size_t e) {
+        std::size_t c = 0;
+        for (std::size_t i = b; i < e; ++i) {
+          if (caught_by_any(tests, defects[i])) ++c;
+        }
+        trial_counter().add(e - b);
+        return c;
+      },
+      std::plus<std::size_t>());
   return static_cast<double>(caught) / static_cast<double>(defects.size());
+}
+
+DefectSimulator::TrialStats DefectSimulator::monte_carlo(
+    std::span<const TwoPatternTest> tests, std::span<const NodeId> gate_pool,
+    std::size_t trials, int min_extra, int max_extra, const Rng& rng) const {
+  if (gate_pool.empty()) {
+    throw std::invalid_argument("monte_carlo: empty gate pool");
+  }
+  if (min_extra <= 0 || max_extra < min_extra) {
+    throw std::invalid_argument("monte_carlo: bad extra-delay range");
+  }
+  TrialStats out;
+  out.trials = trials;
+  out.caught = runtime::global_pool().parallel_reduce<std::size_t>(
+      trials, 4, std::size_t{0},
+      [&](std::size_t b, std::size_t e) {
+        std::size_t c = 0;
+        for (std::size_t i = b; i < e; ++i) {
+          Rng stream = rng.split(i);
+          Defect d;
+          d.gate = gate_pool[stream.below(gate_pool.size())];
+          d.extra_delay = static_cast<int>(stream.range(min_extra, max_extra));
+          if (caught_by_any(tests, d)) ++c;
+        }
+        trial_counter().add(e - b);
+        return c;
+      },
+      std::plus<std::size_t>());
+  return out;
 }
 
 std::vector<Defect> sample_defects_on(std::span<const NodeId> gate_pool,

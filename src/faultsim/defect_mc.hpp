@@ -60,8 +60,29 @@ class DefectSimulator {
                      const Defect& defect) const;
 
   /// Escape rate of a test set over a defect population: fraction caught.
+  /// Parallel over defects on the runtime pool; the caught count is an exact
+  /// integer reduce in chunk order, so the rate is bit-identical for any
+  /// thread count.
   double catch_rate(std::span<const TwoPatternTest> tests,
                     std::span<const Defect> defects) const;
+
+  /// One-call Monte Carlo: runs `trials` independent trials, each sampling a
+  /// defect (gate uniform from `gate_pool`, extra delay uniform in
+  /// [min_extra, max_extra]) and checking whether `tests` catches it. Trial
+  /// i draws only from rng.split(i), so the result is bit-identical for any
+  /// thread count and the caller's generator is not advanced.
+  struct TrialStats {
+    std::size_t trials = 0;
+    std::size_t caught = 0;
+    double catch_rate() const {
+      return trials == 0
+                 ? 0.0
+                 : static_cast<double>(caught) / static_cast<double>(trials);
+    }
+  };
+  TrialStats monte_carlo(std::span<const TwoPatternTest> tests,
+                         std::span<const NodeId> gate_pool, std::size_t trials,
+                         int min_extra, int max_extra, const Rng& rng) const;
 
   const DefectMcConfig& config() const { return cfg_; }
 

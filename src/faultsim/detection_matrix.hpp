@@ -1,0 +1,70 @@
+// Flattened fault-by-test detection matrix.
+//
+// One contiguous row-major buffer of 64-bit words: row f holds the bitset of
+// tests detecting fault f, packed 64 tests per word with a fixed row stride.
+// Replaces the old vector<vector<uint64_t>> representation — no per-fault
+// heap allocation, rows are cache-adjacent, and parallel producers can fill
+// disjoint word columns of all rows without false sharing on control data.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pdf {
+
+class DetectionMatrix {
+ public:
+  DetectionMatrix() = default;
+  DetectionMatrix(std::size_t fault_count, std::size_t test_count)
+      : fault_count_(fault_count),
+        test_count_(test_count),
+        words_per_row_((test_count + 63) / 64),
+        words_(fault_count * words_per_row_, 0) {}
+
+  std::size_t fault_count() const { return fault_count_; }
+  std::size_t test_count() const { return test_count_; }
+  /// Row stride in 64-bit words.
+  std::size_t words_per_row() const { return words_per_row_; }
+
+  std::span<const std::uint64_t> row(std::size_t fault) const {
+    return {words_.data() + fault * words_per_row_, words_per_row_};
+  }
+  std::span<std::uint64_t> row(std::size_t fault) {
+    return {words_.data() + fault * words_per_row_, words_per_row_};
+  }
+
+  std::uint64_t word(std::size_t fault, std::size_t w) const {
+    return words_[fault * words_per_row_ + w];
+  }
+  std::uint64_t& word(std::size_t fault, std::size_t w) {
+    return words_[fault * words_per_row_ + w];
+  }
+
+  /// Does tests[test] detect faults[fault]?
+  bool bit(std::size_t fault, std::size_t test) const {
+    return (word(fault, test / 64) >> (test % 64)) & 1;
+  }
+
+  /// Is the fault detected by any test?
+  bool any(std::size_t fault) const {
+    for (std::uint64_t w : row(fault)) {
+      if (w) return true;
+    }
+    return false;
+  }
+
+  /// Whole backing buffer (fault_count * words_per_row words, row-major).
+  std::span<const std::uint64_t> words() const { return words_; }
+
+  friend bool operator==(const DetectionMatrix&,
+                         const DetectionMatrix&) = default;
+
+ private:
+  std::size_t fault_count_ = 0;
+  std::size_t test_count_ = 0;
+  std::size_t words_per_row_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace pdf

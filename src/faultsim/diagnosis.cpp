@@ -16,12 +16,12 @@ Diagnoser::Diagnoser(const Netlist& nl, std::span<const TwoPatternTest> tests,
 }
 
 std::vector<bool> Diagnoser::signature_of(std::size_t fault_index) const {
-  if (fault_index >= matrix_.size()) {
+  if (fault_index >= matrix_.fault_count()) {
     throw std::out_of_range("Diagnoser::signature_of");
   }
   std::vector<bool> out(test_count_, false);
   for (std::size_t t = 0; t < test_count_; ++t) {
-    out[t] = (matrix_[fault_index][t / 64] >> (t % 64)) & 1;
+    out[t] = matrix_.bit(fault_index, t);
   }
   return out;
 }
@@ -43,11 +43,12 @@ DiagnosisResult Diagnoser::diagnose(const std::vector<bool>& failing) const {
 
   DiagnosisResult out;
   out.observed_failures = n_fail;
-  for (std::size_t f = 0; f < matrix_.size(); ++f) {
+  for (std::size_t f = 0; f < matrix_.fault_count(); ++f) {
     DiagnosisCandidate c;
     c.fault_index = f;
+    const std::span<const std::uint64_t> row = matrix_.row(f);
     for (std::size_t w = 0; w < words; ++w) {
-      const std::uint64_t detects = matrix_[f][w];
+      const std::uint64_t detects = row[w];
       c.explained += static_cast<std::size_t>(
           std::popcount(detects & observed[w]));
       c.contradicted += static_cast<std::size_t>(

@@ -18,6 +18,7 @@
 
 #include "atpg/test_pattern.hpp"
 #include "faults/screen.hpp"
+#include "faultsim/detection_matrix.hpp"
 #include "netlist/netlist.hpp"
 
 namespace pdf {
@@ -57,7 +58,7 @@ class Diagnoser {
 
  private:
   std::size_t test_count_ = 0;
-  std::vector<std::vector<std::uint64_t>> matrix_;  // [fault][word]
+  DetectionMatrix matrix_;  // fault-major, 64 tests per word
 };
 
 }  // namespace pdf

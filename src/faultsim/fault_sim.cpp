@@ -9,7 +9,7 @@ namespace pdf {
 FaultSimulator::FaultSimulator(const Netlist& nl) : cc_(nl) {}
 
 std::span<const Triple> FaultSimulator::simulate_test(
-    const TwoPatternTest& test) const {
+    const TwoPatternTest& test, ThreadState& st) const {
   const std::size_t n = cc_.inputs().size();
   if (test.pi_values.size() != n) {
     throw std::invalid_argument("FaultSimulator: test has wrong PI count");
@@ -17,28 +17,28 @@ std::span<const Triple> FaultSimulator::simulate_test(
   // Normalize plane 2 of the PI triples from the pattern planes so callers
   // may hand in tests with stale intermediate values, and compare against the
   // memoized test while doing so.
-  bool same = memo_valid_ && pi_buf_.size() == n;
-  pi_buf_.resize(n);
+  bool same = st.memo_valid && st.pi_buf.size() == n;
+  st.pi_buf.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     const Triple t = pi_triple(test.pi_values[i].a1, test.pi_values[i].a3);
-    same = same && t == pi_buf_[i];
-    pi_buf_[i] = t;
+    same = same && t == st.pi_buf[i];
+    st.pi_buf[i] = t;
   }
-  if (same) return scratch_.triples;
-  memo_valid_ = false;  // invalid while scratch is being rewritten
-  const std::span<const Triple> values = simulate(cc_, pi_buf_, scratch_);
-  memo_valid_ = true;
+  if (same) return st.scratch.triples;
+  st.memo_valid = false;  // invalid while scratch is being rewritten
+  const std::span<const Triple> values = simulate(cc_, st.pi_buf, st.scratch);
+  st.memo_valid = true;
   return values;
 }
 
 std::vector<Triple> FaultSimulator::line_values(const TwoPatternTest& test) const {
-  const std::span<const Triple> values = simulate_test(test);
+  const std::span<const Triple> values = simulate_test(test, state_.local());
   return std::vector<Triple>(values.begin(), values.end());
 }
 
 void FaultSimulator::line_values(const TwoPatternTest& test,
                                  std::vector<Triple>& out) const {
-  const std::span<const Triple> values = simulate_test(test);
+  const std::span<const Triple> values = simulate_test(test, state_.local());
   out.assign(values.begin(), values.end());
 }
 
@@ -52,7 +52,7 @@ bool FaultSimulator::satisfied(std::span<const Triple> values,
 
 std::vector<bool> FaultSimulator::detects(
     const TwoPatternTest& test, std::span<const TargetFault> faults) const {
-  const std::span<const Triple> values = simulate_test(test);
+  const std::span<const Triple> values = simulate_test(test, state_.local());
   std::vector<bool> out(faults.size(), false);
   for (std::size_t i = 0; i < faults.size(); ++i) {
     out[i] = satisfied(values, faults[i].requirements);
@@ -62,15 +62,16 @@ std::vector<bool> FaultSimulator::detects(
 
 bool FaultSimulator::detects(const TwoPatternTest& test,
                              const TargetFault& fault) const {
-  return satisfied(simulate_test(test), fault.requirements);
+  return satisfied(simulate_test(test, state_.local()), fault.requirements);
 }
 
 std::vector<bool> FaultSimulator::detects_any(
     std::span<const TwoPatternTest> tests,
     std::span<const TargetFault> faults) const {
+  ThreadState& st = state_.local();
   std::vector<bool> out(faults.size(), false);
   for (const auto& t : tests) {
-    const std::span<const Triple> values = simulate_test(t);
+    const std::span<const Triple> values = simulate_test(t, st);
     for (std::size_t i = 0; i < faults.size(); ++i) {
       if (!out[i] && satisfied(values, faults[i].requirements)) out[i] = true;
     }

@@ -11,8 +11,12 @@
 // arena, and the triples of the most recently simulated test are memoized:
 // a sequence of single-fault `detects(test, fault)` queries against the same
 // test costs one simulation total, and the batched entry points cost exactly
-// one simulation per test. The memo makes the simulator non-thread-safe;
-// use one instance per thread.
+// one simulation per test.
+//
+// The memo is per worker thread (runtime::PerWorker), so one simulator
+// instance may be shared by the caller and the runtime pool's workers: each
+// thread memoizes independently and answers are unaffected. Threads outside
+// the runtime pool must not share an instance (they would share slot 0).
 #pragma once
 
 #include <span>
@@ -22,6 +26,7 @@
 #include "core/compiled_circuit.hpp"
 #include "faults/screen.hpp"
 #include "netlist/netlist.hpp"
+#include "runtime/per_worker.hpp"
 
 namespace pdf {
 
@@ -62,16 +67,24 @@ class FaultSimulator {
   void line_values(const TwoPatternTest& test, std::vector<Triple>& out) const;
 
  private:
+  /// Per-thread simulation state: the scratch arena plus the last-test memo.
+  /// Each worker thread owns one, so concurrent queries neither race nor
+  /// evict each other's memo.
+  struct ThreadState {
+    SimScratch scratch;
+    std::vector<Triple> pi_buf;  // normalized PI triples of the memo
+    bool memo_valid = false;
+  };
+
   static bool satisfied(std::span<const Triple> values,
                         std::span<const ValueRequirement> reqs);
 
   /// One compiled simulation of `test`, memoized on the test's PI triples.
-  std::span<const Triple> simulate_test(const TwoPatternTest& test) const;
+  std::span<const Triple> simulate_test(const TwoPatternTest& test,
+                                        ThreadState& st) const;
 
   CompiledCircuit cc_;
-  mutable SimScratch scratch_;
-  mutable std::vector<Triple> pi_buf_;     // normalized PI triples of the memo
-  mutable bool memo_valid_ = false;
+  mutable runtime::PerWorker<ThreadState> state_;
 };
 
 }  // namespace pdf

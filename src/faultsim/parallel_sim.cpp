@@ -2,12 +2,25 @@
 
 #include <stdexcept>
 
+#include "runtime/metrics.hpp"
+#include "runtime/thread_pool.hpp"
 #include "sim/triple_sim.hpp"
 
 namespace pdf {
 namespace {
 
 constexpr std::uint64_t kAll = ~std::uint64_t{0};
+
+runtime::Metrics::Counter& word_counter() {
+  static runtime::Metrics::Counter& c =
+      runtime::Metrics::global().counter("faultsim.words");
+  return c;
+}
+runtime::Metrics::Timer& matrix_timer() {
+  static runtime::Metrics::Timer& t =
+      runtime::Metrics::global().timer("faultsim.detection_matrix");
+  return t;
+}
 
 }  // namespace
 
@@ -103,36 +116,44 @@ void ParallelFaultSimulator::simulate_word(
   }
 }
 
-std::vector<std::vector<std::uint64_t>> ParallelFaultSimulator::detection_matrix(
+DetectionMatrix ParallelFaultSimulator::detection_matrix(
     std::span<const TwoPatternTest> tests,
     std::span<const TargetFault> faults) const {
-  const std::size_t words = (tests.size() + 63) / 64;
-  std::vector<std::vector<std::uint64_t>> matrix(
-      faults.size(), std::vector<std::uint64_t>(words, 0));
+  const auto scope = matrix_timer().measure();
+  DetectionMatrix matrix(faults.size(), tests.size());
+  const std::size_t words = matrix.words_per_row();
 
-  std::vector<PlaneWord> planes[3];
-  for (std::size_t w = 0; w < words; ++w) {
-    const std::size_t base = w * 64;
-    const std::size_t lanes = std::min<std::size_t>(64, tests.size() - base);
-    simulate_word(tests, base, lanes, planes);
-    const std::uint64_t lane_mask =
-        lanes == 64 ? kAll : ((std::uint64_t{1} << lanes) - 1);
+  // Each task owns a disjoint set of 64-test words: it simulates them into
+  // its worker's plane scratch and writes word column w of every fault row.
+  // No two tasks touch the same matrix word, so the fill is race-free and
+  // bit-identical to the sequential loop.
+  runtime::global_pool().parallel_for(words, 1, [&](std::size_t w0,
+                                                    std::size_t w1) {
+    std::vector<PlaneWord>* planes = scratch_.local().planes;
+    for (std::size_t w = w0; w < w1; ++w) {
+      const std::size_t base = w * 64;
+      const std::size_t lanes = std::min<std::size_t>(64, tests.size() - base);
+      simulate_word(tests, base, lanes, planes);
+      const std::uint64_t lane_mask =
+          lanes == 64 ? kAll : ((std::uint64_t{1} << lanes) - 1);
 
-    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
-      std::uint64_t mask = lane_mask;
-      for (const auto& r : faults[fi].requirements) {
-        const V3 req[3] = {r.value.a1, r.value.a2, r.value.a3};
-        for (int q = 0; q < 3 && mask; ++q) {
-          if (!is_specified(req[q])) continue;
-          const PlaneWord& pw = planes[q][r.line];
-          mask &= pw.known &
-                  (req[q] == V3::One ? pw.value : ~pw.value);
+      for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+        std::uint64_t mask = lane_mask;
+        for (const auto& r : faults[fi].requirements) {
+          const V3 req[3] = {r.value.a1, r.value.a2, r.value.a3};
+          for (int q = 0; q < 3 && mask; ++q) {
+            if (!is_specified(req[q])) continue;
+            const PlaneWord& pw = planes[q][r.line];
+            mask &= pw.known &
+                    (req[q] == V3::One ? pw.value : ~pw.value);
+          }
+          if (!mask) break;
         }
-        if (!mask) break;
+        matrix.word(fi, w) = mask;
       }
-      matrix[fi][w] = mask;
     }
-  }
+    word_counter().add(w1 - w0);
+  });
   return matrix;
 }
 
@@ -141,14 +162,9 @@ std::vector<bool> ParallelFaultSimulator::detects_any(
     std::span<const TargetFault> faults) const {
   std::vector<bool> out(faults.size(), false);
   if (tests.empty()) return out;
-  const auto matrix = detection_matrix(tests, faults);
+  const DetectionMatrix matrix = detection_matrix(tests, faults);
   for (std::size_t fi = 0; fi < faults.size(); ++fi) {
-    for (std::uint64_t w : matrix[fi]) {
-      if (w) {
-        out[fi] = true;
-        break;
-      }
-    }
+    out[fi] = matrix.any(fi);
   }
   return out;
 }

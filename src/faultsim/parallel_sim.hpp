@@ -12,6 +12,12 @@
 //
 // Produces results identical to FaultSimulator::detects_any at a fraction of
 // the cost for large test sets (see bench/micro_engines).
+//
+// On top of the bit-level parallelism, the 64-test words are independent of
+// each other, so detection_matrix farms them out over the runtime thread
+// pool: each task simulates its words into per-worker plane scratch and
+// fills the corresponding word column of every fault row. Results are
+// bit-identical for any thread count (word boundaries don't depend on it).
 #pragma once
 
 #include <cstdint>
@@ -21,7 +27,9 @@
 #include "atpg/test_pattern.hpp"
 #include "core/compiled_circuit.hpp"
 #include "faults/screen.hpp"
+#include "faultsim/detection_matrix.hpp"
 #include "netlist/netlist.hpp"
+#include "runtime/per_worker.hpp"
 
 namespace pdf {
 
@@ -36,16 +44,19 @@ class ParallelFaultSimulator {
   std::vector<bool> detects_any(std::span<const TwoPatternTest> tests,
                                 std::span<const TargetFault> faults) const;
 
-  /// Full detection matrix: result[f] is a bitset over tests (bit t set when
-  /// tests[t] detects faults[f]), packed 64 per word.
-  std::vector<std::vector<std::uint64_t>> detection_matrix(
-      std::span<const TwoPatternTest> tests,
-      std::span<const TargetFault> faults) const;
+  /// Full detection matrix: row f is a bitset over tests (bit t set when
+  /// tests[t] detects faults[f]), packed 64 per word. Parallel over 64-test
+  /// words on the global runtime pool.
+  DetectionMatrix detection_matrix(std::span<const TwoPatternTest> tests,
+                                   std::span<const TargetFault> faults) const;
 
  private:
   struct PlaneWord {
     std::uint64_t value = 0;
     std::uint64_t known = 0;
+  };
+  struct WordScratch {
+    std::vector<PlaneWord> planes[3];
   };
 
   /// Simulates one 64-test word; planes[q][node] for q in 0..2.
@@ -54,6 +65,7 @@ class ParallelFaultSimulator {
                      std::vector<PlaneWord> planes[3]) const;
 
   CompiledCircuit cc_;
+  mutable runtime::PerWorker<WordScratch> scratch_;
 };
 
 }  // namespace pdf

@@ -2,7 +2,27 @@
 
 #include <algorithm>
 
+#include "runtime/thread_pool.hpp"
+
 namespace pdf {
+namespace {
+
+int node_distance(const LineDelayModel& dm, const CompiledCircuit& cc,
+                  const std::vector<int>& d, NodeId id) {
+  int best = kUnreachable;
+  if (cc.is_output(id)) {
+    // Completing here crosses the output branch if the node also feeds
+    // other consumers.
+    best = dm.branch_cost(id);
+  }
+  for (NodeId v : cc.fanouts(id)) {
+    if (d[v] == kUnreachable) continue;
+    best = std::max(best, dm.branch_cost(id) + dm.stem_weight(v) + d[v]);
+  }
+  return best;
+}
+
+}  // namespace
 
 std::vector<int> distances_to_outputs(const LineDelayModel& dm) {
   return distances_to_outputs(dm, CompiledCircuit(dm.netlist()));
@@ -11,20 +31,28 @@ std::vector<int> distances_to_outputs(const LineDelayModel& dm) {
 std::vector<int> distances_to_outputs(const LineDelayModel& dm,
                                       const CompiledCircuit& cc) {
   std::vector<int> d(cc.node_count(), kUnreachable);
+  if (!cc.has_sequential()) {
+    // Frontier expansion from the outputs towards the inputs, one level at a
+    // time: every combinational edge goes to a strictly higher level, so all
+    // nodes of a level depend only on levels already finished and each writes
+    // only its own slot — the level loop parallelizes with bit-identical
+    // results for any thread count.
+    for (int level = cc.depth(); level >= 0; --level) {
+      const std::span<const NodeId> nodes = cc.level_nodes(level);
+      runtime::global_pool().parallel_for(
+          nodes.size(), 256, [&](std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i) {
+              d[nodes[i]] = node_distance(dm, cc, d, nodes[i]);
+            }
+          });
+    }
+    return d;
+  }
+  // Sequential-circuit fallback: plain reverse-topological sweep (DFF edges
+  // may connect nodes inside level 0, so the level frontier does not apply).
   const auto topo = cc.topo_order();
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-    const NodeId id = *it;
-    int best = kUnreachable;
-    if (cc.is_output(id)) {
-      // Completing here crosses the output branch if the node also feeds
-      // other consumers.
-      best = dm.branch_cost(id);
-    }
-    for (NodeId v : cc.fanouts(id)) {
-      if (d[v] == kUnreachable) continue;
-      best = std::max(best, dm.branch_cost(id) + dm.stem_weight(v) + d[v]);
-    }
-    d[id] = best;
+    d[*it] = node_distance(dm, cc, d, *it);
   }
   return d;
 }

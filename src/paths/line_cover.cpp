@@ -4,8 +4,63 @@
 #include <set>
 
 #include "paths/distance.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace pdf {
+namespace {
+
+// Longest complete path through g, or empty when g lies on no complete path.
+// Pure function of the distance passes — safe to run for all nodes in
+// parallel; each node writes only its own slot.
+std::vector<NodeId> longest_path_through(const LineDelayModel& dm,
+                                         const Netlist& nl,
+                                         const std::vector<int>& arrive,
+                                         const std::vector<int>& depart,
+                                         NodeId g) {
+  if (arrive[g] == kUnreachableArrival || depart[g] == kUnreachable) return {};
+
+  // Backward half: from g to a primary input, always via the fanin with
+  // the maximum arrival (ties by first, deterministically).
+  std::vector<NodeId> nodes{g};
+  while (nl.node(nodes.back()).type != GateType::Input) {
+    const Node& n = nl.node(nodes.back());
+    NodeId best = kNoNode;
+    for (NodeId f : n.fanin) {
+      if (arrive[f] == kUnreachableArrival) continue;
+      if (best == kNoNode || arrive[f] + dm.branch_cost(f) >
+                                 arrive[best] + dm.branch_cost(best)) {
+        best = f;
+      }
+    }
+    nodes.push_back(best);
+  }
+  std::reverse(nodes.begin(), nodes.end());
+
+  // Forward half: from g to an output, preferring the fanout continuation
+  // while its value exceeds completing at g (when g itself is an output).
+  for (;;) {
+    const NodeId cur = nodes.back();
+    const Node& n = nl.node(cur);
+    NodeId best = kNoNode;
+    for (NodeId v : n.fanout) {
+      if (depart[v] == kUnreachable) continue;
+      if (best == kNoNode ||
+          dm.stem_weight(v) + depart[v] > dm.stem_weight(best) + depart[best]) {
+        best = v;
+      }
+    }
+    const bool can_complete_here = n.is_output;
+    if (best == kNoNode) break;  // must be an output (depart != unreachable)
+    const int continue_gain = dm.branch_cost(cur) + dm.stem_weight(best) +
+                              depart[best];
+    const int complete_gain = can_complete_here ? dm.branch_cost(cur) : -1;
+    if (can_complete_here && complete_gain >= continue_gain) break;
+    nodes.push_back(best);
+  }
+  return nodes;
+}
+
+}  // namespace
 
 std::vector<int> distances_from_inputs(const LineDelayModel& dm) {
   const Netlist& nl = dm.netlist();
@@ -31,55 +86,26 @@ std::vector<CoverPath> select_line_cover_paths(const LineDelayModel& dm) {
   const std::vector<int> arrive = distances_from_inputs(dm);
   const std::vector<int> depart = distances_to_outputs(dm);
 
+  // Per-node path construction is independent: fan it out over the pool,
+  // each node filling its own slot. Deduplication stays sequential in node
+  // order below, so the selection is bit-identical for any thread count.
+  std::vector<std::vector<NodeId>> built(nl.node_count());
+  runtime::global_pool().parallel_for(
+      nl.node_count(), 64, [&](std::size_t b, std::size_t e) {
+        for (std::size_t g = b; g < e; ++g) {
+          built[g] = longest_path_through(dm, nl, arrive, depart,
+                                          static_cast<NodeId>(g));
+        }
+      });
+
   std::set<std::vector<NodeId>> seen;
   std::vector<CoverPath> out;
-
   for (NodeId g = 0; g < nl.node_count(); ++g) {
-    if (arrive[g] == kUnreachableArrival || depart[g] == kUnreachable) continue;
-
-    // Backward half: from g to a primary input, always via the fanin with
-    // the maximum arrival (ties by first, deterministically).
-    std::vector<NodeId> prefix{g};
-    while (nl.node(prefix.back()).type != GateType::Input) {
-      const Node& n = nl.node(prefix.back());
-      NodeId best = kNoNode;
-      for (NodeId f : n.fanin) {
-        if (arrive[f] == kUnreachableArrival) continue;
-        if (best == kNoNode || arrive[f] + dm.branch_cost(f) >
-                                   arrive[best] + dm.branch_cost(best)) {
-          best = f;
-        }
-      }
-      prefix.push_back(best);
-    }
-    std::reverse(prefix.begin(), prefix.end());
-
-    // Forward half: from g to an output, preferring the fanout continuation
-    // while its value exceeds completing at g (when g itself is an output).
-    std::vector<NodeId>& nodes = prefix;
-    for (;;) {
-      const NodeId cur = nodes.back();
-      const Node& n = nl.node(cur);
-      NodeId best = kNoNode;
-      for (NodeId v : n.fanout) {
-        if (depart[v] == kUnreachable) continue;
-        if (best == kNoNode ||
-            dm.stem_weight(v) + depart[v] > dm.stem_weight(best) + depart[best]) {
-          best = v;
-        }
-      }
-      const bool can_complete_here = n.is_output;
-      if (best == kNoNode) break;  // must be an output (depart != unreachable)
-      const int continue_gain = dm.branch_cost(cur) + dm.stem_weight(best) +
-                                depart[best];
-      const int complete_gain = can_complete_here ? dm.branch_cost(cur) : -1;
-      if (can_complete_here && complete_gain >= continue_gain) break;
-      nodes.push_back(best);
-    }
-
+    std::vector<NodeId>& nodes = built[g];
+    if (nodes.empty()) continue;
     if (!seen.insert(nodes).second) continue;
     CoverPath cp;
-    cp.path.nodes = nodes;
+    cp.path.nodes = std::move(nodes);
     cp.length = dm.complete_length(cp.path.nodes);
     out.push_back(std::move(cp));
   }

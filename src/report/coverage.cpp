@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "faultsim/fault_sim.hpp"
+#include "faultsim/parallel_sim.hpp"
 
 namespace pdf {
 namespace {
@@ -34,6 +35,17 @@ CoverageBreakdown build(std::span<const TargetFault> faults,
 CoverageBreakdown coverage_by_length(const Netlist& nl,
                                      std::span<const TwoPatternTest> tests,
                                      std::span<const TargetFault> faults) {
+  // The word-parallel simulator needs a combinational, primitive-gate
+  // netlist; anything else takes the scalar path (identical results).
+  bool word_parallel_ok = !nl.has_sequential();
+  for (NodeId id = 0; word_parallel_ok && id < nl.node_count(); ++id) {
+    const GateType t = nl.node(id).type;
+    if (t == GateType::Xor || t == GateType::Xnor) word_parallel_ok = false;
+  }
+  if (word_parallel_ok) {
+    ParallelFaultSimulator fsim(nl);
+    return coverage_by_length(faults, fsim.detection_matrix(tests, faults));
+  }
   FaultSimulator fsim(nl);
   const std::vector<bool> det = fsim.detects_any(tests, faults);
   return coverage_by_length(faults, det);
@@ -53,6 +65,14 @@ CoverageBreakdown coverage_by_length(std::span<const TargetFault> faults,
     throw std::invalid_argument("coverage_by_length: size mismatch");
   }
   return build(faults, [&](std::size_t i) { return detected[i]; });
+}
+
+CoverageBreakdown coverage_by_length(std::span<const TargetFault> faults,
+                                     const DetectionMatrix& matrix) {
+  if (matrix.fault_count() != faults.size()) {
+    throw std::invalid_argument("coverage_by_length: matrix row mismatch");
+  }
+  return build(faults, [&](std::size_t i) { return matrix.any(i); });
 }
 
 std::string coverage_summary(const CoverageBreakdown& b, std::size_t max_buckets) {

@@ -13,6 +13,7 @@
 
 #include "atpg/test_pattern.hpp"
 #include "faults/screen.hpp"
+#include "faultsim/detection_matrix.hpp"
 #include "netlist/netlist.hpp"
 
 namespace pdf {
@@ -39,6 +40,9 @@ struct CoverageBreakdown {
 };
 
 /// Buckets `faults` by path length and counts which are detected by `tests`.
+/// Combinational netlists simulate through the pattern-parallel simulator
+/// (and thus the runtime thread pool); sequential ones fall back to the
+/// scalar simulator. Results are identical either way.
 CoverageBreakdown coverage_by_length(const Netlist& nl,
                                      std::span<const TwoPatternTest> tests,
                                      std::span<const TargetFault> faults);
@@ -48,6 +52,10 @@ CoverageBreakdown coverage_by_length(std::span<const TargetFault> faults,
                                      std::span<const bool> detected);
 CoverageBreakdown coverage_by_length(std::span<const TargetFault> faults,
                                      const std::vector<bool>& detected);
+
+/// Same, from a precomputed detection matrix (rows must align with `faults`).
+CoverageBreakdown coverage_by_length(std::span<const TargetFault> faults,
+                                     const DetectionMatrix& matrix);
 
 /// Compact one-line rendering: "L>=30: 299/308 | L=29: 41/52 | ...".
 std::string coverage_summary(const CoverageBreakdown& b, std::size_t max_buckets = 8);

@@ -1,0 +1,56 @@
+#include "runtime/metrics.hpp"
+
+#include <sstream>
+
+#include "runtime/thread_pool.hpp"
+
+namespace pdf::runtime {
+
+std::atomic<std::uint64_t>& Metrics::Counter::shard() {
+  return shards_[worker_slot() % kShards].v;
+}
+
+Metrics& Metrics::global() {
+  static Metrics m;
+  return m;
+}
+
+Metrics::Counter& Metrics::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Metrics::Timer& Metrics::timer(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = timers_.find(name);
+  if (it == timers_.end()) {
+    it = timers_.emplace(std::string(name), std::make_unique<Timer>()).first;
+  }
+  return *it->second;
+}
+
+std::string Metrics::dump() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    os << "counter " << name << " " << c->read() << "\n";
+  }
+  for (const auto& [name, t] : timers_) {
+    os << "timer " << name << " " << t->total_ns() << " ns " << t->calls()
+       << " calls\n";
+  }
+  return os.str();
+}
+
+void Metrics::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, t] : timers_) t->reset();
+}
+
+}  // namespace pdf::runtime

@@ -1,0 +1,111 @@
+// Lightweight counters/timers registry for the parallel runtime.
+//
+// Engines tick counters from inside parallel hot loops, so a counter must
+// never serialize the threads that share it: each counter is an array of
+// cache-line-padded shards and a thread always ticks the shard picked by its
+// worker_slot() (relaxed atomic add — uncontended in the common case, merely
+// slower, never wrong, when external threads collide on shard 0). Reads merge
+// the shards, so `read()` is exact once the ticking threads have quiesced
+// (e.g. after the parallel_for that ticked it returned).
+//
+// Handles returned by counter()/timer() are stable for the process lifetime;
+// look them up once (static local) rather than per tick — the registry lookup
+// takes a mutex, the tick itself never does.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace pdf::runtime {
+
+class Metrics {
+ public:
+  class Counter {
+   public:
+    void add(std::uint64_t v = 1) {
+      shard().fetch_add(v, std::memory_order_relaxed);
+    }
+    std::uint64_t read() const {
+      std::uint64_t sum = 0;
+      for (const auto& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+      return sum;
+    }
+    void reset() {
+      for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+    }
+
+   private:
+    static constexpr std::size_t kShards = 64;
+    struct alignas(64) Shard {
+      std::atomic<std::uint64_t> v{0};
+    };
+    std::atomic<std::uint64_t>& shard();
+    std::array<Shard, kShards> shards_;
+  };
+
+  /// Accumulated wall time (nanoseconds) plus a call count; tick with a
+  /// Timer::Scope so early returns and exceptions are still counted.
+  class Timer {
+   public:
+    class Scope {
+     public:
+      explicit Scope(Timer& t)
+          : timer_(t), start_(std::chrono::steady_clock::now()) {}
+      ~Scope() {
+        const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count();
+        timer_.ns_.add(static_cast<std::uint64_t>(ns));
+        timer_.calls_.add(1);
+      }
+      Scope(const Scope&) = delete;
+      Scope& operator=(const Scope&) = delete;
+
+     private:
+      Timer& timer_;
+      std::chrono::steady_clock::time_point start_;
+    };
+
+    Scope measure() { return Scope(*this); }
+    std::uint64_t total_ns() const { return ns_.read(); }
+    std::uint64_t calls() const { return calls_.read(); }
+    void reset() {
+      ns_.reset();
+      calls_.reset();
+    }
+
+   private:
+    Counter ns_;
+    Counter calls_;
+  };
+
+  /// The process-wide registry.
+  static Metrics& global();
+
+  /// Returns the named counter/timer, creating it on first use. The returned
+  /// reference stays valid for the process lifetime.
+  Counter& counter(std::string_view name);
+  Timer& timer(std::string_view name);
+
+  /// One line per metric, name-sorted:
+  ///   counter <name> <value>
+  ///   timer <name> <total_ns> ns <calls> calls
+  std::string dump() const;
+
+  /// Zeroes every registered metric (handles stay valid).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_;
+};
+
+}  // namespace pdf::runtime

@@ -1,0 +1,45 @@
+// Per-thread state slots for engines that keep mutable scratch (arenas,
+// memo caches) but want one engine instance shared across pool workers.
+//
+// A PerWorker<T> is an array of lazily-constructed T slots indexed by
+// worker_slot(). Distinct pool workers always resolve to distinct slots, so
+// `local()` needs no lock: a slot's unique_ptr is only ever written by the
+// one thread that owns the slot. The supported sharing contract is the same
+// as the runtime's: one external thread plus the global pool's workers.
+// Multiple *external* threads all map to slot 0 and must not share one
+// instance — give each its own engine, as before the runtime existed.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace pdf::runtime {
+
+template <typename T>
+class PerWorker {
+ public:
+  PerWorker() : slots_(kMaxWorkerSlots) {}
+
+  /// The calling thread's slot, default-constructed on first use.
+  T& local() {
+    std::unique_ptr<T>& p = slots_[worker_slot()];
+    if (!p) p = std::make_unique<T>();
+    return *p;
+  }
+
+  /// Visits every slot that was ever materialized. Only safe when no thread
+  /// is concurrently calling local() (e.g. after a parallel_for returned).
+  template <typename F>
+  void for_each(F&& f) {
+    for (auto& p : slots_) {
+      if (p) f(*p);
+    }
+  }
+
+ private:
+  std::vector<std::unique_ptr<T>> slots_;
+};
+
+}  // namespace pdf::runtime

@@ -60,18 +60,18 @@ TEST(ParallelSim, DetectionMatrixMatchesPerTestScalar) {
   const auto tests = random_tests(nl, 70, rng);
   FaultSimulator scalar(nl);
   ParallelFaultSimulator parallel(nl);
-  const auto matrix = parallel.detection_matrix(tests, ts.p0);
-  ASSERT_EQ(matrix.size(), ts.p0.size());
+  const DetectionMatrix matrix = parallel.detection_matrix(tests, ts.p0);
+  ASSERT_EQ(matrix.fault_count(), ts.p0.size());
+  ASSERT_EQ(matrix.test_count(), tests.size());
+  ASSERT_EQ(matrix.words_per_row(), 2u);  // 70 tests -> 2 words
   for (std::size_t f = 0; f < ts.p0.size(); ++f) {
-    ASSERT_EQ(matrix[f].size(), 2u);  // 70 tests -> 2 words
     for (std::size_t t = 0; t < tests.size(); ++t) {
-      const bool bit = (matrix[f][t / 64] >> (t % 64)) & 1;
-      EXPECT_EQ(bit, scalar.detects(tests[t], ts.p0[f]))
+      EXPECT_EQ(matrix.bit(f, t), scalar.detects(tests[t], ts.p0[f]))
           << "fault " << f << " test " << t;
     }
     // Lanes beyond the test count stay clear.
     for (std::size_t lane = 70 - 64; lane < 64; ++lane) {
-      EXPECT_EQ((matrix[f][1] >> lane) & 1, 0u);
+      EXPECT_EQ((matrix.word(f, 1) >> lane) & 1, 0u);
     }
   }
 }
