@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
 
   for (const auto& name : o.circuits) {
     const Netlist nl = benchmark_circuit(name);
-    const EnrichmentWorkbench wb(nl, target_config(o));
+    const EnrichmentWorkbench wb(nl, target_config(o), o.cache());
     const TargetSets& ts = wb.targets();
     if (ts.p0.empty()) continue;
 
@@ -60,5 +60,6 @@ int main(int argc, char** argv) {
       "expected shape: branch-and-bound justifies at least as many faults\n"
       "and proves the rest undetectable (aborts aside) at a runtime cost;\n"
       "its generation output is invariant across repeats.\n");
+  dump_metrics(o);
   return 0;
 }

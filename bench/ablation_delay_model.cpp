@@ -24,7 +24,8 @@ int main(int argc, char** argv) {
 
   for (const auto& name : o.circuits) {
     const Netlist nl = benchmark_circuit(name);
-    const TargetSets unit = build_target_sets(nl, target_config(o));
+    const TargetSets unit =
+        store::cached_target_sets(o.cache(), nl, target_config(o));
     if (unit.p0.empty()) continue;
 
     Table t("circuit " + name + "  (|P0| = " + std::to_string(unit.p0.size()) +
@@ -70,5 +71,6 @@ int main(int argc, char** argv) {
       "reading: under delay perturbation a sizable share of the truly\n"
       "critical faults live in P1 — the paper's motivation for detecting P1\n"
       "faults without extra tests.\n");
+  dump_metrics(o);
   return 0;
 }

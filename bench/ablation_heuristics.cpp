@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
 
   for (const auto& name : o.circuits) {
     const Netlist nl = benchmark_circuit(name);
-    const EnrichmentWorkbench wb(nl, target_config(o));
+    const EnrichmentWorkbench wb(nl, target_config(o), o.cache());
 
     Table t("circuit " + name);
     t.columns({"cap", "tests", "P0 det", "P1 det", "seconds"});
@@ -36,5 +36,6 @@ int main(int argc, char** argv) {
   std::printf(
       "expected shape: small caps cut runtime but lose P1 coverage and\n"
       "inflate the test count; 'none' is the paper-faithful setting.\n");
+  dump_metrics(o);
   return 0;
 }

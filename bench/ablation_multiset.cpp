@@ -53,5 +53,6 @@ int main(int argc, char** argv) {
     run("P0|..|P1c", four);
     emit(t, o);
   }
+  dump_metrics(o);
   return 0;
 }

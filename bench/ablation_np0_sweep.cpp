@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
       if (n_p0 == 0) continue;
       TargetSetConfig tcfg = target_config(o);
       tcfg.n_p0 = n_p0;
-      const EnrichmentWorkbench wb(nl, tcfg);
+      const EnrichmentWorkbench wb(nl, tcfg, o.cache());
       GeneratorConfig g;
       g.heuristic = CompactionHeuristic::Value;
       g.seed = o.seed;
@@ -35,5 +35,6 @@ int main(int argc, char** argv) {
     }
     emit(t, o);
   }
+  dump_metrics(o);
   return 0;
 }

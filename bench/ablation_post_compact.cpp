@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
 
   for (const auto& name : o.circuits) {
     const Netlist nl = benchmark_circuit(name);
-    const EnrichmentWorkbench wb(nl, target_config(o));
+    const EnrichmentWorkbench wb(nl, target_config(o), o.cache());
     const TargetSets& ts = wb.targets();
 
     Table t("circuit " + name);
@@ -42,5 +42,6 @@ int main(int argc, char** argv) {
       "expected shape: the uncomp sets collapse; the dynamically compacted\n"
       "sets lose only a handful of tests — dynamic compaction is doing the\n"
       "heavy lifting, as the paper's Table 4/5 comparison implies.\n");
+  dump_metrics(o);
   return 0;
 }

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
 
   for (const auto& name : o.circuits) {
     const Netlist nl = benchmark_circuit(name);
-    const EnrichmentWorkbench wb(nl, target_config(o));
+    const EnrichmentWorkbench wb(nl, target_config(o), o.cache());
     Table t("circuit " + name);
     t.columns({"attempts", "tests", "P0 det", "P1 det", "seconds"});
     for (int attempts : {1, 2, 4}) {
@@ -32,5 +32,6 @@ int main(int argc, char** argv) {
     }
     emit(t, o);
   }
+  dump_metrics(o);
   return 0;
 }

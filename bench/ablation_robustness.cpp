@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
          {Sensitization::Robust, Sensitization::NonRobust}) {
       TargetSetConfig tcfg = target_config(o);
       tcfg.sensitization = sens;
-      const EnrichmentWorkbench wb(nl, tcfg);
+      const EnrichmentWorkbench wb(nl, tcfg, o.cache());
       GeneratorConfig g;
       g.heuristic = CompactionHeuristic::Value;
       g.seed = o.seed;
@@ -38,5 +38,6 @@ int main(int argc, char** argv) {
   std::printf(
       "expected shape: nonrobust keeps more faults in P0/P1 and detects a\n"
       "larger fraction of them (relaxed constraints merge more easily).\n");
+  dump_metrics(o);
   return 0;
 }

@@ -8,6 +8,11 @@
 //   --csv            also print CSV after the table
 //   --threads N      size the runtime thread pool (0 = hardware concurrency)
 //   --metrics        dump the runtime metrics registry to stderr at exit
+//   --store DIR      artifact-store root for stage memoization
+//                    (default .artifact-store/; warm reruns skip
+//                    enumeration/ATPG/simulation and reproduce the cold
+//                    outputs bit-identically — see DESIGN.md §8)
+//   --no-store       disable the artifact store (every stage recomputes)
 // Defaults are the scaled parameters recorded in EXPERIMENTS.md
 // (N_P=4000, N_P0=300), chosen so the full table reproduces in seconds.
 #pragma once
@@ -17,6 +22,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,6 +31,7 @@
 #include "report/table.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/thread_pool.hpp"
+#include "store/stage_cache.hpp"
 
 namespace pdf::bench {
 
@@ -36,7 +43,13 @@ struct Options {
   bool csv = false;
   bool paper = false;
   bool metrics = false;
+  bool use_store = true;
+  std::string store_dir = ".artifact-store";
   std::vector<std::string> circuits;
+  std::shared_ptr<store::StageCache> stage_cache;
+
+  /// The stage cache to thread through the pipeline: null when --no-store.
+  store::StageCache* cache() const { return stage_cache.get(); }
 };
 
 /// Prints the runtime metrics registry to stderr when --metrics was given.
@@ -76,6 +89,11 @@ inline Options parse_options(int argc, char** argv,
       o.threads = std::strtoull(next(), nullptr, 10);
     } else if (a == "--metrics") {
       o.metrics = true;
+    } else if (a == "--store") {
+      o.store_dir = next();
+      o.use_store = true;
+    } else if (a == "--no-store") {
+      o.use_store = false;
     } else if (a == "--circuits") {
       o.circuits.clear();
       std::string list = next();
@@ -91,7 +109,13 @@ inline Options parse_options(int argc, char** argv,
     } else if (a == "--help" || a == "-h") {
       std::printf(
           "options: [--paper] [--np N] [--np0 N] [--seed S] [--csv] "
-          "[--threads N] [--metrics] [--circuits a,b,c]\n");
+          "[--threads N] [--metrics] [--store DIR] [--no-store] "
+          "[--circuits a,b,c]\n"
+          "store: stages (enumeration, ATPG, fault simulation) are memoized\n"
+          "in a content-addressed artifact store (default .artifact-store/);\n"
+          "warm runs skip recomputation and emit identical outputs.\n"
+          "--no-store recomputes everything; --metrics shows store.* hit/miss\n"
+          "counters.\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown option %s (try --help)\n", a.c_str());
@@ -99,6 +123,9 @@ inline Options parse_options(int argc, char** argv,
     }
   }
   runtime::set_global_threads(o.threads);
+  if (o.use_store) {
+    o.stage_cache = std::make_shared<store::StageCache>(o.store_dir);
+  }
   return o;
 }
 

@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
 
   for (const auto& name : o.circuits) {
     const Netlist nl = benchmark_circuit(name);
-    const EnrichmentWorkbench wb(nl, target_config(o));
+    const EnrichmentWorkbench wb(nl, target_config(o), o.cache());
     const TargetSets& ts = wb.targets();
     if (ts.p0.empty() || ts.p1.empty()) continue;
 
@@ -92,5 +92,6 @@ int main(int argc, char** argv) {
       "expected shape: both sets catch P0-band defects; on defects confined\n"
       "to the next-to-longest band the enriched set catches noticeably more\n"
       "— the failures the paper warns would otherwise escape.\n");
+  dump_metrics(o);
   return 0;
 }

@@ -12,6 +12,12 @@
 // thread-scaling sweep: runs ParallelFaultSimulator::detection_matrix on NAME
 // at 1, 2, 4 and 8 pool threads, verifies every matrix is bit-identical to
 // the single-thread run, and reports wall time and speedup per thread count.
+//   micro_engines store [--circuit NAME] [--dir DIR] [--csv] [--metrics]
+// cold-vs-warm pipeline comparison through the content-addressed artifact
+// store: runs the full enumeration -> ATPG -> coverage -> detection-matrix
+// pipeline twice against a fresh store root (default .artifact-store.micro,
+// wiped first), verifies the warm results are identical to the cold ones,
+// and reports per-phase wall clock, speedup and store hit/miss counts.
 // Any other invocation falls through to the normal google-benchmark driver.
 #include <benchmark/benchmark.h>
 
@@ -19,11 +25,13 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <functional>
 #include <string>
 
 #include "atpg/justify.hpp"
 #include "core/compiled_circuit.hpp"
+#include "enrich/enrichment.hpp"
 #include "enrich/target_sets.hpp"
 #include "faultsim/fault_sim.hpp"
 #include "faultsim/parallel_sim.hpp"
@@ -32,6 +40,7 @@
 #include "runtime/thread_pool.hpp"
 #include "sim/event_sim.hpp"
 #include "sim/triple_sim.hpp"
+#include "store/stage_cache.hpp"
 
 namespace {
 
@@ -355,31 +364,151 @@ int run_thread_scaling(const std::string& name, bool csv, bool metrics) {
   return all_identical ? 0 : 1;
 }
 
+// ---- cold-vs-warm store mode -----------------------------------------------
+
+struct StoreCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+
+  static StoreCounters read() {
+    auto& m = runtime::Metrics::global();
+    return {m.counter("store.hits").read(), m.counter("store.misses").read(),
+            m.counter("store.bytes_read").read(),
+            m.counter("store.bytes_written").read()};
+  }
+};
+
+int run_store_mode(const std::string& name, const std::string& dir, bool csv,
+                   bool metrics) {
+  if (!has_benchmark(name)) {
+    std::fprintf(stderr, "unknown circuit '%s' (see bench_atpg --list)\n",
+                 name.c_str());
+    return 2;
+  }
+  const Netlist nl = benchmark_circuit(name);
+  TargetSetConfig tcfg;
+  tcfg.n_p = 4000;
+  tcfg.n_p0 = 300;
+  GeneratorConfig g;
+  g.heuristic = CompactionHeuristic::Value;
+  g.seed = 1;
+
+  // Fresh root so the first pass is genuinely cold.
+  std::filesystem::remove_all(dir);
+  store::StageCache cache{dir};
+
+  using clock = std::chrono::steady_clock;
+  struct PassResult {
+    GenerationResult enriched;
+    UnionCoverage coverage;
+    DetectionMatrix matrix;
+    double ms = 0;
+    StoreCounters counters;
+  };
+  const auto run_pass = [&]() {
+    runtime::Metrics::global().reset();
+    const auto t0 = clock::now();
+    PassResult r;
+    const EnrichmentWorkbench wb(nl, tcfg, &cache);
+    r.enriched = wb.run_enriched(g);
+    r.coverage = wb.coverage_of(r.enriched);
+    const ParallelFaultSimulator fsim(nl);
+    r.matrix = store::cached_detection_matrix(&cache, fsim, nl,
+                                              r.enriched.tests,
+                                              wb.targets().p0);
+    r.ms = std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+    r.counters = StoreCounters::read();
+    return r;
+  };
+
+  const PassResult cold = run_pass();
+  const PassResult warm = run_pass();
+
+  const bool identical =
+      cold.enriched.tests.size() == warm.enriched.tests.size() &&
+      std::equal(cold.enriched.tests.begin(), cold.enriched.tests.end(),
+                 warm.enriched.tests.begin(),
+                 [](const TwoPatternTest& a, const TwoPatternTest& b) {
+                   return a.pi_values == b.pi_values;
+                 }) &&
+      cold.coverage.p0_detected == warm.coverage.p0_detected &&
+      cold.coverage.p1_detected == warm.coverage.p1_detected &&
+      cold.matrix == warm.matrix;
+
+  std::printf("== artifact-store cold vs warm pipeline ==\n");
+  std::printf("circuit: %s (%zu nodes), store root: %s\n", name.c_str(),
+              nl.node_count(), dir.c_str());
+  std::printf("pipeline: target sets -> enriched ATPG -> coverage -> "
+              "detection matrix\n");
+  std::printf("%8s %12s %10s %8s %8s %14s\n", "pass", "wall ms", "speedup",
+              "hits", "misses", "bytes");
+  std::printf("%8s %12.3f %10s %8llu %8llu %14llu\n", "cold", cold.ms, "1.00x",
+              static_cast<unsigned long long>(cold.counters.hits),
+              static_cast<unsigned long long>(cold.counters.misses),
+              static_cast<unsigned long long>(cold.counters.bytes_written));
+  std::printf("%8s %12.3f %9.2fx %8llu %8llu %14llu\n", "warm", warm.ms,
+              cold.ms / warm.ms,
+              static_cast<unsigned long long>(warm.counters.hits),
+              static_cast<unsigned long long>(warm.counters.misses),
+              static_cast<unsigned long long>(warm.counters.bytes_read));
+  std::printf("results identical: %s; warm misses: %llu\n",
+              identical ? "yes" : "NO",
+              static_cast<unsigned long long>(warm.counters.misses));
+  if (csv) {
+    std::printf("\ncsv:\npass,ms,hits,misses,identical\n");
+    std::printf("cold,%.4f,%llu,%llu,%d\nwarm,%.4f,%llu,%llu,%d\n", cold.ms,
+                static_cast<unsigned long long>(cold.counters.hits),
+                static_cast<unsigned long long>(cold.counters.misses),
+                identical ? 1 : 0, warm.ms,
+                static_cast<unsigned long long>(warm.counters.hits),
+                static_cast<unsigned long long>(warm.counters.misses),
+                identical ? 1 : 0);
+  }
+  if (metrics) {
+    std::fprintf(stderr, "\n-- runtime metrics --\n%s",
+                 runtime::Metrics::global().dump().c_str());
+  }
+  return identical && warm.counters.misses == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool compare = false;
   bool thread_scaling = false;
+  bool store_mode = false;
   bool csv = false;
   bool metrics = false;
   std::string circuit_name = "s13207_like";
+  std::string store_dir = ".artifact-store.micro";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "compiled-vs-legacy") == 0) {
       compare = true;
     } else if (std::strcmp(argv[i], "threads") == 0 && !compare) {
       thread_scaling = true;
-    } else if ((compare || thread_scaling) &&
+    } else if (std::strcmp(argv[i], "store") == 0 && !compare &&
+               !thread_scaling) {
+      store_mode = true;
+      circuit_name = "s1196_like";  // mid-size default: cold pass in seconds
+    } else if ((compare || thread_scaling || store_mode) &&
                std::strcmp(argv[i], "--csv") == 0) {
       csv = true;
-    } else if (thread_scaling && std::strcmp(argv[i], "--metrics") == 0) {
+    } else if ((thread_scaling || store_mode) &&
+               std::strcmp(argv[i], "--metrics") == 0) {
       metrics = true;
-    } else if ((compare || thread_scaling) &&
+    } else if (store_mode && std::strcmp(argv[i], "--dir") == 0 &&
+               i + 1 < argc) {
+      store_dir = argv[++i];
+    } else if ((compare || thread_scaling || store_mode) &&
                std::strcmp(argv[i], "--circuit") == 0 && i + 1 < argc) {
       circuit_name = argv[++i];
     }
   }
   if (compare) return run_compiled_vs_legacy(circuit_name, csv);
   if (thread_scaling) return run_thread_scaling(circuit_name, csv, metrics);
+  if (store_mode) return run_store_mode(circuit_name, store_dir, csv, metrics);
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
 
   for (const auto& name : o.circuits) {
     const Netlist nl = benchmark_circuit(name);
-    const TargetSets ts = build_target_sets(nl, target_config(o));
+    const TargetSets ts =
+        store::cached_target_sets(o.cache(), nl, target_config(o));
 
     Table t("circuit " + name + "  (paper counterpart: s1423)");
     t.columns({"i", "L_i", "n_p(L_i)", "N_p(L_i)"});
@@ -31,5 +32,6 @@ int main(int argc, char** argv) {
         "paper (s1423, N_P0=1000): i0 = 17, L_17 = 79, |P0| = 1116\n\n",
         ts.i0, ts.cutoff_length, ts.p0.size(), ts.p1.size());
   }
+  dump_metrics(o);
   return 0;
 }

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
 
   for (const auto& name : o.circuits) {
     const Netlist nl = benchmark_circuit(name);
-    const EnrichmentWorkbench wb(nl, target_config(o));
+    const EnrichmentWorkbench wb(nl, target_config(o), o.cache());
     const TargetSets& ts = wb.targets();
 
     std::size_t det[4] = {0, 0, 0, 0};
@@ -56,5 +56,6 @@ int main(int argc, char** argv) {
       "only by random-decision noise, and each compaction column of Table 4\n"
       "is well below the uncomp column (paper examples: s641 471 -> ~130,\n"
       "b03 299 -> ~90).\n");
+  dump_metrics(o);
   return 0;
 }

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
 
   for (const auto& name : o.circuits) {
     const Netlist nl = benchmark_circuit(name);
-    const EnrichmentWorkbench wb(nl, target_config(o));
+    const EnrichmentWorkbench wb(nl, target_config(o), o.cache());
     const TargetSets& ts = wb.targets();
 
     std::size_t det[4];
@@ -50,5 +50,6 @@ int main(int argc, char** argv) {
       "paper shape check: accidental P1 detection is limited; uncomp's much\n"
       "larger test sets buy only slightly more union coverage than the\n"
       "compact heuristics (paper example s641: 1452 vs ~1420 of 2127).\n");
+  dump_metrics(o);
   return 0;
 }

@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
 
   for (const auto& name : o.circuits) {
     const Netlist nl = benchmark_circuit(name);
-    const EnrichmentWorkbench wb(nl, target_config(o));
+    const EnrichmentWorkbench wb(nl, target_config(o), o.cache());
     const TargetSets& ts = wb.targets();
 
     GeneratorConfig g;
@@ -55,5 +55,6 @@ int main(int argc, char** argv) {
       "paper shape check: P0,P1 detected under enrichment far exceeds the\n"
       "accidental coverage of the basic run at essentially the same test\n"
       "count (paper example s641: 1815 vs 1420 of 2127 at 127 vs 129 tests).\n");
+  dump_metrics(o);
   return 0;
 }

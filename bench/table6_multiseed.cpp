@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   t.columns({"circuit", "tests", "P0 detected", "P0,P1 detected"});
   for (const auto& name : o.circuits) {
     const Netlist nl = benchmark_circuit(name);
-    const EnrichmentWorkbench wb(nl, target_config(o));
+    const EnrichmentWorkbench wb(nl, target_config(o), o.cache());
     if (wb.targets().p0.empty()) continue;
 
     std::vector<std::uint64_t> seeds;

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
 
   for (const auto& name : o.circuits) {
     const Netlist nl = benchmark_circuit(name);
-    const EnrichmentWorkbench wb(nl, target_config(o));
+    const EnrichmentWorkbench wb(nl, target_config(o), o.cache());
 
     GeneratorConfig g;
     g.heuristic = CompactionHeuristic::Value;
@@ -34,5 +34,6 @@ int main(int argc, char** argv) {
   }
 
   emit(t, o);
+  dump_metrics(o);
   return 0;
 }

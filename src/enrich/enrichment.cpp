@@ -4,20 +4,26 @@
 
 #include "faultsim/parallel_sim.hpp"
 #include "runtime/thread_pool.hpp"
+#include "store/stage_cache.hpp"
 
 namespace pdf {
 
 EnrichmentWorkbench::EnrichmentWorkbench(const Netlist& nl,
-                                         const TargetSetConfig& cfg)
-    : nl_(&nl), targets_(build_target_sets(nl, cfg)) {}
+                                         const TargetSetConfig& cfg,
+                                         store::StageCache* cache)
+    : nl_(&nl),
+      cfg_(cfg),
+      cache_(cache),
+      targets_(store::cached_target_sets(cache, nl, cfg)) {}
 
 GenerationResult EnrichmentWorkbench::run_basic(const GeneratorConfig& cfg) const {
-  return generate_tests(*nl_, targets_.p0, {}, cfg);
+  return store::cached_generate(cache_, *nl_, targets_.p0, {}, cfg_, cfg);
 }
 
 GenerationResult EnrichmentWorkbench::run_enriched(
     const GeneratorConfig& cfg) const {
-  return generate_tests(*nl_, targets_.p0, targets_.p1, cfg);
+  return store::cached_generate(cache_, *nl_, targets_.p0, targets_.p1, cfg_,
+                                cfg);
 }
 
 std::vector<EnrichmentWorkbench::SeedRun> EnrichmentWorkbench::run_enriched_sweep(
@@ -40,16 +46,10 @@ std::vector<EnrichmentWorkbench::SeedRun> EnrichmentWorkbench::run_enriched_swee
 UnionCoverage EnrichmentWorkbench::simulate_union(
     std::span<const TwoPatternTest> tests) const {
   // Pattern-parallel simulation: identical results to FaultSimulator at a
-  // fraction of the cost for whole test sets.
-  ParallelFaultSimulator fsim(*nl_);
-  const std::vector<bool> d0 = fsim.detects_any(tests, targets_.p0);
-  const std::vector<bool> d1 = fsim.detects_any(tests, targets_.p1);
-  UnionCoverage c;
-  c.p0_total = targets_.p0.size();
-  c.p1_total = targets_.p1.size();
-  c.p0_detected = static_cast<std::size_t>(std::count(d0.begin(), d0.end(), true));
-  c.p1_detected = static_cast<std::size_t>(std::count(d1.begin(), d1.end(), true));
-  return c;
+  // fraction of the cost for whole test sets. Memoized when a stage cache is
+  // configured.
+  return store::cached_union_coverage(cache_, *nl_, tests, targets_.p0,
+                                      targets_.p1, cfg_);
 }
 
 UnionCoverage EnrichmentWorkbench::coverage_of(const GenerationResult& r) const {
@@ -62,10 +62,27 @@ UnionCoverage EnrichmentWorkbench::coverage_of(const GenerationResult& r) const 
   if (r.detected_p1.size() == targets_.p1.size()) {
     c.p1_detected = r.detected_p1_count();
   } else {
-    ParallelFaultSimulator fsim(*nl_);
-    const std::vector<bool> d1 = fsim.detects_any(r.tests, targets_.p1);
-    c.p1_detected =
-        static_cast<std::size_t>(std::count(d1.begin(), d1.end(), true));
+    const auto simulate_p1 = [&] {
+      ParallelFaultSimulator fsim(*nl_);
+      const std::vector<bool> d1 = fsim.detects_any(r.tests, targets_.p1);
+      UnionCoverage p1_only;
+      p1_only.p1_total = targets_.p1.size();
+      p1_only.p1_detected =
+          static_cast<std::size_t>(std::count(d1.begin(), d1.end(), true));
+      return p1_only;
+    };
+    if (cache_ == nullptr) {
+      c.p1_detected = simulate_p1().p1_detected;
+    } else {
+      // Distinct final digest ("p1 only") keeps this record from colliding
+      // with the full-union coverage of the same test set.
+      const UnionCoverage p1_only = cache_->memoize<UnionCoverage>(
+          {store::digest(*nl_), store::digest(cfg_),
+           store::digest(std::span<const TwoPatternTest>(r.tests)),
+           store::xxh64("p1_only")},
+          simulate_p1);
+      c.p1_detected = p1_only.p1_detected;
+    }
   }
   return c;
 }

@@ -14,6 +14,10 @@
 
 namespace pdf {
 
+namespace store {
+class StageCache;
+}
+
 /// Detection summary of a test set over P0 and P1.
 struct UnionCoverage {
   std::size_t p0_detected = 0;
@@ -28,7 +32,13 @@ struct UnionCoverage {
 class EnrichmentWorkbench {
  public:
   /// Builds the target sets for `nl` (which must outlive the workbench).
-  EnrichmentWorkbench(const Netlist& nl, const TargetSetConfig& cfg = {});
+  /// With a non-null `cache`, every expensive stage — target-set
+  /// construction, test generation, coverage simulation — is memoized in the
+  /// content-addressed artifact store: warm calls skip the computation and
+  /// return bit-identical results (see src/store/ and DESIGN.md §8). The
+  /// cache must outlive the workbench.
+  EnrichmentWorkbench(const Netlist& nl, const TargetSetConfig& cfg = {},
+                      store::StageCache* cache = nullptr);
 
   const Netlist& netlist() const { return *nl_; }
   const TargetSets& targets() const { return targets_; }
@@ -62,6 +72,8 @@ class EnrichmentWorkbench {
 
  private:
   const Netlist* nl_;
+  TargetSetConfig cfg_;
+  store::StageCache* cache_ = nullptr;
   TargetSets targets_;
 };
 

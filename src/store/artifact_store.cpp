@@ -1,0 +1,362 @@
+#include "store/artifact_store.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+#include "runtime/metrics.hpp"
+#include "store/hash.hpp"
+
+#if defined(_WIN32)
+#include <fstream>
+#else
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace pdf::store {
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'D', 'A', 'S'};
+
+runtime::Metrics::Counter& hits_counter() {
+  static auto& c = runtime::Metrics::global().counter("store.hits");
+  return c;
+}
+runtime::Metrics::Counter& misses_counter() {
+  static auto& c = runtime::Metrics::global().counter("store.misses");
+  return c;
+}
+runtime::Metrics::Counter& corrupt_counter() {
+  static auto& c = runtime::Metrics::global().counter("store.corrupt");
+  return c;
+}
+runtime::Metrics::Counter& bytes_read_counter() {
+  static auto& c = runtime::Metrics::global().counter("store.bytes_read");
+  return c;
+}
+runtime::Metrics::Counter& bytes_written_counter() {
+  static auto& c = runtime::Metrics::global().counter("store.bytes_written");
+  return c;
+}
+
+void put_u16le(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void put_u64le(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint16_t get_u16le(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint64_t get_u64le(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::string key_hex(std::uint64_t key) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(key));
+  return buf;
+}
+
+/// Unique-per-call temp suffix: pid + a process-wide counter, so concurrent
+/// writers (threads or processes) in one directory never collide.
+std::string temp_suffix() {
+  static std::atomic<std::uint64_t> counter{0};
+#if defined(_WIN32)
+  const unsigned long pid = 0;
+#else
+  const unsigned long pid = static_cast<unsigned long>(::getpid());
+#endif
+  return ".tmp-" + std::to_string(pid) + "-" +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+#if !defined(_WIN32)
+bool write_file_durable(const fs::path& path, const std::uint8_t* header,
+                        std::size_t header_size,
+                        std::span<const std::byte> payload) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+  bool ok = true;
+  auto write_all = [&](const void* data, std::size_t len) {
+    const auto* p = static_cast<const char*>(data);
+    while (len > 0) {
+      const ::ssize_t n = ::write(fd, p, len);
+      if (n <= 0) return false;
+      p += n;
+      len -= static_cast<std::size_t>(n);
+    }
+    return true;
+  };
+  ok = write_all(header, header_size) && write_all(payload.data(), payload.size());
+  // fsync before the rename so a crash can't publish a half-written record
+  // under the final name.
+  ok = ok && ::fsync(fd) == 0;
+  ok = (::close(fd) == 0) && ok;
+  return ok;
+}
+#else
+bool write_file_durable(const fs::path& path, const std::uint8_t* header,
+                        std::size_t header_size,
+                        std::span<const std::byte> payload) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(header),
+            static_cast<std::streamsize>(header_size));
+  out.write(reinterpret_cast<const char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+  out.flush();
+  return static_cast<bool>(out);
+}
+#endif
+
+}  // namespace
+
+struct ArtifactStore::Header {
+  std::uint16_t container_version = 0;
+  std::uint16_t kind_version = 0;
+  std::uint64_t key = 0;
+  std::uint64_t payload_size = 0;
+  std::uint64_t payload_hash = 0;
+};
+
+// ---- MappedArtifact ---------------------------------------------------------
+
+MappedArtifact::MappedArtifact(void* base, std::size_t file_size,
+                               std::size_t payload_size)
+    : base_(base), file_size_(file_size), payload_size_(payload_size) {}
+
+MappedArtifact::MappedArtifact(MappedArtifact&& other) noexcept
+    : base_(other.base_),
+      file_size_(other.file_size_),
+      payload_size_(other.payload_size_) {
+  other.base_ = nullptr;
+  other.file_size_ = 0;
+  other.payload_size_ = 0;
+}
+
+MappedArtifact& MappedArtifact::operator=(MappedArtifact&& other) noexcept {
+  if (this != &other) {
+    this->~MappedArtifact();
+    new (this) MappedArtifact(std::move(other));
+  }
+  return *this;
+}
+
+MappedArtifact::~MappedArtifact() {
+#if !defined(_WIN32)
+  if (base_ != nullptr) ::munmap(base_, file_size_);
+#else
+  delete[] static_cast<std::byte*>(base_);
+#endif
+  base_ = nullptr;
+}
+
+// ---- ArtifactStore ----------------------------------------------------------
+
+ArtifactStore::ArtifactStore(fs::path root) : root_(std::move(root)) {}
+
+fs::path ArtifactStore::path_of(const ArtifactKey& key) const {
+  return root_ / key.kind / (key_hex(key.key) + ".art");
+}
+
+bool ArtifactStore::put(const ArtifactKey& key, std::uint16_t kind_version,
+                        std::span<const std::byte> payload) {
+  const fs::path final_path = path_of(key);
+  std::error_code ec;
+  fs::create_directories(final_path.parent_path(), ec);
+  if (ec) return false;
+
+  std::uint8_t header[MappedArtifact::kHeaderSize];
+  std::memcpy(header, kMagic, 4);
+  put_u16le(header + 4, kContainerVersion);
+  put_u16le(header + 6, kind_version);
+  put_u64le(header + 8, key.key);
+  put_u64le(header + 16, payload.size());
+  put_u64le(header + 24, xxh64(payload.data(), payload.size()));
+
+  const fs::path temp_path = final_path.string() + temp_suffix();
+  if (!write_file_durable(temp_path, header, sizeof header, payload)) {
+    fs::remove(temp_path, ec);
+    return false;
+  }
+  fs::rename(temp_path, final_path, ec);
+  if (ec) {
+    fs::remove(temp_path, ec);
+    return false;
+  }
+  bytes_written_counter().add(sizeof header + payload.size());
+  return true;
+}
+
+std::optional<ArtifactStore::Header> ArtifactStore::load_header(
+    const fs::path& path, const ArtifactKey& key, std::uint16_t kind_version,
+    std::span<const std::byte> file_bytes) {
+  const auto fail = [&]() -> std::optional<Header> {
+    corrupt_counter().add();
+    quarantine(path);
+    return std::nullopt;
+  };
+  if (file_bytes.size() < MappedArtifact::kHeaderSize) return fail();
+  const auto* h = reinterpret_cast<const std::uint8_t*>(file_bytes.data());
+  if (std::memcmp(h, kMagic, 4) != 0) return fail();
+  Header out;
+  out.container_version = get_u16le(h + 4);
+  out.kind_version = get_u16le(h + 6);
+  out.key = get_u64le(h + 8);
+  out.payload_size = get_u64le(h + 16);
+  out.payload_hash = get_u64le(h + 24);
+  // A version difference is not corruption (a different build wrote it), but
+  // the key is derived from the versions, so a mismatch here means the file
+  // content does not match its address: quarantine.
+  if (out.container_version != kContainerVersion ||
+      out.kind_version != kind_version || out.key != key.key) {
+    return fail();
+  }
+  if (out.payload_size != file_bytes.size() - MappedArtifact::kHeaderSize) {
+    return fail();
+  }
+  const std::span<const std::byte> payload =
+      file_bytes.subspan(MappedArtifact::kHeaderSize);
+  if (xxh64(payload.data(), payload.size()) != out.payload_hash) return fail();
+  return out;
+}
+
+void ArtifactStore::quarantine(const fs::path& path) {
+  std::error_code ec;
+  fs::rename(path, path.string() + ".corrupt", ec);
+  if (ec) fs::remove(path, ec);  // last resort: clear the bad slot
+}
+
+std::optional<std::vector<std::byte>> ArtifactStore::get(
+    const ArtifactKey& key, std::uint16_t kind_version) {
+  const fs::path path = path_of(key);
+
+  std::vector<std::byte> bytes;
+  {
+#if !defined(_WIN32)
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      misses_counter().add();
+      return std::nullopt;
+    }
+    struct ::stat st {};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      misses_counter().add();
+      return std::nullopt;
+    }
+    bytes.resize(static_cast<std::size_t>(st.st_size));
+    std::size_t off = 0;
+    bool ok = true;
+    while (off < bytes.size()) {
+      const ::ssize_t n =
+          ::read(fd, bytes.data() + off, bytes.size() - off);
+      if (n <= 0) {
+        ok = false;
+        break;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+    if (!ok) {
+      misses_counter().add();
+      return std::nullopt;
+    }
+#else
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) {
+      misses_counter().add();
+      return std::nullopt;
+    }
+    bytes.resize(static_cast<std::size_t>(in.tellg()));
+    in.seekg(0);
+    in.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+    if (!in) {
+      misses_counter().add();
+      return std::nullopt;
+    }
+#endif
+  }
+
+  if (!load_header(path, key, kind_version, bytes)) {
+    misses_counter().add();
+    return std::nullopt;
+  }
+  hits_counter().add();
+  bytes_read_counter().add(bytes.size());
+  bytes.erase(bytes.begin(), bytes.begin() + MappedArtifact::kHeaderSize);
+  return bytes;
+}
+
+std::optional<MappedArtifact> ArtifactStore::map(const ArtifactKey& key,
+                                                 std::uint16_t kind_version) {
+  const fs::path path = path_of(key);
+#if !defined(_WIN32)
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    misses_counter().add();
+    return std::nullopt;
+  }
+  struct ::stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    misses_counter().add();
+    return std::nullopt;
+  }
+  if (st.st_size < static_cast<::off_t>(MappedArtifact::kHeaderSize)) {
+    ::close(fd);
+    misses_counter().add();
+    corrupt_counter().add();
+    quarantine(path);
+    return std::nullopt;
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) {
+    misses_counter().add();
+    return std::nullopt;
+  }
+  MappedArtifact mapped(base, size, size - MappedArtifact::kHeaderSize);
+  const std::span<const std::byte> file_bytes{
+      static_cast<const std::byte*>(base), size};
+  if (!load_header(path, key, kind_version, file_bytes)) {
+    misses_counter().add();
+    return std::nullopt;
+  }
+  hits_counter().add();
+  bytes_read_counter().add(size);
+  return mapped;
+#else
+  // No mmap on this platform: fall back to a heap copy with the same
+  // ownership semantics.
+  auto bytes = get(key, kind_version);
+  if (!bytes) return std::nullopt;
+  auto* heap = new std::byte[MappedArtifact::kHeaderSize + bytes->size()];
+  std::memcpy(heap + MappedArtifact::kHeaderSize, bytes->data(), bytes->size());
+  return MappedArtifact(heap, MappedArtifact::kHeaderSize + bytes->size(),
+                        bytes->size());
+#endif
+}
+
+bool ArtifactStore::contains(const ArtifactKey& key,
+                             std::uint16_t kind_version) {
+  return get(key, kind_version).has_value();
+}
+
+}  // namespace pdf::store

@@ -1,0 +1,171 @@
+#include "store/hash.hpp"
+
+#include <cstring>
+
+namespace pdf::store {
+namespace {
+
+constexpr std::uint64_t kPrime1 = 0x9E3779B185EBCA87ULL;
+constexpr std::uint64_t kPrime2 = 0xC2B2AE3D27D4EB4FULL;
+constexpr std::uint64_t kPrime3 = 0x165667B19E3779F9ULL;
+constexpr std::uint64_t kPrime4 = 0x85EBCA77C2B2AE63ULL;
+constexpr std::uint64_t kPrime5 = 0x27D4EB2F165667C5ULL;
+
+inline std::uint64_t rotl64(std::uint64_t v, int r) {
+  return (v << r) | (v >> (64 - r));
+}
+
+inline std::uint64_t read_u64le(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+inline std::uint32_t read_u32le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline std::uint64_t round_step(std::uint64_t acc, std::uint64_t input) {
+  acc += input * kPrime2;
+  acc = rotl64(acc, 31);
+  acc *= kPrime1;
+  return acc;
+}
+
+inline std::uint64_t merge_round(std::uint64_t acc, std::uint64_t val) {
+  val = round_step(0, val);
+  acc ^= val;
+  acc = acc * kPrime1 + kPrime4;
+  return acc;
+}
+
+// Tail (< 32 bytes) consumption + avalanche, shared by the one-shot and
+// streaming forms. The caller has already added the total length into `h`.
+std::uint64_t finish_tail(std::uint64_t h, const std::uint8_t* p,
+                          std::size_t tail) {
+  while (tail >= 8) {
+    const std::uint64_t k1 = round_step(0, read_u64le(p));
+    h ^= k1;
+    h = rotl64(h, 27) * kPrime1 + kPrime4;
+    p += 8;
+    tail -= 8;
+  }
+  if (tail >= 4) {
+    h ^= static_cast<std::uint64_t>(read_u32le(p)) * kPrime1;
+    h = rotl64(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+    tail -= 4;
+  }
+  while (tail > 0) {
+    h ^= static_cast<std::uint64_t>(*p) * kPrime5;
+    h = rotl64(h, 11) * kPrime1;
+    ++p;
+    --tail;
+  }
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t xxh64(const void* data, std::size_t len, std::uint64_t seed) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  const std::uint8_t* end = p + len;
+  std::uint64_t h;
+
+  if (len >= 32) {
+    std::uint64_t v1 = seed + kPrime1 + kPrime2;
+    std::uint64_t v2 = seed + kPrime2;
+    std::uint64_t v3 = seed + 0;
+    std::uint64_t v4 = seed - kPrime1;
+    const std::uint8_t* limit = end - 32;
+    do {
+      v1 = round_step(v1, read_u64le(p));
+      v2 = round_step(v2, read_u64le(p + 8));
+      v3 = round_step(v3, read_u64le(p + 16));
+      v4 = round_step(v4, read_u64le(p + 24));
+      p += 32;
+    } while (p <= limit);
+    h = rotl64(v1, 1) + rotl64(v2, 7) + rotl64(v3, 12) + rotl64(v4, 18);
+    h = merge_round(h, v1);
+    h = merge_round(h, v2);
+    h = merge_round(h, v3);
+    h = merge_round(h, v4);
+  } else {
+    h = seed + kPrime5;
+  }
+  h += static_cast<std::uint64_t>(len);
+  return finish_tail(h, p, static_cast<std::size_t>(end - p));
+}
+
+void Hasher64::reset(std::uint64_t seed) {
+  seed_ = seed;
+  acc_[0] = seed + kPrime1 + kPrime2;
+  acc_[1] = seed + kPrime2;
+  acc_[2] = seed + 0;
+  acc_[3] = seed - kPrime1;
+  buf_len_ = 0;
+  total_len_ = 0;
+}
+
+void Hasher64::update(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  total_len_ += len;
+
+  if (buf_len_ + len < 32) {
+    std::memcpy(buf_ + buf_len_, p, len);
+    buf_len_ += len;
+    return;
+  }
+
+  if (buf_len_ > 0) {
+    const std::size_t fill = 32 - buf_len_;
+    std::memcpy(buf_ + buf_len_, p, fill);
+    acc_[0] = round_step(acc_[0], read_u64le(buf_));
+    acc_[1] = round_step(acc_[1], read_u64le(buf_ + 8));
+    acc_[2] = round_step(acc_[2], read_u64le(buf_ + 16));
+    acc_[3] = round_step(acc_[3], read_u64le(buf_ + 24));
+    p += fill;
+    len -= fill;
+    buf_len_ = 0;
+  }
+
+  while (len >= 32) {
+    acc_[0] = round_step(acc_[0], read_u64le(p));
+    acc_[1] = round_step(acc_[1], read_u64le(p + 8));
+    acc_[2] = round_step(acc_[2], read_u64le(p + 16));
+    acc_[3] = round_step(acc_[3], read_u64le(p + 24));
+    p += 32;
+    len -= 32;
+  }
+
+  if (len > 0) {
+    std::memcpy(buf_, p, len);
+    buf_len_ = len;
+  }
+}
+
+std::uint64_t Hasher64::digest() const {
+  std::uint64_t h;
+  if (total_len_ >= 32) {
+    h = rotl64(acc_[0], 1) + rotl64(acc_[1], 7) + rotl64(acc_[2], 12) +
+        rotl64(acc_[3], 18);
+    h = merge_round(h, acc_[0]);
+    h = merge_round(h, acc_[1]);
+    h = merge_round(h, acc_[2]);
+    h = merge_round(h, acc_[3]);
+  } else {
+    h = seed_ + kPrime5;
+  }
+  h += total_len_;
+  return finish_tail(h, buf_, buf_len_);
+}
+
+}  // namespace pdf::store

@@ -1,0 +1,66 @@
+// Content hashing for the artifact store (XXH64).
+//
+// The store addresses every artifact by a 64-bit content digest and protects
+// every record payload with the same function, so the hash must be fast on
+// multi-megabyte buffers (DetectionMatrix records), stable across platforms
+// and process runs, and dependency-free. XXH64 fits: it is a well-specified
+// public-domain algorithm with published test vectors (checked in
+// tests/test_store.cpp), processes 32 bytes per round, and its one-shot and
+// streaming forms produce identical digests.
+//
+// `xxh64()` is the one-shot form; `Hasher64` is the streaming form used to
+// fold many key parts (kind, format version, input digests, parameters) into
+// one artifact key without materializing a concatenated buffer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace pdf::store {
+
+/// One-shot XXH64 of a byte buffer.
+std::uint64_t xxh64(const void* data, std::size_t len, std::uint64_t seed = 0);
+
+inline std::uint64_t xxh64(std::string_view s, std::uint64_t seed = 0) {
+  return xxh64(s.data(), s.size(), seed);
+}
+
+/// Streaming XXH64. Feed any byte-sliced sequence; digest() equals the
+/// one-shot hash of the concatenation. Reusable after reset().
+class Hasher64 {
+ public:
+  explicit Hasher64(std::uint64_t seed = 0) { reset(seed); }
+
+  void reset(std::uint64_t seed = 0);
+  void update(const void* data, std::size_t len);
+  std::uint64_t digest() const;
+
+  // Convenience feeders for key-part hashing. Scalars are folded in their
+  // little-endian byte representation so keys match across hosts.
+  void update_u8(std::uint8_t v) { update(&v, 1); }
+  void update_u32(std::uint32_t v) {
+    const std::uint8_t b[4] = {
+        static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8),
+        static_cast<std::uint8_t>(v >> 16), static_cast<std::uint8_t>(v >> 24)};
+    update(b, 4);
+  }
+  void update_u64(std::uint64_t v) {
+    update_u32(static_cast<std::uint32_t>(v));
+    update_u32(static_cast<std::uint32_t>(v >> 32));
+  }
+  /// Length-prefixed, so {"ab","c"} and {"a","bc"} hash differently.
+  void update_string(std::string_view s) {
+    update_u64(s.size());
+    update(s.data(), s.size());
+  }
+
+ private:
+  std::uint64_t acc_[4] = {0, 0, 0, 0};
+  std::uint8_t buf_[32] = {0};
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace pdf::store

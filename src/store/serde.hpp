@@ -1,0 +1,390 @@
+// Versioned binary serialization of the pipeline's core value types.
+//
+// Every codec writes an explicit little-endian byte stream — no struct
+// memcpy, no host-order fields — so a record written on any host decodes on
+// any other. Types that benefit from zero-copy reads (`CompiledCircuit`,
+// `DetectionMatrix`) additionally lay their arrays out 8-byte-aligned inside
+// the payload, and ship *view* types (`CompiledCircuitImage`,
+// `DetectionMatrixView`) whose spans point straight into an mmapped record;
+// the views require a little-endian host (checked at compile time where the
+// spans are formed) and fall back to the copying decoder otherwise.
+//
+// Versioning: each serializable type carries a `Serde<T>` trait with a
+// `kind` string and a `version` number. Both are folded into the artifact
+// key, so bumping `version` after a layout change silently invalidates every
+// record of that kind — old files are simply never looked up again. Decoders
+// therefore never need migration paths.
+//
+// Decode errors throw `SerdeError`; the store layer treats any throw as a
+// cache miss.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "atpg/generator.hpp"
+#include "atpg/test_pattern.hpp"
+#include "core/compiled_circuit.hpp"
+#include "enrich/enrichment.hpp"
+#include "enrich/target_sets.hpp"
+#include "faults/screen.hpp"
+#include "faultsim/detection_matrix.hpp"
+#include "netlist/netlist.hpp"
+
+namespace pdf::store {
+
+class SerdeError : public std::runtime_error {
+ public:
+  explicit SerdeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// ---- byte stream primitives -------------------------------------------------
+
+/// Append-only little-endian byte sink.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v));
+    u8(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  /// IEEE-754 bit pattern; bit-exact round-trip.
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void str(std::string_view s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+  void bytes(const void* data, std::size_t len) {
+    const auto* p = static_cast<const std::byte*>(data);
+    buf_.insert(buf_.end(), p, p + len);
+  }
+  /// Zero-pads to an 8-byte boundary (for zero-copy array sections).
+  void align8() {
+    while (buf_.size() % 8 != 0) u8(0);
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  std::span<const std::byte> view() const { return buf_; }
+  std::vector<std::byte> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Bounds-checked little-endian reader over a borrowed buffer.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(take(1)[0]); }
+  std::uint16_t u16() {
+    const std::uint16_t lo = u8();
+    return static_cast<std::uint16_t>(lo | (static_cast<std::uint16_t>(u8()) << 8));
+  }
+  std::uint32_t u32() {
+    const std::uint32_t lo = u16();
+    return lo | (static_cast<std::uint32_t>(u16()) << 16);
+  }
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    return lo | (static_cast<std::uint64_t>(u32()) << 32);
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  bool boolean() {
+    const std::uint8_t v = u8();
+    if (v > 1) throw SerdeError("invalid boolean byte");
+    return v != 0;
+  }
+  std::string str() {
+    const std::uint64_t n = length(u64());
+    const std::span<const std::byte> s = take(n);
+    return std::string(reinterpret_cast<const char*>(s.data()), s.size());
+  }
+  void align8() {
+    while (pos_ % 8 != 0) {
+      if (u8() != 0) throw SerdeError("nonzero padding byte");
+    }
+  }
+
+  /// Consumes `n` bytes; throws on overrun.
+  std::span<const std::byte> take(std::size_t n) {
+    if (n > data_.size() - pos_) throw SerdeError("truncated record");
+    const std::span<const std::byte> out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  /// Validates a decoded element count against the remaining bytes (each
+  /// element needs at least one byte) so hostile counts cannot drive huge
+  /// allocations before the truncation check fires.
+  std::uint64_t length(std::uint64_t n, std::size_t min_elem_size = 1) {
+    if (min_elem_size != 0 && n > remaining() / min_elem_size) {
+      throw SerdeError("element count exceeds record size");
+    }
+    return n;
+  }
+
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+  /// Requires the cursor to sit on an 8-byte boundary and returns a typed
+  /// span over the next `count` elements without copying. Only valid for
+  /// trivially copyable element types on a little-endian host.
+  template <typename T>
+  std::span<const T> take_array(std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos_ % 8 != 0) throw SerdeError("misaligned array section");
+    const std::span<const std::byte> raw = take(count * sizeof(T));
+    return {reinterpret_cast<const T*>(raw.data()), count};
+  }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+// ---- per-type codecs --------------------------------------------------------
+
+void encode(ByteWriter& w, const Triple& t);
+Triple decode_triple(ByteReader& r);
+
+void encode(ByteWriter& w, const TwoPatternTest& t);
+TwoPatternTest decode_test(ByteReader& r);
+
+void encode(ByteWriter& w, std::span<const TwoPatternTest> tests);
+std::vector<TwoPatternTest> decode_tests(ByteReader& r);
+
+void encode(ByteWriter& w, const Path& p);
+Path decode_path(ByteReader& r);
+
+void encode(ByteWriter& w, const PathDelayFault& f);
+PathDelayFault decode_fault(ByteReader& r);
+
+void encode(ByteWriter& w, const TargetFault& f);
+TargetFault decode_target_fault(ByteReader& r);
+
+void encode(ByteWriter& w, std::span<const TargetFault> faults);
+std::vector<TargetFault> decode_target_faults(ByteReader& r);
+
+void encode(ByteWriter& w, const LengthProfile& p);
+LengthProfile decode_length_profile(ByteReader& r);
+
+void encode(ByteWriter& w, const ScreenStats& s);
+ScreenStats decode_screen_stats(ByteReader& r);
+
+void encode(ByteWriter& w, const TargetSets& ts);
+TargetSets decode_target_sets(ByteReader& r);
+
+void encode(ByteWriter& w, const GenerationResult& r);
+GenerationResult decode_generation_result(ByteReader& r);
+
+void encode(ByteWriter& w, const UnionCoverage& c);
+UnionCoverage decode_union_coverage(ByteReader& r);
+
+/// Full structural encoding including names, so digest(netlist) keys the
+/// store and decode rebuilds an identical finalized netlist.
+void encode(ByteWriter& w, const Netlist& nl);
+Netlist decode_netlist(ByteReader& r);
+
+// ---- zero-copy record images ------------------------------------------------
+
+/// DetectionMatrix payload: three u64 header words, then the row-major word
+/// buffer (already 8-byte aligned). The view borrows the payload bytes.
+void encode(ByteWriter& w, const DetectionMatrix& m);
+DetectionMatrix decode_detection_matrix(ByteReader& r);
+
+class DetectionMatrixView {
+ public:
+  /// Binds to an encoded DetectionMatrix payload without copying the words.
+  /// The underlying buffer must outlive the view.
+  explicit DetectionMatrixView(std::span<const std::byte> payload);
+
+  std::size_t fault_count() const { return fault_count_; }
+  std::size_t test_count() const { return test_count_; }
+  std::size_t words_per_row() const { return words_per_row_; }
+
+  std::span<const std::uint64_t> row(std::size_t fault) const {
+    return words_.subspan(fault * words_per_row_, words_per_row_);
+  }
+  bool bit(std::size_t fault, std::size_t test) const {
+    return (row(fault)[test / 64] >> (test % 64)) & 1;
+  }
+  std::span<const std::uint64_t> words() const { return words_; }
+
+  /// Deep copy into an owning DetectionMatrix.
+  DetectionMatrix materialize() const;
+
+ private:
+  std::size_t fault_count_ = 0;
+  std::size_t test_count_ = 0;
+  std::size_t words_per_row_ = 0;
+  std::span<const std::uint64_t> words_;
+};
+
+/// CompiledCircuit payload: scalar header, then each flat array as an
+/// 8-byte-aligned section. The image mirrors the CompiledCircuit read API
+/// (minus the netlist back-pointer) over borrowed memory.
+void encode(ByteWriter& w, const CompiledCircuit& cc);
+
+class CompiledCircuitImage {
+ public:
+  /// Binds to an encoded CompiledCircuit payload without copying any array.
+  /// The underlying buffer must outlive the image.
+  explicit CompiledCircuitImage(std::span<const std::byte> payload);
+
+  std::size_t node_count() const { return types_.size(); }
+  GateType type(NodeId id) const { return static_cast<GateType>(types_[id]); }
+  std::span<const std::uint8_t> types() const { return types_; }
+  int level(NodeId id) const { return levels_[id]; }
+  std::span<const std::int32_t> levels() const { return levels_; }
+  int depth() const { return depth_; }
+  bool is_output(NodeId id) const { return is_output_[id] != 0; }
+  std::span<const std::uint8_t> output_flags() const { return is_output_; }
+  bool has_sequential() const { return has_sequential_; }
+  std::size_t max_fanin() const { return max_fanin_; }
+
+  std::span<const NodeId> fanins(NodeId id) const {
+    return fanin_.subspan(fanin_off_[id], fanin_off_[id + 1] - fanin_off_[id]);
+  }
+  std::span<const NodeId> fanouts(NodeId id) const {
+    return fanout_.subspan(fanout_off_[id],
+                           fanout_off_[id + 1] - fanout_off_[id]);
+  }
+  std::span<const NodeId> inputs() const { return inputs_; }
+  std::span<const NodeId> outputs() const { return outputs_; }
+  int input_index(NodeId id) const { return input_index_[id]; }
+  std::span<const NodeId> topo_order() const { return topo_; }
+  std::span<const std::uint32_t> level_offsets() const { return level_off_; }
+  std::span<const NodeId> level_nodes(int level) const {
+    const auto l = static_cast<std::size_t>(level);
+    return topo_.subspan(level_off_[l], level_off_[l + 1] - level_off_[l]);
+  }
+
+ private:
+  std::span<const std::uint8_t> types_;
+  std::span<const std::int32_t> levels_;
+  std::span<const std::uint8_t> is_output_;
+  std::span<const std::uint32_t> fanin_off_;
+  std::span<const NodeId> fanin_;
+  std::span<const std::uint32_t> fanout_off_;
+  std::span<const NodeId> fanout_;
+  std::span<const NodeId> inputs_;
+  std::span<const NodeId> outputs_;
+  std::span<const std::int32_t> input_index_;
+  std::span<const NodeId> topo_;
+  std::span<const std::uint32_t> level_off_;
+  std::size_t max_fanin_ = 0;
+  int depth_ = 0;
+  bool has_sequential_ = false;
+};
+
+// ---- Serde traits -----------------------------------------------------------
+
+/// Trait binding a value type to its record kind, format version and codec.
+/// `kind` + `version` feed the artifact key (see stage_cache.hpp), so any
+/// layout change only needs a version bump to invalidate stale records.
+template <typename T>
+struct Serde;
+
+template <>
+struct Serde<TargetSets> {
+  static constexpr std::string_view kind = "target_sets";
+  static constexpr std::uint16_t version = 1;
+  static void put(ByteWriter& w, const TargetSets& v) { encode(w, v); }
+  static TargetSets get(ByteReader& r) { return decode_target_sets(r); }
+};
+
+template <>
+struct Serde<GenerationResult> {
+  static constexpr std::string_view kind = "generation_result";
+  static constexpr std::uint16_t version = 1;
+  static void put(ByteWriter& w, const GenerationResult& v) { encode(w, v); }
+  static GenerationResult get(ByteReader& r) {
+    return decode_generation_result(r);
+  }
+};
+
+template <>
+struct Serde<UnionCoverage> {
+  static constexpr std::string_view kind = "union_coverage";
+  static constexpr std::uint16_t version = 1;
+  static void put(ByteWriter& w, const UnionCoverage& v) { encode(w, v); }
+  static UnionCoverage get(ByteReader& r) { return decode_union_coverage(r); }
+};
+
+template <>
+struct Serde<DetectionMatrix> {
+  static constexpr std::string_view kind = "detection_matrix";
+  static constexpr std::uint16_t version = 1;
+  static void put(ByteWriter& w, const DetectionMatrix& v) { encode(w, v); }
+  static DetectionMatrix get(ByteReader& r) {
+    return decode_detection_matrix(r);
+  }
+};
+
+template <>
+struct Serde<Netlist> {
+  static constexpr std::string_view kind = "netlist";
+  static constexpr std::uint16_t version = 1;
+  static void put(ByteWriter& w, const Netlist& v) { encode(w, v); }
+  static Netlist get(ByteReader& r) { return decode_netlist(r); }
+};
+
+template <>
+struct Serde<std::vector<TwoPatternTest>> {
+  static constexpr std::string_view kind = "test_set";
+  static constexpr std::uint16_t version = 1;
+  static void put(ByteWriter& w, const std::vector<TwoPatternTest>& v) {
+    encode(w, std::span<const TwoPatternTest>(v));
+  }
+  static std::vector<TwoPatternTest> get(ByteReader& r) {
+    return decode_tests(r);
+  }
+};
+
+// ---- content digests --------------------------------------------------------
+
+/// Structural digest of a finalized netlist (types, fanins, outputs, names).
+std::uint64_t digest(const Netlist& nl);
+
+/// Parameter digests for key derivation. Every field participates, so any
+/// configuration change misses the cache instead of serving stale results.
+std::uint64_t digest(const TargetSetConfig& cfg);
+std::uint64_t digest(const GeneratorConfig& cfg);
+
+/// Content digest of a test set (used to key coverage/matrix artifacts).
+std::uint64_t digest(std::span<const TwoPatternTest> tests);
+
+/// Content digest of a fault list.
+std::uint64_t digest(std::span<const TargetFault> faults);
+
+}  // namespace pdf::store

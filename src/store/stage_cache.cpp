@@ -1,0 +1,76 @@
+#include "store/stage_cache.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "faultsim/parallel_sim.hpp"
+
+namespace pdf::store {
+
+runtime::Metrics::Counter& StageCache::stage_counter(std::string_view kind,
+                                                     bool hit) {
+  // Handles are stable for the process lifetime; resolve per call site —
+  // this path runs once per pipeline *stage*, not per gate, so the registry
+  // mutex is not a concern.
+  return runtime::Metrics::global().counter(
+      "store.stage." + std::string(kind) + (hit ? ".hits" : ".misses"));
+}
+
+TargetSets cached_target_sets(StageCache* cache, const Netlist& nl,
+                              const TargetSetConfig& cfg) {
+  if (cache == nullptr) return build_target_sets(nl, cfg);
+  return cache->memoize<TargetSets>({digest(nl), digest(cfg)}, [&] {
+    return build_target_sets(nl, cfg);
+  });
+}
+
+GenerationResult cached_generate(StageCache* cache, const Netlist& nl,
+                                 std::span<const TargetFault> p0,
+                                 std::span<const TargetFault> p1,
+                                 const TargetSetConfig& target_cfg,
+                                 const GeneratorConfig& gen_cfg) {
+  if (cache == nullptr) return generate_tests(nl, p0, p1, gen_cfg);
+  // p0/p1 are a deterministic function of (netlist, target_cfg); keying on
+  // the configs keeps the key cheap. The p1-empty flag distinguishes a basic
+  // run from an enrichment run on the same workbench.
+  return cache->memoize<GenerationResult>(
+      {digest(nl), digest(target_cfg), digest(gen_cfg),
+       static_cast<std::uint64_t>(p1.empty() ? 0 : 1)},
+      [&] { return generate_tests(nl, p0, p1, gen_cfg); });
+}
+
+UnionCoverage cached_union_coverage(StageCache* cache, const Netlist& nl,
+                                    std::span<const TwoPatternTest> tests,
+                                    std::span<const TargetFault> p0,
+                                    std::span<const TargetFault> p1,
+                                    const TargetSetConfig& target_cfg) {
+  const auto compute = [&] {
+    ParallelFaultSimulator fsim(nl);
+    const std::vector<bool> d0 = fsim.detects_any(tests, p0);
+    const std::vector<bool> d1 = fsim.detects_any(tests, p1);
+    UnionCoverage c;
+    c.p0_total = p0.size();
+    c.p1_total = p1.size();
+    c.p0_detected =
+        static_cast<std::size_t>(std::count(d0.begin(), d0.end(), true));
+    c.p1_detected =
+        static_cast<std::size_t>(std::count(d1.begin(), d1.end(), true));
+    return c;
+  };
+  if (cache == nullptr) return compute();
+  return cache->memoize<UnionCoverage>(
+      {digest(nl), digest(target_cfg), digest(tests)}, compute);
+}
+
+DetectionMatrix cached_detection_matrix(StageCache* cache,
+                                        const ParallelFaultSimulator& fsim,
+                                        const Netlist& nl,
+                                        std::span<const TwoPatternTest> tests,
+                                        std::span<const TargetFault> faults) {
+  if (cache == nullptr) return fsim.detection_matrix(tests, faults);
+  return cache->memoize<DetectionMatrix>(
+      {digest(nl), digest(tests), digest(faults)},
+      [&] { return fsim.detection_matrix(tests, faults); });
+}
+
+}  // namespace pdf::store

@@ -1,0 +1,222 @@
+// StageCache memoization tests: compute-once semantics, cold/warm
+// equivalence through the EnrichmentWorkbench, corruption fallback, and the
+// per-stage hit/miss counters.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "enrich/enrichment.hpp"
+#include "faultsim/parallel_sim.hpp"
+#include "runtime/metrics.hpp"
+#include "store/stage_cache.hpp"
+#include "test_helpers.hpp"
+
+namespace pdf {
+namespace {
+
+namespace fs = std::filesystem;
+using store::StageCache;
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    std::string tmpl = (fs::temp_directory_path() / "pdf-cache-XXXXXX").string();
+    if (::mkdtemp(tmpl.data()) == nullptr) {
+      throw std::runtime_error("mkdtemp failed");
+    }
+    path = tmpl;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+UnionCoverage some_coverage() {
+  UnionCoverage c;
+  c.p0_detected = 3;
+  c.p1_detected = 5;
+  c.p0_total = 7;
+  c.p1_total = 9;
+  return c;
+}
+
+TEST(StageCacheTest, MemoizeComputesOnceThenHits) {
+  TempDir dir;
+  StageCache cache(dir.path);
+
+  int computed = 0;
+  const auto compute = [&] {
+    ++computed;
+    return some_coverage();
+  };
+
+  const UnionCoverage first = cache.memoize<UnionCoverage>({1, 2, 3}, compute);
+  EXPECT_EQ(computed, 1);
+  const UnionCoverage second = cache.memoize<UnionCoverage>({1, 2, 3}, compute);
+  EXPECT_EQ(computed, 1);  // served from the store
+  EXPECT_EQ(second.p0_detected, first.p0_detected);
+  EXPECT_EQ(second.p1_detected, first.p1_detected);
+  EXPECT_EQ(second.p0_total, first.p0_total);
+  EXPECT_EQ(second.p1_total, first.p1_total);
+
+  // Any change to the input digests is a different record.
+  cache.memoize<UnionCoverage>({1, 2, 4}, compute);
+  EXPECT_EQ(computed, 2);
+
+  // A fresh cache over the same root still hits (records are on disk).
+  StageCache reopened(dir.path);
+  reopened.memoize<UnionCoverage>({1, 2, 3}, compute);
+  EXPECT_EQ(computed, 2);
+}
+
+TEST(StageCacheTest, StageCountersTrackHitsAndMisses) {
+  TempDir dir;
+  StageCache cache(dir.path);
+  auto& hits =
+      runtime::Metrics::global().counter("store.stage.union_coverage.hits");
+  auto& misses =
+      runtime::Metrics::global().counter("store.stage.union_coverage.misses");
+  const std::uint64_t h0 = hits.read();
+  const std::uint64_t m0 = misses.read();
+
+  cache.memoize<UnionCoverage>({99}, some_coverage);
+  EXPECT_EQ(hits.read(), h0);
+  EXPECT_EQ(misses.read(), m0 + 1);
+  cache.memoize<UnionCoverage>({99}, some_coverage);
+  EXPECT_EQ(hits.read(), h0 + 1);
+  EXPECT_EQ(misses.read(), m0 + 1);
+}
+
+TEST(StageCacheTest, WorkbenchColdAndWarmRunsAreIdentical) {
+  Rng rng(31);
+  const Netlist nl = testing::random_small_netlist(rng);
+  TargetSetConfig tcfg;
+  tcfg.n_p = 40;
+  tcfg.n_p0 = 8;
+  GeneratorConfig gcfg;
+  gcfg.seed = 5;
+
+  // Reference: no cache at all.
+  const EnrichmentWorkbench plain(nl, tcfg);
+  const GenerationResult ref = plain.run_enriched(gcfg);
+  const UnionCoverage ref_cov = plain.coverage_of(ref);
+
+  TempDir dir;
+  const auto run_cached = [&] {
+    StageCache cache(dir.path);
+    EnrichmentWorkbench wb(nl, tcfg, &cache);
+    struct Out {
+      GenerationResult r;
+      UnionCoverage c;
+      std::size_t p0, p1;
+    } out{wb.run_enriched(gcfg), {}, wb.targets().p0.size(),
+          wb.targets().p1.size()};
+    out.c = wb.coverage_of(out.r);
+    return out;
+  };
+
+  const auto cold = run_cached();
+  const auto warm = run_cached();
+
+  for (const auto* run : {&cold, &warm}) {
+    EXPECT_EQ(run->p0, plain.targets().p0.size());
+    EXPECT_EQ(run->p1, plain.targets().p1.size());
+    ASSERT_EQ(run->r.tests.size(), ref.tests.size());
+    for (std::size_t i = 0; i < ref.tests.size(); ++i) {
+      for (std::size_t j = 0; j < ref.tests[i].pi_values.size(); ++j) {
+        ASSERT_EQ(run->r.tests[i].pi_values[j], ref.tests[i].pi_values[j]);
+      }
+    }
+    EXPECT_EQ(run->r.detected_p0, ref.detected_p0);
+    EXPECT_EQ(run->r.detected_p1, ref.detected_p1);
+    EXPECT_EQ(run->c.p0_detected, ref_cov.p0_detected);
+    EXPECT_EQ(run->c.p1_detected, ref_cov.p1_detected);
+    EXPECT_EQ(run->c.p0_total, ref_cov.p0_total);
+    EXPECT_EQ(run->c.p1_total, ref_cov.p1_total);
+  }
+  // The warm run decoded the cold run's records: bookkeeping stats match
+  // bit-for-bit, including the recorded generation time.
+  EXPECT_EQ(warm.r.stats.seconds, cold.r.stats.seconds);
+  EXPECT_EQ(warm.r.stats.primary_attempts, cold.r.stats.primary_attempts);
+  EXPECT_EQ(warm.r.stats.secondary_accepted, cold.r.stats.secondary_accepted);
+}
+
+TEST(StageCacheTest, CorruptedRecordsFallBackToRecomputation) {
+  Rng rng(37);
+  const Netlist nl = testing::random_small_netlist(rng);
+  TargetSetConfig tcfg;
+  tcfg.n_p = 30;
+  tcfg.n_p0 = 6;
+
+  TempDir dir;
+  const auto run = [&] {
+    StageCache cache(dir.path);
+    EnrichmentWorkbench wb(nl, tcfg, &cache);
+    return wb.run_enriched({});
+  };
+  const GenerationResult cold = run();
+
+  // Flip one byte in every stored record.
+  std::size_t corrupted = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(dir.path)) {
+    if (!entry.is_regular_file()) continue;
+    std::fstream f(entry.path(),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(33);
+    char c;
+    f.get(c);
+    f.seekp(33);
+    f.put(static_cast<char>(c ^ 0x40));
+    ++corrupted;
+  }
+  ASSERT_GT(corrupted, 0u);
+
+  const GenerationResult again = run();
+  ASSERT_EQ(again.tests.size(), cold.tests.size());
+  for (std::size_t i = 0; i < cold.tests.size(); ++i) {
+    for (std::size_t j = 0; j < cold.tests[i].pi_values.size(); ++j) {
+      ASSERT_EQ(again.tests[i].pi_values[j], cold.tests[i].pi_values[j]);
+    }
+  }
+  EXPECT_EQ(again.detected_p0, cold.detected_p0);
+  EXPECT_EQ(again.detected_p1, cold.detected_p1);
+
+  // The corrupt files were quarantined and the slots rewritten: a third run
+  // hits again without recomputation (stats decode bit-identically).
+  const GenerationResult healed = run();
+  EXPECT_EQ(healed.stats.seconds, again.stats.seconds);
+}
+
+TEST(StageCacheTest, CachedDetectionMatrixHitMatchesComputed) {
+  Rng rng(41);
+  const Netlist nl = testing::random_small_netlist(rng);
+  TargetSetConfig tcfg;
+  tcfg.n_p = 30;
+  tcfg.n_p0 = 6;
+
+  TempDir dir;
+  StageCache cache(dir.path);
+  EnrichmentWorkbench wb(nl, tcfg, &cache);
+  const GenerationResult res = wb.run_enriched({});
+  ParallelFaultSimulator fsim(nl);
+
+  const DetectionMatrix direct =
+      fsim.detection_matrix(res.tests, wb.targets().p0);
+  const DetectionMatrix cold = store::cached_detection_matrix(
+      &cache, fsim, nl, res.tests, wb.targets().p0);
+  const DetectionMatrix warm = store::cached_detection_matrix(
+      &cache, fsim, nl, res.tests, wb.targets().p0);
+  EXPECT_EQ(cold, direct);
+  EXPECT_EQ(warm, direct);
+
+  // Null cache means plain computation.
+  const DetectionMatrix none = store::cached_detection_matrix(
+      nullptr, fsim, nl, res.tests, wb.targets().p0);
+  EXPECT_EQ(none, direct);
+}
+
+}  // namespace
+}  // namespace pdf

@@ -1,0 +1,508 @@
+// Artifact-store subsystem tests: XXH64 against published vectors, the
+// little-endian byte codecs, property-style serde round-trips over random
+// circuits, the zero-copy record views, and the on-disk store's corruption
+// handling and concurrent same-key behaviour.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "atpg/generator.hpp"
+#include "base/rng.hpp"
+#include "core/compiled_circuit.hpp"
+#include "enrich/target_sets.hpp"
+#include "faultsim/parallel_sim.hpp"
+#include "store/artifact_store.hpp"
+#include "store/hash.hpp"
+#include "store/serde.hpp"
+#include "test_helpers.hpp"
+
+namespace pdf {
+namespace {
+
+namespace fs = std::filesystem;
+using store::ArtifactKey;
+using store::ArtifactStore;
+using store::ByteReader;
+using store::ByteWriter;
+using store::Hasher64;
+using store::SerdeError;
+using store::xxh64;
+
+/// Unique scratch directory, removed on destruction.
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    std::string tmpl = (fs::temp_directory_path() / "pdf-store-XXXXXX").string();
+    if (::mkdtemp(tmpl.data()) == nullptr) {
+      throw std::runtime_error("mkdtemp failed");
+    }
+    path = tmpl;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+std::vector<std::byte> to_bytes(std::string_view s) {
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  return {p, p + s.size()};
+}
+
+// ---- XXH64 ------------------------------------------------------------------
+
+TEST(StoreHash, PublishedTestVectors) {
+  EXPECT_EQ(xxh64(""), 0xEF46DB3751D8E999ULL);
+  EXPECT_EQ(xxh64("a"), 0xD24EC4F1A98C6E5BULL);
+  EXPECT_EQ(xxh64("abc"), 0x44BC2CF5AD770999ULL);
+  EXPECT_EQ(xxh64("message digest"), 0x066ED728FCEEB3BEULL);
+}
+
+TEST(StoreHash, StreamingMatchesOneShot) {
+  Rng rng(7);
+  std::vector<std::uint8_t> buf(1021);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng.below(256));
+
+  for (const std::uint64_t seed : {0ULL, 1ULL, 0xDEADBEEFULL}) {
+    const std::uint64_t want = xxh64(buf.data(), buf.size(), seed);
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{3},
+                                    std::size_t{7}, std::size_t{32},
+                                    std::size_t{33}, std::size_t{257}}) {
+      Hasher64 h(seed);
+      for (std::size_t off = 0; off < buf.size(); off += chunk) {
+        h.update(buf.data() + off, std::min(chunk, buf.size() - off));
+      }
+      EXPECT_EQ(h.digest(), want) << "chunk " << chunk << " seed " << seed;
+    }
+  }
+}
+
+TEST(StoreHash, DigestIsRepeatableAndResettable) {
+  Hasher64 h;
+  h.update_string("hello");
+  const std::uint64_t d1 = h.digest();
+  EXPECT_EQ(h.digest(), d1);  // digest() must not consume state
+  h.reset();
+  h.update_string("hello");
+  EXPECT_EQ(h.digest(), d1);
+  h.reset();
+  h.update_string("world");
+  EXPECT_NE(h.digest(), d1);
+}
+
+// ---- byte stream primitives -------------------------------------------------
+
+TEST(StoreSerde, WriterProducesLittleEndianLayout) {
+  ByteWriter w;
+  w.u32(0x11223344u);
+  w.u64(0x0102030405060708ULL);
+  const auto v = w.view();
+  ASSERT_EQ(v.size(), 12u);
+  const std::uint8_t expect[12] = {0x44, 0x33, 0x22, 0x11, 0x08, 0x07,
+                                   0x06, 0x05, 0x04, 0x03, 0x02, 0x01};
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(static_cast<std::uint8_t>(v[i]), expect[i]) << "byte " << i;
+  }
+}
+
+TEST(StoreSerde, PrimitiveRoundTrip) {
+  ByteWriter w;
+  w.u8(200);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i32(-12345);
+  w.i64(-9876543210LL);
+  w.f64(0.1);  // not exactly representable: bit pattern must survive
+  w.boolean(true);
+  w.str("two-pattern");
+  w.align8();
+  w.u64(42);
+
+  ByteReader r(w.view());
+  EXPECT_EQ(r.u8(), 200);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i32(), -12345);
+  EXPECT_EQ(r.i64(), -9876543210LL);
+  EXPECT_EQ(r.f64(), 0.1);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_EQ(r.str(), "two-pattern");
+  r.align8();
+  EXPECT_EQ(r.u64(), 42u);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(StoreSerde, ReaderRejectsMalformedInput) {
+  {
+    ByteWriter w;
+    w.u32(7);
+    ByteReader r(w.view());
+    r.u16();
+    EXPECT_THROW(r.u32(), SerdeError);  // overrun
+  }
+  {
+    ByteWriter w;
+    w.u8(2);
+    ByteReader r(w.view());
+    EXPECT_THROW(r.boolean(), SerdeError);  // invalid boolean byte
+  }
+  {
+    ByteWriter w;
+    w.u8(1);
+    w.u8(0xFF);  // nonzero padding
+    for (int i = 0; i < 6; ++i) w.u8(0);
+    ByteReader r(w.view());
+    r.u8();
+    EXPECT_THROW(r.align8(), SerdeError);
+  }
+  {
+    // A hostile element count must be rejected before any allocation.
+    ByteWriter w;
+    w.u64(~0ULL);
+    ByteReader r(w.view());
+    EXPECT_THROW(r.length(r.u64()), SerdeError);
+  }
+}
+
+// ---- value-type round-trips -------------------------------------------------
+
+TwoPatternTest random_test(Rng& rng, std::size_t n_inputs) {
+  TwoPatternTest t;
+  for (std::size_t i = 0; i < n_inputs; ++i) {
+    const V3 v1 = rng.coin() ? V3::One : V3::Zero;
+    const V3 v3 = rng.coin() ? V3::One : V3::Zero;
+    t.pi_values.push_back(Triple{v1, v1 == v3 ? v1 : V3::X, v3});
+  }
+  return t;
+}
+
+TEST(StoreSerde, TestSetRoundTripIsBitIdentical) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<TwoPatternTest> tests;
+    const std::size_t n = rng.below(12);
+    for (std::size_t i = 0; i < n; ++i) {
+      tests.push_back(random_test(rng, 1 + rng.below(9)));
+    }
+    ByteWriter w;
+    encode(w, std::span<const TwoPatternTest>(tests));
+    ByteReader r(w.view());
+    const std::vector<TwoPatternTest> got = store::decode_tests(r);
+    EXPECT_TRUE(r.exhausted());
+    ASSERT_EQ(got.size(), tests.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(got[i].pi_values.size(), tests[i].pi_values.size());
+      for (std::size_t j = 0; j < got[i].pi_values.size(); ++j) {
+        EXPECT_EQ(got[i].pi_values[j], tests[i].pi_values[j]);
+      }
+    }
+    ByteWriter w2;
+    encode(w2, std::span<const TwoPatternTest>(got));
+    ASSERT_EQ(w2.size(), w.size());
+    EXPECT_TRUE(std::equal(w.view().begin(), w.view().end(), w2.view().begin()));
+  }
+}
+
+TEST(StoreSerde, NetlistRoundTripProperty) {
+  Rng rng(3);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Netlist nl = testing::random_small_netlist(rng);
+    ByteWriter w;
+    encode(w, nl);
+    ByteReader r(w.view());
+    const Netlist back = store::decode_netlist(r);
+    EXPECT_TRUE(r.exhausted());
+
+    ASSERT_EQ(back.node_count(), nl.node_count());
+    for (NodeId id = 0; id < nl.node_count(); ++id) {
+      EXPECT_EQ(back.node(id).name, nl.node(id).name);
+      EXPECT_EQ(back.node(id).type, nl.node(id).type);
+      EXPECT_EQ(back.node(id).fanin, nl.node(id).fanin);
+      EXPECT_EQ(back.node(id).fanout, nl.node(id).fanout);
+    }
+    EXPECT_TRUE(std::ranges::equal(back.outputs(), nl.outputs()));
+
+    // Re-encoding the decoded netlist must reproduce the exact byte stream,
+    // and the structural digest must agree.
+    ByteWriter w2;
+    encode(w2, back);
+    ASSERT_EQ(w2.size(), w.size());
+    EXPECT_TRUE(std::equal(w.view().begin(), w.view().end(), w2.view().begin()));
+    EXPECT_EQ(store::digest(back), store::digest(nl));
+  }
+}
+
+TEST(StoreSerde, TargetSetsRoundTripIsBitIdentical) {
+  Rng rng(5);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Netlist nl = testing::random_small_netlist(rng);
+    TargetSetConfig cfg;
+    cfg.n_p = 40;
+    cfg.n_p0 = 8;
+    const TargetSets ts = build_target_sets(nl, cfg);
+
+    ByteWriter w;
+    encode(w, ts);
+    ByteReader r(w.view());
+    const TargetSets back = store::decode_target_sets(r);
+    EXPECT_TRUE(r.exhausted());
+
+    EXPECT_EQ(back.p0.size(), ts.p0.size());
+    EXPECT_EQ(back.p1.size(), ts.p1.size());
+    EXPECT_EQ(back.i0, ts.i0);
+    EXPECT_EQ(back.cutoff_length, ts.cutoff_length);
+    EXPECT_EQ(back.enumerated_paths, ts.enumerated_paths);
+    EXPECT_EQ(back.enumeration_truncated, ts.enumeration_truncated);
+
+    ByteWriter w2;
+    encode(w2, back);
+    ASSERT_EQ(w2.size(), w.size());
+    EXPECT_TRUE(std::equal(w.view().begin(), w.view().end(), w2.view().begin()));
+  }
+}
+
+TEST(StoreSerde, GenerationResultRoundTripIsBitIdentical) {
+  const Netlist nl = testing::reconvergent();
+  TargetSetConfig tcfg;
+  tcfg.n_p = 20;
+  tcfg.n_p0 = 4;
+  const TargetSets ts = build_target_sets(nl, tcfg);
+  const GenerationResult res = generate_tests(nl, ts.p0, ts.p1, {});
+
+  ByteWriter w;
+  encode(w, res);
+  ByteReader r(w.view());
+  const GenerationResult back = store::decode_generation_result(r);
+  EXPECT_TRUE(r.exhausted());
+
+  EXPECT_EQ(back.tests.size(), res.tests.size());
+  EXPECT_EQ(back.detected, res.detected);
+  EXPECT_EQ(back.detected_p0, res.detected_p0);
+  EXPECT_EQ(back.detected_p1, res.detected_p1);
+  EXPECT_EQ(back.stats.primary_attempts, res.stats.primary_attempts);
+  EXPECT_EQ(back.stats.secondary_accepted, res.stats.secondary_accepted);
+  EXPECT_EQ(back.stats.seconds, res.stats.seconds);  // f64 bit pattern
+
+  ByteWriter w2;
+  encode(w2, back);
+  ASSERT_EQ(w2.size(), w.size());
+  EXPECT_TRUE(std::equal(w.view().begin(), w.view().end(), w2.view().begin()));
+}
+
+TEST(StoreSerde, DetectionMatrixRoundTripAndZeroCopyView) {
+  Rng rng(17);
+  DetectionMatrix m(13, 130);  // words_per_row = 3, last word partial
+  for (std::size_t f = 0; f < m.fault_count(); ++f) {
+    for (std::size_t t = 0; t < m.test_count(); ++t) {
+      if (rng.coin()) m.word(f, t / 64) |= std::uint64_t{1} << (t % 64);
+    }
+  }
+
+  ByteWriter w;
+  encode(w, m);
+  ByteReader r(w.view());
+  const DetectionMatrix back = store::decode_detection_matrix(r);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(back, m);
+
+  const store::DetectionMatrixView view(w.view());
+  EXPECT_EQ(view.fault_count(), m.fault_count());
+  EXPECT_EQ(view.test_count(), m.test_count());
+  for (std::size_t f = 0; f < m.fault_count(); ++f) {
+    for (std::size_t t = 0; t < m.test_count(); ++t) {
+      ASSERT_EQ(view.bit(f, t), m.bit(f, t)) << f << "," << t;
+    }
+  }
+  EXPECT_EQ(view.materialize(), m);
+}
+
+TEST(StoreSerde, CompiledCircuitImageMirrorsLiveView) {
+  Rng rng(23);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Netlist nl = testing::random_small_netlist(rng);
+    const CompiledCircuit cc(nl);
+
+    ByteWriter w;
+    encode(w, cc);
+    const store::CompiledCircuitImage img(w.view());
+
+    ASSERT_EQ(img.node_count(), cc.node_count());
+    EXPECT_EQ(img.depth(), cc.depth());
+    EXPECT_EQ(img.max_fanin(), cc.max_fanin());
+    EXPECT_EQ(img.has_sequential(), cc.has_sequential());
+    for (NodeId id = 0; id < cc.node_count(); ++id) {
+      EXPECT_EQ(img.type(id), cc.type(id));
+      EXPECT_EQ(img.level(id), cc.level(id));
+      EXPECT_EQ(img.is_output(id), cc.is_output(id));
+      EXPECT_EQ(img.input_index(id), cc.input_index(id));
+      ASSERT_TRUE(std::ranges::equal(img.fanins(id), cc.fanins(id)));
+      ASSERT_TRUE(std::ranges::equal(img.fanouts(id), cc.fanouts(id)));
+    }
+    EXPECT_TRUE(std::ranges::equal(img.inputs(), cc.inputs()));
+    EXPECT_TRUE(std::ranges::equal(img.outputs(), cc.outputs()));
+    EXPECT_TRUE(std::ranges::equal(img.topo_order(), cc.topo_order()));
+    EXPECT_TRUE(std::ranges::equal(img.level_offsets(), cc.level_offsets()));
+    for (int l = 0; l <= cc.depth(); ++l) {
+      ASSERT_TRUE(std::ranges::equal(img.level_nodes(l), cc.level_nodes(l)));
+    }
+  }
+}
+
+// ---- on-disk store ----------------------------------------------------------
+
+TEST(StoreArtifact, PutGetRoundTrip) {
+  TempDir dir;
+  ArtifactStore s(dir.path);
+  const ArtifactKey key{"demo", 0x0123456789ABCDEFULL};
+  const std::vector<std::byte> payload = to_bytes("the record payload");
+
+  EXPECT_FALSE(s.contains(key, 1));
+  EXPECT_FALSE(s.get(key, 1).has_value());
+  ASSERT_TRUE(s.put(key, 1, payload));
+  EXPECT_TRUE(s.contains(key, 1));
+
+  const auto got = s.get(key, 1);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, payload);
+
+  // A different key of the same kind misses.
+  EXPECT_FALSE(s.get(ArtifactKey{"demo", 1}, 1).has_value());
+}
+
+TEST(StoreArtifact, KindVersionMismatchIsMiss) {
+  TempDir dir;
+  ArtifactStore s(dir.path);
+  const ArtifactKey key{"demo", 42};
+  ASSERT_TRUE(s.put(key, 1, to_bytes("v1 payload")));
+  EXPECT_FALSE(s.get(key, 2).has_value());
+}
+
+TEST(StoreArtifact, TruncatedFileIsMissAndQuarantined) {
+  TempDir dir;
+  ArtifactStore s(dir.path);
+  const ArtifactKey key{"demo", 7};
+  ASSERT_TRUE(s.put(key, 1, to_bytes("soon to be truncated payload")));
+
+  const fs::path file = s.path_of(key);
+  fs::resize_file(file, fs::file_size(file) - 5);
+
+  EXPECT_FALSE(s.get(key, 1).has_value());
+  EXPECT_FALSE(fs::exists(file));  // quarantined out of the slot
+  EXPECT_TRUE(fs::exists(file.string() + ".corrupt"));
+
+  // The slot heals: a fresh put round-trips again.
+  ASSERT_TRUE(s.put(key, 1, to_bytes("fresh")));
+  ASSERT_TRUE(s.get(key, 1).has_value());
+}
+
+TEST(StoreArtifact, BitFlipIsMissAndQuarantined) {
+  TempDir dir;
+  ArtifactStore s(dir.path);
+  const ArtifactKey key{"demo", 9};
+  ASSERT_TRUE(s.put(key, 1, to_bytes("payload protected by checksum")));
+
+  const fs::path file = s.path_of(key);
+  {
+    std::fstream f(file, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(40);  // inside the payload
+    char c;
+    f.seekg(40);
+    f.get(c);
+    f.seekp(40);
+    f.put(static_cast<char>(c ^ 0x01));
+  }
+
+  EXPECT_FALSE(s.get(key, 1).has_value());
+  EXPECT_TRUE(fs::exists(file.string() + ".corrupt"));
+}
+
+TEST(StoreArtifact, MappedRecordServesZeroCopyView) {
+  Rng rng(29);
+  DetectionMatrix m(5, 70);
+  for (std::size_t f = 0; f < m.fault_count(); ++f) {
+    for (std::size_t t = 0; t < m.test_count(); ++t) {
+      if (rng.coin()) m.word(f, t / 64) |= std::uint64_t{1} << (t % 64);
+    }
+  }
+  ByteWriter w;
+  encode(w, m);
+
+  TempDir dir;
+  ArtifactStore s(dir.path);
+  const ArtifactKey key{"detection_matrix", 1234};
+  ASSERT_TRUE(s.put(key, 1, w.view()));
+
+  const auto mapped = s.map(key, 1);
+  ASSERT_TRUE(mapped.has_value());
+  const store::DetectionMatrixView view(mapped->payload());
+  EXPECT_EQ(view.materialize(), m);
+}
+
+TEST(StoreConcurrency, SameKeyWritersAndReadersNeverObserveTornRecords) {
+  TempDir dir;
+  const ArtifactKey key{"contended", 0xABCDEFULL};
+
+  // Each writer repeatedly publishes one of a few distinct valid payloads;
+  // readers must only ever decode one of them in full (rename is atomic, the
+  // checksum rejects anything else).
+  std::vector<std::vector<std::byte>> valid;
+  for (int i = 0; i < 4; ++i) {
+    valid.push_back(to_bytes("payload variant #" + std::to_string(i) +
+                             std::string(100 + 17 * i, 'x')));
+  }
+
+  // Seed the slot so readers always have a record: rename replaces the file
+  // atomically, so the path is never absent once the first put lands.
+  {
+    ArtifactStore s(dir.path);
+    ASSERT_TRUE(s.put(key, 1, valid[0]));
+  }
+
+  std::atomic<std::size_t> torn{0};
+  std::atomic<std::size_t> successful_reads{0};
+  std::vector<std::thread> threads;
+  for (int wi = 0; wi < 4; ++wi) {
+    threads.emplace_back([&, wi] {
+      ArtifactStore s(dir.path);
+      for (int iter = 0; iter < 50; ++iter) {
+        s.put(key, 1, valid[static_cast<std::size_t>(wi)]);
+      }
+    });
+  }
+  for (int ri = 0; ri < 4; ++ri) {
+    threads.emplace_back([&] {
+      ArtifactStore s(dir.path);
+      for (int iter = 0; iter < 200; ++iter) {
+        const auto got = s.get(key, 1);
+        if (!got) continue;
+        successful_reads.fetch_add(1, std::memory_order_relaxed);
+        bool ok = false;
+        for (const auto& v : valid) ok = ok || *got == v;
+        if (!ok) torn.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_GT(successful_reads.load(), 0u);
+
+  // After the dust settles the slot holds one complete record.
+  ArtifactStore s(dir.path);
+  const auto final_read = s.get(key, 1);
+  ASSERT_TRUE(final_read.has_value());
+  bool ok = false;
+  for (const auto& v : valid) ok = ok || *final_read == v;
+  EXPECT_TRUE(ok);
+}
+
+}  // namespace
+}  // namespace pdf
