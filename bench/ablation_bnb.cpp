@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   print_header("Ablation: greedy vs branch-and-bound justification", o);
 
   for (const auto& name : o.circuits) {
+    CircuitScope circuit_scope(o, name);
     const Netlist nl = benchmark_circuit(name);
     const EnrichmentWorkbench wb(nl, target_config(o), o.cache());
     const TargetSets& ts = wb.targets();
@@ -60,6 +61,6 @@ int main(int argc, char** argv) {
       "expected shape: branch-and-bound justifies at least as many faults\n"
       "and proves the rest undetectable (aborts aside) at a runtime cost;\n"
       "its generation output is invariant across repeats.\n");
-  dump_metrics(o);
+  finish_run(o);
   return 0;
 }

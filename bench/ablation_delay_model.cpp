@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   print_header("Ablation: delay-model perturbation vs the P0/P1 split", o);
 
   for (const auto& name : o.circuits) {
+    CircuitScope circuit_scope(o, name);
     const Netlist nl = benchmark_circuit(name);
     const TargetSets unit =
         store::cached_target_sets(o.cache(), nl, target_config(o));
@@ -71,6 +72,6 @@ int main(int argc, char** argv) {
       "reading: under delay perturbation a sizable share of the truly\n"
       "critical faults live in P1 — the paper's motivation for detecting P1\n"
       "faults without extra tests.\n");
-  dump_metrics(o);
+  finish_run(o);
   return 0;
 }

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   print_header("Ablation: secondary-rejection cap vs quality/time", o);
 
   for (const auto& name : o.circuits) {
+    CircuitScope circuit_scope(o, name);
     const Netlist nl = benchmark_circuit(name);
     const EnrichmentWorkbench wb(nl, target_config(o), o.cache());
 
@@ -36,6 +37,6 @@ int main(int argc, char** argv) {
   std::printf(
       "expected shape: small caps cut runtime but lose P1 coverage and\n"
       "inflate the test count; 'none' is the paper-faithful setting.\n");
-  dump_metrics(o);
+  finish_run(o);
   return 0;
 }

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   print_header("Ablation: number of target-fault subsets", o);
 
   for (const auto& name : o.circuits) {
+    CircuitScope circuit_scope(o, name);
     const Netlist nl = benchmark_circuit(name);
     TargetSetConfig tcfg = target_config(o);
 
@@ -53,6 +54,6 @@ int main(int argc, char** argv) {
     run("P0|..|P1c", four);
     emit(t, o);
   }
-  dump_metrics(o);
+  finish_run(o);
   return 0;
 }

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   print_header("Ablation: N_P0 sweep", o);
 
   for (const auto& name : o.circuits) {
+    CircuitScope circuit_scope(o, name);
     const Netlist nl = benchmark_circuit(name);
     Table t("circuit " + name);
     t.columns({"N_P0", "i0", "|P0|", "|P1|", "tests", "P0 det", "P1 det",
@@ -35,6 +36,6 @@ int main(int argc, char** argv) {
     }
     emit(t, o);
   }
-  dump_metrics(o);
+  finish_run(o);
   return 0;
 }

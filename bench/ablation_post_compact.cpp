@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   print_header("Ablation: static post-compaction after generation", o);
 
   for (const auto& name : o.circuits) {
+    CircuitScope circuit_scope(o, name);
     const Netlist nl = benchmark_circuit(name);
     const EnrichmentWorkbench wb(nl, target_config(o), o.cache());
     const TargetSets& ts = wb.targets();
@@ -42,6 +43,6 @@ int main(int argc, char** argv) {
       "expected shape: the uncomp sets collapse; the dynamically compacted\n"
       "sets lose only a handful of tests — dynamic compaction is doing the\n"
       "heavy lifting, as the paper's Table 4/5 comparison implies.\n");
-  dump_metrics(o);
+  finish_run(o);
   return 0;
 }

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   print_header("Ablation: justification retry budget", o);
 
   for (const auto& name : o.circuits) {
+    CircuitScope circuit_scope(o, name);
     const Netlist nl = benchmark_circuit(name);
     const EnrichmentWorkbench wb(nl, target_config(o), o.cache());
     Table t("circuit " + name);
@@ -32,6 +33,6 @@ int main(int argc, char** argv) {
     }
     emit(t, o);
   }
-  dump_metrics(o);
+  finish_run(o);
   return 0;
 }

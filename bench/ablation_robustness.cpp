@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   t.columns({"circuit", "mode", "|P0|", "|P1|", "tests", "P0 det", "P1 det",
              "seconds"});
   for (const auto& name : o.circuits) {
+    CircuitScope circuit_scope(o, name);
     const Netlist nl = benchmark_circuit(name);
     for (Sensitization sens :
          {Sensitization::Robust, Sensitization::NonRobust}) {
@@ -38,6 +39,6 @@ int main(int argc, char** argv) {
   std::printf(
       "expected shape: nonrobust keeps more faults in P0/P1 and detects a\n"
       "larger fraction of them (relaxed constraints merge more easily).\n");
-  dump_metrics(o);
+  finish_run(o);
   return 0;
 }

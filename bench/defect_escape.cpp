@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   print_header("Defect-escape Monte Carlo (the paper's motivation)", o);
 
   for (const auto& name : o.circuits) {
+    CircuitScope circuit_scope(o, name);
     const Netlist nl = benchmark_circuit(name);
     const EnrichmentWorkbench wb(nl, target_config(o), o.cache());
     const TargetSets& ts = wb.targets();
@@ -92,6 +93,6 @@ int main(int argc, char** argv) {
       "expected shape: both sets catch P0-band defects; on defects confined\n"
       "to the next-to-longest band the enriched set catches noticeably more\n"
       "— the failures the paper warns would otherwise escape.\n");
-  dump_metrics(o);
+  finish_run(o);
   return 0;
 }

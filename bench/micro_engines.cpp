@@ -18,6 +18,11 @@
 // pipeline twice against a fresh store root (default .artifact-store.micro,
 // wiped first), verifies the warm results are identical to the cold ones,
 // and reports per-phase wall clock, speedup and store hit/miss counts.
+//   micro_engines obs [--circuit NAME] [--csv]
+// span-tracing overhead on the robust-sim hot loop: times the loop bare,
+// with PDF_TRACE_SPAN while tracing is disabled (the steady state of every
+// run without --trace; budget < 2%), and with a live TraceSession, and
+// reports the disabled/enabled overhead percentages.
 // Any other invocation falls through to the normal google-benchmark driver.
 #include <benchmark/benchmark.h>
 
@@ -36,6 +41,7 @@
 #include "faultsim/fault_sim.hpp"
 #include "faultsim/parallel_sim.hpp"
 #include "gen/registry.hpp"
+#include "obs/trace.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sim/event_sim.hpp"
@@ -473,27 +479,128 @@ int run_store_mode(const std::string& name, const std::string& dir, bool csv,
   return identical && warm.counters.misses == 0 ? 0 : 1;
 }
 
+// ---- tracing-overhead mode -------------------------------------------------
+
+int run_obs_mode(const std::string& name, bool csv) {
+  if (!has_benchmark(name)) {
+    std::fprintf(stderr, "unknown circuit '%s' (see bench_atpg --list)\n",
+                 name.c_str());
+    return 2;
+  }
+  const Netlist nl = benchmark_circuit(name);
+  const CompiledCircuit cc(nl);
+  SimScratch scratch;
+
+  constexpr std::size_t kTests = 64;
+  Rng rng(12345);
+  std::vector<std::vector<Triple>> tests(kTests);
+  for (auto& pis : tests) {
+    pis.resize(nl.inputs().size());
+    for (auto& t : pis) {
+      t = pi_triple(rng.coin() ? V3::One : V3::Zero,
+                    rng.coin() ? V3::One : V3::Zero);
+    }
+  }
+
+  const int repeats =
+      static_cast<int>(std::max<std::size_t>(1, 2'000'000 / nl.node_count()));
+  const int rounds = 9;
+
+  // Bare loop: no span marker at all.
+  const double base_ms = measure_ms(
+      [&] {
+        for (int r = 0; r < repeats; ++r) {
+          benchmark::DoNotOptimize(simulate(cc, tests[r % kTests], scratch));
+        }
+      },
+      rounds);
+
+  // Span marker present, tracing disabled: one relaxed load per iteration —
+  // the cost every table run pays for instrumented engines without --trace.
+  const double disabled_ms = measure_ms(
+      [&] {
+        for (int r = 0; r < repeats; ++r) {
+          PDF_TRACE_SPAN("obs.robust_sim");
+          benchmark::DoNotOptimize(simulate(cc, tests[r % kTests], scratch));
+        }
+      },
+      rounds);
+
+  // Span marker present, tracing enabled: two clock reads plus a ring write.
+  obs::TraceSession session;
+  if (!session.start(std::size_t{1} << 20)) {
+    std::fprintf(stderr, "could not start trace session\n");
+    return 2;
+  }
+  const double enabled_ms = measure_ms(
+      [&] {
+        for (int r = 0; r < repeats; ++r) {
+          PDF_TRACE_SPAN("obs.robust_sim");
+          benchmark::DoNotOptimize(simulate(cc, tests[r % kTests], scratch));
+        }
+      },
+      rounds);
+  session.stop();
+  const std::uint64_t events = session.events().size();
+  const std::uint64_t dropped = session.dropped();
+
+  const double disabled_pct = (disabled_ms / base_ms - 1.0) * 100.0;
+  const double enabled_pct = (enabled_ms / base_ms - 1.0) * 100.0;
+  std::printf("== span-tracing overhead on robust simulation ==\n");
+  std::printf("circuit: %s (%zu nodes), repeats per round: %d, best of %d\n",
+              name.c_str(), nl.node_count(), repeats, rounds);
+  std::printf("bare loop:          %10.3f ms\n", base_ms);
+  std::printf("span, tracing off:  %10.3f ms (%+.2f%%)\n", disabled_ms,
+              disabled_pct);
+  std::printf("span, tracing on:   %10.3f ms (%+.2f%%)\n", enabled_ms,
+              enabled_pct);
+  std::printf("events recorded: %llu, dropped: %llu\n",
+              static_cast<unsigned long long>(events),
+              static_cast<unsigned long long>(dropped));
+  if (csv) {
+    std::printf(
+        "\ncsv:\ncircuit,base_ms,disabled_ms,enabled_ms,disabled_pct,"
+        "enabled_pct,events,dropped\n");
+    std::printf("%s,%.4f,%.4f,%.4f,%.3f,%.3f,%llu,%llu\n", name.c_str(),
+                base_ms, disabled_ms, enabled_ms, disabled_pct, enabled_pct,
+                static_cast<unsigned long long>(events),
+                static_cast<unsigned long long>(dropped));
+  }
+  // The acceptance budget for disabled-tracing overhead is 2%; gate CI at a
+  // much looser bound so scheduler noise on loaded runners can't flake the
+  // job while a real regression (a lock or clock read on the disabled path,
+  // typically >> 25%) still fails it.
+  if (disabled_pct > 25.0) {
+    std::fprintf(stderr, "FAIL: disabled-tracing overhead %.2f%% > 25%%\n",
+                 disabled_pct);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool compare = false;
   bool thread_scaling = false;
   bool store_mode = false;
+  bool obs_mode = false;
   bool csv = false;
   bool metrics = false;
   std::string circuit_name = "s13207_like";
   std::string store_dir = ".artifact-store.micro";
   for (int i = 1; i < argc; ++i) {
+    const bool any_mode = compare || thread_scaling || store_mode || obs_mode;
     if (std::strcmp(argv[i], "compiled-vs-legacy") == 0) {
       compare = true;
-    } else if (std::strcmp(argv[i], "threads") == 0 && !compare) {
+    } else if (std::strcmp(argv[i], "threads") == 0 && !any_mode) {
       thread_scaling = true;
-    } else if (std::strcmp(argv[i], "store") == 0 && !compare &&
-               !thread_scaling) {
+    } else if (std::strcmp(argv[i], "store") == 0 && !any_mode) {
       store_mode = true;
       circuit_name = "s1196_like";  // mid-size default: cold pass in seconds
-    } else if ((compare || thread_scaling || store_mode) &&
-               std::strcmp(argv[i], "--csv") == 0) {
+    } else if (std::strcmp(argv[i], "obs") == 0 && !any_mode) {
+      obs_mode = true;
+    } else if (any_mode && std::strcmp(argv[i], "--csv") == 0) {
       csv = true;
     } else if ((thread_scaling || store_mode) &&
                std::strcmp(argv[i], "--metrics") == 0) {
@@ -501,14 +608,15 @@ int main(int argc, char** argv) {
     } else if (store_mode && std::strcmp(argv[i], "--dir") == 0 &&
                i + 1 < argc) {
       store_dir = argv[++i];
-    } else if ((compare || thread_scaling || store_mode) &&
-               std::strcmp(argv[i], "--circuit") == 0 && i + 1 < argc) {
+    } else if (any_mode && std::strcmp(argv[i], "--circuit") == 0 &&
+               i + 1 < argc) {
       circuit_name = argv[++i];
     }
   }
   if (compare) return run_compiled_vs_legacy(circuit_name, csv);
   if (thread_scaling) return run_thread_scaling(circuit_name, csv, metrics);
   if (store_mode) return run_store_mode(circuit_name, store_dir, csv, metrics);
+  if (obs_mode) return run_obs_mode(circuit_name, csv);
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

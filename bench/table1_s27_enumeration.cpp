@@ -7,16 +7,20 @@
 #include <cstdio>
 #include <iostream>
 
-#include "gen/registry.hpp"
+#include "bench/common.hpp"
 #include "paths/distance.hpp"
 #include "paths/enumerate.hpp"
-#include "report/table.hpp"
 
 using namespace pdf;
+using namespace pdf::bench;
 
-int main() {
+namespace {
+
+void run_walkthrough(const Options& o, const std::string& circuit) {
+  CircuitScope circuit_scope(o, circuit);
+
   std::printf("== Table 1: path enumeration on s27 (N_P = 20 paths) ==\n\n");
-  const Netlist nl = benchmark_circuit("s27");
+  const Netlist nl = benchmark_circuit(circuit);
   const LineDelayModel dm(nl);
 
   EnumerationConfig cfg;
@@ -62,5 +66,16 @@ int main() {
     dist.row(nl.node(id).name, d[id], nl.node(id).level);
   }
   dist.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Common harness for --trace/--metrics-json/--threads; the walkthrough
+  // itself stays fixed to the paper's example (first --circuits entry,
+  // default s27) and keeps its historical stdout format (no print_header).
+  Options o = parse_options(argc, argv, {"s27"});
+  run_walkthrough(o, o.circuits.empty() ? "s27" : o.circuits.front());
+  finish_run(o);
   return 0;
 }

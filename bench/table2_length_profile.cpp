@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   print_header("Table 2: numbers of faults by path length", o);
 
   for (const auto& name : o.circuits) {
+    CircuitScope circuit_scope(o, name);
     const Netlist nl = benchmark_circuit(name);
     const TargetSets ts =
         store::cached_target_sets(o.cache(), nl, target_config(o));
@@ -32,6 +33,6 @@ int main(int argc, char** argv) {
         "paper (s1423, N_P0=1000): i0 = 17, L_17 = 79, |P0| = 1116\n\n",
         ts.i0, ts.cutoff_length, ts.p0.size(), ts.p1.size());
   }
-  dump_metrics(o);
+  finish_run(o);
   return 0;
 }

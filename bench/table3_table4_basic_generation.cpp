@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   tests.columns({"circuit", "i0", "uncomp", "arbit", "length", "values"});
 
   for (const auto& name : o.circuits) {
+    CircuitScope circuit_scope(o, name);
     const Netlist nl = benchmark_circuit(name);
     const EnrichmentWorkbench wb(nl, target_config(o), o.cache());
     const TargetSets& ts = wb.targets();
@@ -56,6 +57,6 @@ int main(int argc, char** argv) {
       "only by random-decision noise, and each compaction column of Table 4\n"
       "is well below the uncomp column (paper examples: s641 471 -> ~130,\n"
       "b03 299 -> ~90).\n");
-  dump_metrics(o);
+  finish_run(o);
   return 0;
 }

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
              "values"});
 
   for (const auto& name : o.circuits) {
+    CircuitScope circuit_scope(o, name);
     const Netlist nl = benchmark_circuit(name);
     const EnrichmentWorkbench wb(nl, target_config(o), o.cache());
     const TargetSets& ts = wb.targets();
@@ -50,6 +51,6 @@ int main(int argc, char** argv) {
       "paper shape check: accidental P1 detection is limited; uncomp's much\n"
       "larger test sets buy only slightly more union coverage than the\n"
       "compact heuristics (paper example s641: 1452 vs ~1420 of 2127).\n");
-  dump_metrics(o);
+  finish_run(o);
   return 0;
 }

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
              "P0,P1 detected", "tests", "basic P0,P1 det", "basic tests"});
 
   for (const auto& name : o.circuits) {
+    CircuitScope circuit_scope(o, name);
     const Netlist nl = benchmark_circuit(name);
     const EnrichmentWorkbench wb(nl, target_config(o), o.cache());
     const TargetSets& ts = wb.targets();
@@ -55,6 +56,6 @@ int main(int argc, char** argv) {
       "paper shape check: P0,P1 detected under enrichment far exceeds the\n"
       "accidental coverage of the basic run at essentially the same test\n"
       "count (paper example s641: 1815 vs 1420 of 2127 at 127 vs 129 tests).\n");
-  dump_metrics(o);
+  finish_run(o);
   return 0;
 }

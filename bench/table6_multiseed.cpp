@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   Table t("");
   t.columns({"circuit", "tests", "P0 detected", "P0,P1 detected"});
   for (const auto& name : o.circuits) {
+    CircuitScope circuit_scope(o, name);
     const Netlist nl = benchmark_circuit(name);
     const EnrichmentWorkbench wb(nl, target_config(o), o.cache());
     if (wb.targets().p0.empty()) continue;
@@ -51,6 +52,6 @@ int main(int argc, char** argv) {
   std::printf(
       "reading: the spread is a few tests / faults — the paper's observation\n"
       "that randomized justification causes only small variations.\n");
-  dump_metrics(o);
+  finish_run(o);
   return 0;
 }

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   t.columns({"circuit", "i0", "basic s", "enrich s", "ratio"});
 
   for (const auto& name : o.circuits) {
+    CircuitScope circuit_scope(o, name);
     const Netlist nl = benchmark_circuit(name);
     const EnrichmentWorkbench wb(nl, target_config(o), o.cache());
 
@@ -34,6 +35,6 @@ int main(int argc, char** argv) {
   }
 
   emit(t, o);
-  dump_metrics(o);
+  finish_run(o);
   return 0;
 }

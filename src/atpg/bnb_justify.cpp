@@ -1,6 +1,8 @@
 #include "atpg/bnb_justify.hpp"
 
 #include "atpg/support.hpp"
+#include "obs/trace.hpp"
+#include "runtime/metrics.hpp"
 #include "sim/triple_sim.hpp"
 
 namespace pdf {
@@ -113,6 +115,7 @@ BnbJustifier::Search BnbJustifier::solve() {
 
 BnbResult BnbJustifier::justify(std::span<const ValueRequirement> reqs,
                                 const BnbConfig& cfg) {
+  PDF_TRACE_SPAN("atpg.bnb_justify");
   ++stats_.calls;
   backtracks_this_call_ = 0;
   decisions_this_call_ = 0;
@@ -123,6 +126,9 @@ BnbResult BnbJustifier::justify(std::span<const ValueRequirement> reqs,
 
   BnbResult out;
   auto finish = [&](BnbStatus st) {
+    static auto& backtracks_hist =
+        runtime::Metrics::global().histogram("atpg.bnb.backtracks");
+    backtracks_hist.record(backtracks_this_call_);
     out.status = st;
     out.backtracks = backtracks_this_call_;
     out.decisions = decisions_this_call_;

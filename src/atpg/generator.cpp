@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "faultsim/fault_sim.hpp"
+#include "obs/trace.hpp"
+#include "runtime/metrics.hpp"
 
 namespace pdf {
 
@@ -73,6 +75,9 @@ class Generator {
   }
 
   GenerationResult run() {
+    PDF_TRACE_SPAN("atpg.generate");
+    auto& metrics = runtime::Metrics::global();
+    const auto timer_scope = metrics.timer("atpg.generate").measure();
     const auto start = std::chrono::steady_clock::now();
     for (auto& s : sets_) s.order = make_order(s.faults);
 
@@ -109,6 +114,7 @@ class Generator {
     for (auto& s : sets_) result_.detected.push_back(std::move(s.detected));
     result_.detected_p0 = result_.detected[0];
     if (result_.detected.size() > 1) result_.detected_p1 = result_.detected[1];
+    metrics.counter("atpg.tests_generated").add(result_.tests.size());
     result_.stats.justify = engine_.stats();
     result_.stats.seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)

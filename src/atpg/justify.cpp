@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.hpp"
+#include "runtime/metrics.hpp"
 #include "sim/triple_sim.hpp"
 
 namespace pdf {
@@ -154,6 +156,12 @@ bool JustificationEngine::attempt(std::span<const ValueRequirement> reqs,
 
 std::optional<TwoPatternTest> JustificationEngine::justify(
     std::span<const ValueRequirement> reqs, const JustifyConfig& cfg) {
+  PDF_TRACE_SPAN("atpg.justify");
+  static auto& probes_hist =
+      runtime::Metrics::global().histogram("atpg.justify.probes");
+  const std::uint64_t probes_before = stats_.probes;
+
+  std::optional<TwoPatternTest> result;
   const int attempts = std::max(1, cfg.max_attempts);
   for (int k = 0; k < attempts; ++k) {
     if (attempt(reqs, cfg)) {
@@ -163,11 +171,13 @@ std::optional<TwoPatternTest> JustificationEngine::justify(
       for (std::size_t i = 0; i < bit1_.size(); ++i) {
         t.pi_values[i] = pi_triple(bit1_[i], bit3_[i]);
       }
-      return t;
+      result = std::move(t);
+      break;
     }
   }
-  ++stats_.failures;
-  return std::nullopt;
+  if (!result) ++stats_.failures;
+  probes_hist.record(stats_.probes - probes_before);
+  return result;
 }
 
 }  // namespace pdf

@@ -3,10 +3,31 @@
 #include <algorithm>
 
 #include "faultsim/parallel_sim.hpp"
+#include "obs/trace.hpp"
+#include "runtime/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 #include "store/stage_cache.hpp"
 
 namespace pdf {
+namespace {
+
+// One record per generation run (basic or enriched): the resulting test-set
+// size. The distribution across circuits/seeds is what Table 6 compaction
+// quality looks like from the metrics side.
+void note_run(const GenerationResult& r) {
+  auto& m = runtime::Metrics::global();
+  static auto& runs = m.counter("enrich.runs");
+  static auto& tests_hist = m.histogram("enrich.tests_per_run");
+  runs.add(1);
+  tests_hist.record(r.tests.size());
+}
+
+runtime::Metrics::Timer& run_timer() {
+  static auto& t = runtime::Metrics::global().timer("enrich.run");
+  return t;
+}
+
+}  // namespace
 
 EnrichmentWorkbench::EnrichmentWorkbench(const Netlist& nl,
                                          const TargetSetConfig& cfg,
@@ -17,17 +38,27 @@ EnrichmentWorkbench::EnrichmentWorkbench(const Netlist& nl,
       targets_(store::cached_target_sets(cache, nl, cfg)) {}
 
 GenerationResult EnrichmentWorkbench::run_basic(const GeneratorConfig& cfg) const {
-  return store::cached_generate(cache_, *nl_, targets_.p0, {}, cfg_, cfg);
+  PDF_TRACE_SPAN("enrich.run_basic");
+  const auto timer_scope = run_timer().measure();
+  GenerationResult r =
+      store::cached_generate(cache_, *nl_, targets_.p0, {}, cfg_, cfg);
+  note_run(r);
+  return r;
 }
 
 GenerationResult EnrichmentWorkbench::run_enriched(
     const GeneratorConfig& cfg) const {
-  return store::cached_generate(cache_, *nl_, targets_.p0, targets_.p1, cfg_,
-                                cfg);
+  PDF_TRACE_SPAN("enrich.run_enriched");
+  const auto timer_scope = run_timer().measure();
+  GenerationResult r = store::cached_generate(cache_, *nl_, targets_.p0,
+                                              targets_.p1, cfg_, cfg);
+  note_run(r);
+  return r;
 }
 
 std::vector<EnrichmentWorkbench::SeedRun> EnrichmentWorkbench::run_enriched_sweep(
     std::span<const std::uint64_t> seeds, const GeneratorConfig& base) const {
+  PDF_TRACE_SPAN("enrich.sweep");
   std::vector<SeedRun> out(seeds.size());
   runtime::global_pool().parallel_for(
       seeds.size(), 1, [&](std::size_t b, std::size_t e) {
@@ -45,6 +76,7 @@ std::vector<EnrichmentWorkbench::SeedRun> EnrichmentWorkbench::run_enriched_swee
 
 UnionCoverage EnrichmentWorkbench::simulate_union(
     std::span<const TwoPatternTest> tests) const {
+  PDF_TRACE_SPAN("enrich.coverage");
   // Pattern-parallel simulation: identical results to FaultSimulator at a
   // fraction of the cost for whole test sets. Memoized when a stage cache is
   // configured.

@@ -4,6 +4,7 @@
 #include <functional>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -12,7 +13,7 @@ namespace {
 
 runtime::Metrics::Counter& trial_counter() {
   static runtime::Metrics::Counter& c =
-      runtime::Metrics::global().counter("defect_mc.trials");
+      runtime::Metrics::global().counter("faultsim.mc_trials");
   return c;
 }
 
@@ -79,6 +80,7 @@ bool DefectSimulator::caught_by_any(std::span<const TwoPatternTest> tests,
 
 double DefectSimulator::catch_rate(std::span<const TwoPatternTest> tests,
                                    std::span<const Defect> defects) const {
+  PDF_TRACE_SPAN("faultsim.catch_rate");
   if (defects.empty()) return 0.0;
   const std::size_t caught = runtime::global_pool().parallel_reduce<std::size_t>(
       defects.size(), 4, std::size_t{0},
@@ -103,6 +105,7 @@ DefectSimulator::TrialStats DefectSimulator::monte_carlo(
   if (min_extra <= 0 || max_extra < min_extra) {
     throw std::invalid_argument("monte_carlo: bad extra-delay range");
   }
+  PDF_TRACE_SPAN("faultsim.monte_carlo");
   TrialStats out;
   out.trials = trials;
   out.caught = runtime::global_pool().parallel_reduce<std::size_t>(

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sim/triple_sim.hpp"
@@ -119,7 +120,11 @@ void ParallelFaultSimulator::simulate_word(
 DetectionMatrix ParallelFaultSimulator::detection_matrix(
     std::span<const TwoPatternTest> tests,
     std::span<const TargetFault> faults) const {
+  PDF_TRACE_SPAN("faultsim.detection_matrix");
   const auto scope = matrix_timer().measure();
+  static auto& tests_hist =
+      runtime::Metrics::global().histogram("faultsim.matrix_tests");
+  tests_hist.record(tests.size());
   DetectionMatrix matrix(faults.size(), tests.size());
   const std::size_t words = matrix.words_per_row();
 

@@ -1,0 +1,100 @@
+// Minimal JSON value + writer + parser for the observability layer.
+//
+// The repo needs JSON in exactly two places — the Chrome-trace export and
+// the --metrics-json run manifest — plus the ability to parse those files
+// back in tests. This is a deliberately small tagged variant, not a general
+// JSON library: objects are std::map (so dumps are key-sorted and
+// byte-stable), integers are kept as int64 end-to-end (exact round-trip for
+// counters and nanosecond timers), and everything else is a double.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdf::obs {
+
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Json {
+ public:
+  enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : type_(Type::Null) {}
+  Json(std::nullptr_t) : type_(Type::Null) {}
+  Json(bool b) : type_(Type::Bool), bool_(b) {}
+  Json(int v) : type_(Type::Int), int_(v) {}
+  Json(long v) : type_(Type::Int), int_(v) {}
+  Json(long long v) : type_(Type::Int), int_(v) {}
+  Json(unsigned v) : type_(Type::Int), int_(static_cast<std::int64_t>(v)) {}
+  Json(unsigned long v)
+      : type_(Type::Int), int_(static_cast<std::int64_t>(v)) {}
+  Json(unsigned long long v)
+      : type_(Type::Int), int_(static_cast<std::int64_t>(v)) {}
+  Json(double v) : type_(Type::Double), double_(v) {}
+  Json(const char* s) : type_(Type::String), string_(s) {}
+  Json(std::string s) : type_(Type::String), string_(std::move(s)) {}
+  Json(std::string_view s) : type_(Type::String), string_(s) {}
+  Json(Array a) : type_(Type::Array), array_(std::move(a)) {}
+  Json(Object o) : type_(Type::Object), object_(std::move(o)) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_object() const { return type_ == Type::Object; }
+  bool is_array() const { return type_ == Type::Array; }
+
+  bool as_bool() const { return expect(Type::Bool), bool_; }
+  std::int64_t as_int() const { return expect(Type::Int), int_; }
+  /// Numeric value whether stored as Int or Double.
+  double as_double() const;
+  const std::string& as_string() const {
+    return expect(Type::String), string_;
+  }
+  const Array& as_array() const { return expect(Type::Array), array_; }
+  const Object& as_object() const { return expect(Type::Object), object_; }
+
+  /// Object member access; throws JsonError when absent or not an object.
+  const Json& at(const std::string& key) const;
+  /// True when this is an object containing `key`.
+  bool contains(const std::string& key) const;
+
+  /// Mutable object member (creates the member; converts Null to Object).
+  Json& operator[](const std::string& key);
+  /// Appends to an array (converts Null to Array).
+  void push_back(Json v);
+
+  /// Compact single-line serialization (objects key-sorted by std::map).
+  std::string dump() const;
+
+  /// Strict recursive-descent parse of a complete JSON document; throws
+  /// JsonError with a byte offset on malformed input or trailing garbage.
+  static Json parse(std::string_view text);
+
+  /// JSON string escaping (quotes not included).
+  static std::string escape(std::string_view s);
+
+ private:
+  void expect(Type t) const {
+    if (type_ != t) throw JsonError("json: wrong type access");
+  }
+  void dump_to(std::string& out) const;
+
+  Type type_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace pdf::obs

@@ -1,0 +1,122 @@
+#include "obs/manifest.hpp"
+
+#include <fstream>
+
+#include "runtime/metrics.hpp"
+
+namespace pdf::obs {
+
+namespace {
+
+Json build_info() {
+  Json b;
+#if defined(__clang__)
+  b["compiler"] = std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  b["compiler"] = std::string("gcc ") + __VERSION__;
+#else
+  b["compiler"] = "unknown";
+#endif
+  b["cpp_standard"] = static_cast<std::int64_t>(__cplusplus);
+#ifdef NDEBUG
+  b["build_type"] = "release";
+#else
+  b["build_type"] = "debug";
+#endif
+  return b;
+}
+
+Json histogram_json(const runtime::Metrics::Histogram::Snapshot& h) {
+  Json j;
+  j["count"] = h.count;
+  j["sum"] = h.sum;
+  j["p50"] = h.p50();
+  j["p90"] = h.p90();
+  j["p99"] = h.p99();
+  j["max"] = h.max;
+  return j;
+}
+
+}  // namespace
+
+Json run_manifest(const RunInfo& info) {
+  const runtime::Metrics::Snapshot m = runtime::Metrics::global().snapshot();
+
+  Json doc;
+  doc["schema"] = "pdf.run_manifest/1";
+  doc["bench"] = info.bench;
+  doc["build"] = build_info();
+
+  Json params;
+  params["seed"] = info.seed;
+  params["n_p"] = info.n_p;
+  params["n_p0"] = info.n_p0;
+  params["threads"] = info.threads;
+  params["paper"] = info.paper;
+  params["store_enabled"] = info.store_enabled;
+  params["store_dir"] = info.store_dir;
+  doc["params"] = std::move(params);
+
+  Json circuits;
+  circuits = Json(Json::Array{});
+  for (const auto& [name, seconds] : info.circuits) {
+    Json c;
+    c["circuit"] = name;
+    c["seconds"] = seconds;
+    circuits.push_back(std::move(c));
+  }
+  doc["circuits"] = std::move(circuits);
+
+  Json counters;
+  counters = Json(Json::Object{});
+  for (const auto& [name, v] : m.counters) counters[name] = v;
+  Json timers;
+  timers = Json(Json::Object{});
+  for (const auto& [name, t] : m.timers) {
+    Json tj;
+    tj["total_ns"] = t.total_ns;
+    tj["calls"] = t.calls;
+    timers[name] = std::move(tj);
+  }
+  Json histograms;
+  histograms = Json(Json::Object{});
+  for (const auto& [name, h] : m.histograms) {
+    histograms[name] = histogram_json(h);
+  }
+  Json metrics;
+  metrics["counters"] = std::move(counters);
+  metrics["timers"] = std::move(timers);
+  metrics["histograms"] = std::move(histograms);
+  doc["metrics"] = std::move(metrics);
+
+  // Store totals pulled out of the flat counter map: the numbers a
+  // trajectory dashboard reads first.
+  Json store;
+  const auto counter_or_zero = [&](const char* name) -> std::uint64_t {
+    auto it = m.counters.find(name);
+    return it == m.counters.end() ? 0 : it->second;
+  };
+  store["enabled"] = info.store_enabled;
+  store["hits"] = counter_or_zero("store.hits");
+  store["misses"] = counter_or_zero("store.misses");
+  store["corrupt"] = counter_or_zero("store.corrupt");
+  store["bytes_read"] = counter_or_zero("store.bytes_read");
+  store["bytes_written"] = counter_or_zero("store.bytes_written");
+  doc["store"] = std::move(store);
+
+  Json trace;
+  trace["events"] = info.trace_events;
+  trace["dropped"] = info.trace_dropped;
+  doc["trace"] = std::move(trace);
+
+  return doc;
+}
+
+bool write_run_manifest(const std::string& path, const RunInfo& info) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f << run_manifest(info).dump() << "\n";
+  return static_cast<bool>(f);
+}
+
+}  // namespace pdf::obs

@@ -1,0 +1,48 @@
+// Machine-readable run manifest: one JSON document per bench run.
+//
+// `--metrics-json FILE` turns the flat stderr metric dump into a stable
+// schema (`pdf.run_manifest/1`) that downstream tooling can diff across
+// PRs: build info, run parameters (seed, N_P, N_P0, threads), per-circuit
+// wall times, and a full runtime::Metrics snapshot — counters, timers, and
+// histograms with count/sum/p50/p90/p99/max. Store hit/miss totals get a
+// dedicated top-level object so cache regressions are one jq away.
+//
+// The manifest never goes to stdout: table output must stay bit-identical
+// with and without observability flags (tested by ObsDeterminism and the CI
+// observability job).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace pdf::obs {
+
+/// Everything the manifest reports that the Metrics registry doesn't know.
+struct RunInfo {
+  std::string bench;  // driver name, e.g. "table6_enrichment"
+  std::uint64_t seed = 0;
+  std::uint64_t n_p = 0;   // N_P target-set budget
+  std::uint64_t n_p0 = 0;  // N_P0 subset budget
+  std::uint64_t threads = 1;
+  bool paper = false;  // --paper preset active
+  bool store_enabled = false;
+  std::string store_dir;
+  /// (circuit, wall seconds) in run order.
+  std::vector<std::pair<std::string, double>> circuits;
+  /// Trace-session totals when --trace was active (0/0 otherwise).
+  std::uint64_t trace_events = 0;
+  std::uint64_t trace_dropped = 0;
+};
+
+/// Builds the manifest document from `info` plus a snapshot of
+/// runtime::Metrics::global().
+Json run_manifest(const RunInfo& info);
+
+/// Writes run_manifest(info).dump() to `path`. Returns false on I/O error.
+bool write_run_manifest(const std::string& path, const RunInfo& info);
+
+}  // namespace pdf::obs

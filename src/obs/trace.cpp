@@ -1,0 +1,181 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <set>
+
+#include "obs/json.hpp"
+#include "runtime/per_worker.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace pdf::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_active{false};
+}  // namespace detail
+
+namespace {
+// The (single) session currently recording. Written only under g_start_mu;
+// read with relaxed loads from span destructors, which is safe because a
+// session flips g_trace_active off (and quiesces) before it goes away.
+std::atomic<TraceSession*> g_session{nullptr};
+std::mutex g_start_mu;
+}  // namespace
+
+std::uint64_t trace_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct TraceSession::Impl {
+  struct Ring {
+    std::vector<Event> events;
+    std::uint64_t total = 0;  // events ever recorded into this ring
+  };
+
+  runtime::PerWorker<Ring> rings;
+  std::size_t capacity = std::size_t{1} << 16;
+
+  std::mutex intern_mu;
+  std::set<std::string, std::less<>> interned;
+};
+
+TraceSession::TraceSession() : impl_(new Impl) {}
+
+TraceSession::~TraceSession() {
+  stop();
+  delete impl_;
+}
+
+bool TraceSession::start(std::size_t ring_capacity) {
+  std::lock_guard<std::mutex> lk(g_start_mu);
+  if (g_session.load(std::memory_order_relaxed) != nullptr) return false;
+  impl_->capacity = ring_capacity == 0 ? 1 : ring_capacity;
+  g_session.store(this, std::memory_order_release);
+  detail::g_trace_active.store(true, std::memory_order_release);
+  running_ = true;
+  return true;
+}
+
+void TraceSession::stop() {
+  std::lock_guard<std::mutex> lk(g_start_mu);
+  if (g_session.load(std::memory_order_relaxed) != this) return;
+  detail::g_trace_active.store(false, std::memory_order_release);
+  g_session.store(nullptr, std::memory_order_release);
+  running_ = false;
+}
+
+void TraceSession::record(const char* name, std::uint64_t begin_ns,
+                          std::uint64_t end_ns) {
+  Impl::Ring& ring = impl_->rings.local();
+  Event ev;
+  ev.name = name;
+  ev.begin_ns = begin_ns;
+  ev.dur_ns = end_ns > begin_ns ? end_ns - begin_ns : 0;
+  ev.tid = static_cast<std::uint32_t>(runtime::worker_slot());
+  if (ring.events.size() < impl_->capacity) {
+    ring.events.push_back(ev);
+  } else {
+    ring.events[ring.total % impl_->capacity] = ev;
+  }
+  ++ring.total;
+}
+
+const char* TraceSession::intern(std::string_view name) {
+  std::lock_guard<std::mutex> lk(impl_->intern_mu);
+  auto it = impl_->interned.find(name);
+  if (it == impl_->interned.end()) {
+    it = impl_->interned.emplace(name).first;
+  }
+  return it->c_str();  // set nodes are stable: pointer lives with the session
+}
+
+std::vector<TraceSession::Event> TraceSession::events() const {
+  std::vector<Event> out;
+  impl_->rings.for_each([&](Impl::Ring& ring) {
+    if (ring.total <= ring.events.size()) {
+      out.insert(out.end(), ring.events.begin(), ring.events.end());
+    } else {
+      // The ring wrapped: oldest surviving event sits at total % capacity.
+      const std::size_t cap = ring.events.size();
+      const std::size_t start = static_cast<std::size_t>(ring.total % cap);
+      out.insert(out.end(), ring.events.begin() + static_cast<std::ptrdiff_t>(start),
+                 ring.events.end());
+      out.insert(out.end(), ring.events.begin(),
+                 ring.events.begin() + static_cast<std::ptrdiff_t>(start));
+    }
+  });
+  std::stable_sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
+    if (a.begin_ns != b.begin_ns) return a.begin_ns < b.begin_ns;
+    return a.tid < b.tid;
+  });
+  return out;
+}
+
+std::uint64_t TraceSession::dropped() const {
+  std::uint64_t n = 0;
+  impl_->rings.for_each([&](Impl::Ring& ring) {
+    if (ring.total > ring.events.size()) n += ring.total - ring.events.size();
+  });
+  return n;
+}
+
+std::string TraceSession::chrome_json() const {
+  const std::vector<Event> evs = events();
+  // Rebase timestamps so the trace starts near t=0 (Perfetto handles raw
+  // steady_clock offsets fine, but small numbers are kinder to readers).
+  std::uint64_t t0 = evs.empty() ? 0 : evs.front().begin_ns;
+  std::string out;
+  out.reserve(evs.size() * 96 + 64);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& ev : evs) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += Json::escape(ev.name);
+    out += "\",\"cat\":\"pdf\",\"ph\":\"X\",\"ts\":";
+    // Microseconds with nanosecond precision kept in the fraction.
+    const std::uint64_t rel = ev.begin_ns - t0;
+    out += std::to_string(rel / 1000);
+    out += '.';
+    char frac[4];
+    std::snprintf(frac, sizeof(frac), "%03u",
+                  static_cast<unsigned>(rel % 1000));
+    out += frac;
+    out += ",\"dur\":";
+    out += std::to_string(ev.dur_ns / 1000);
+    out += '.';
+    std::snprintf(frac, sizeof(frac), "%03u",
+                  static_cast<unsigned>(ev.dur_ns % 1000));
+    out += frac;
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(ev.tid);
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ns\"}";
+  return out;
+}
+
+bool TraceSession::write_chrome_json(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f << chrome_json();
+  return static_cast<bool>(f);
+}
+
+TraceSession* active_session() {
+  return g_session.load(std::memory_order_acquire);
+}
+
+void TraceSpan::finish() {
+  TraceSession* s = g_session.load(std::memory_order_acquire);
+  if (s != nullptr) s->record(name_, begin_ns_, trace_now_ns());
+}
+
+}  // namespace pdf::obs

@@ -1,0 +1,140 @@
+// Low-overhead thread-aware span tracer with Chrome-trace-event export.
+//
+// Usage: a bench (or test) starts a TraceSession, engines mark scopes with
+// `PDF_TRACE_SPAN("atpg.justify")`, and at exit the session writes a
+// `{"traceEvents": [...]}` JSON file that loads directly in Perfetto or
+// chrome://tracing (complete "X" events with ts/dur in microseconds and
+// tid = the runtime worker_slot()).
+//
+// Cost model (the reason this exists as its own layer instead of more
+// Metrics timers):
+//  - disabled (no session running): one relaxed atomic load per span — the
+//    macro compiles to a bool check, no clock read, no allocation. This is
+//    the steady state for every table run without --trace.
+//  - enabled: two steady_clock reads plus one slot write into the calling
+//    worker's private ring buffer (PerWorker — no lock, no sharing). Rings
+//    are fixed-capacity and overwrite oldest-first; `dropped()` reports how
+//    many events fell off so a truncated trace is never mistaken for a
+//    complete one.
+//
+// Span names are `const char*` compared by pointer, so callers pass string
+// literals (the PDF_TRACE_SPAN macro enforces this). Cold paths that need a
+// computed name (e.g. `store.memoize.<kind>.hit`) intern it once via
+// `TraceSession::intern` — a mutex-guarded set, deliberately not for hot
+// loops.
+//
+// One session may run at a time process-wide; start() while another session
+// is active fails (returns false). Engines never touch TraceSession — only
+// the macro and the bench harness do.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdf::obs {
+
+namespace detail {
+/// Hot-path flag: true while a TraceSession is recording.
+extern std::atomic<bool> g_trace_active;
+}  // namespace detail
+
+/// Monotonic nanoseconds (steady_clock) — the span clock.
+std::uint64_t trace_now_ns();
+
+/// True while some TraceSession is recording. Single relaxed load.
+inline bool trace_active() {
+  return detail::g_trace_active.load(std::memory_order_relaxed);
+}
+
+class TraceSession {
+ public:
+  struct Event {
+    const char* name = nullptr;  // interned or literal; never owned here
+    std::uint64_t begin_ns = 0;  // trace_now_ns() at scope entry
+    std::uint64_t dur_ns = 0;
+    std::uint32_t tid = 0;  // runtime::worker_slot() of the recording thread
+  };
+
+  TraceSession();
+  ~TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Begins recording into this session with `ring_capacity` events per
+  /// worker thread. Returns false (and records nothing) when another
+  /// session is already active.
+  bool start(std::size_t ring_capacity = std::size_t{1} << 16);
+
+  /// Stops recording. Events stay readable until the session is destroyed.
+  void stop();
+
+  bool running() const { return running_; }
+
+  /// Appends one completed span to the calling worker's ring. Only called
+  /// by TraceSpan / trace_stage helpers while the session is active.
+  void record(const char* name, std::uint64_t begin_ns,
+              std::uint64_t end_ns);
+
+  /// Copies a string into session-lifetime storage and returns a stable
+  /// pointer usable as an Event name. Takes a lock — cold paths only.
+  const char* intern(std::string_view name);
+
+  /// All recorded events merged across workers, sorted by begin time.
+  /// Only safe once recording has stopped (or no worker is mid-record).
+  std::vector<Event> events() const;
+
+  /// Events that fell off the rings because a worker exceeded its capacity.
+  std::uint64_t dropped() const;
+
+  /// Chrome trace-event JSON: {"traceEvents": [{name,cat,ph:"X",ts,dur,
+  /// pid,tid}, ...]} with ts/dur in microseconds.
+  std::string chrome_json() const;
+
+  /// Writes chrome_json() to `path`. Returns false on I/O failure.
+  bool write_chrome_json(const std::string& path) const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  bool running_ = false;
+};
+
+/// The session currently recording, or nullptr. Use for cold-path spans
+/// that need a computed (interned) name; hot paths use PDF_TRACE_SPAN.
+TraceSession* active_session();
+
+/// RAII span: records [construction, destruction) into the active session.
+/// `name` must outlive the session (use a string literal or intern()).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (trace_active()) {
+      name_ = name;
+      begin_ns_ = trace_now_ns();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) finish();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void finish();  // out of line: keeps the disabled path tiny
+  const char* name_ = nullptr;
+  std::uint64_t begin_ns_ = 0;
+};
+
+#define PDF_TRACE_CONCAT2(a, b) a##b
+#define PDF_TRACE_CONCAT(a, b) PDF_TRACE_CONCAT2(a, b)
+
+/// Marks the enclosing scope as a trace span named by the string literal.
+#define PDF_TRACE_SPAN(name)                  \
+  ::pdf::obs::TraceSpan PDF_TRACE_CONCAT(pdf_trace_span_, __COUNTER__) { \
+    "" name                                   \
+  }
+
+}  // namespace pdf::obs

@@ -6,7 +6,9 @@
 #include <queue>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "paths/distance.hpp"
+#include "runtime/metrics.hpp"
 
 namespace pdf {
 namespace {
@@ -49,6 +51,9 @@ class Enumerator {
         dist_(distances_to_outputs(dm, cc_)) {}
 
   EnumerationResult run() {
+    PDF_TRACE_SPAN("paths.enumerate");
+    const auto timer_scope =
+        runtime::Metrics::global().timer("paths.enumerate").measure();
     seed();
     maybe_prune();
     while (partial_count_ > 0) {
@@ -62,6 +67,8 @@ class Enumerator {
       maybe_prune();
     }
     collect();
+    runtime::Metrics::global().counter("paths.enumerate.steps")
+        .add(result_.steps);
     return std::move(result_);
   }
 
@@ -97,9 +104,12 @@ class Enumerator {
         [&](NodeId v) { return dist_[v] != kUnreachable; });
 
     if (cc_.is_output(last)) {
+      static auto& length_hist =
+          runtime::Metrics::global().histogram("paths.length");
       Entry e;
       e.complete = true;
       e.length = dm_.complete_length(p.nodes);
+      length_hist.record(static_cast<std::uint64_t>(std::max(e.length, 0)));
       e.key = e.length;
       e.alive = true;
       e.path = can_extend ? p : std::move(p);  // copy only when both needed
@@ -247,6 +257,11 @@ class Enumerator {
 
     if (alive_count_ * fpp >= cfg_.max_faults) result_.prune_stalled = true;
     if (!ev.removed_lengths.empty()) {
+      static auto& removed_hist =
+          runtime::Metrics::global().histogram("paths.prune.removed_length");
+      for (int len : ev.removed_lengths) {
+        removed_hist.record(static_cast<std::uint64_t>(std::max(len, 0)));
+      }
       result_.trace.prunes.push_back(std::move(ev));
     }
   }

@@ -1,5 +1,6 @@
 #include "runtime/metrics.hpp"
 
+#include <bit>
 #include <sstream>
 
 #include "runtime/thread_pool.hpp"
@@ -8,6 +9,77 @@ namespace pdf::runtime {
 
 std::atomic<std::uint64_t>& Metrics::Counter::shard() {
   return shards_[worker_slot() % kShards].v;
+}
+
+std::size_t Metrics::Histogram::bucket_of(std::uint64_t v) {
+  return v == 0 ? 0 : static_cast<std::size_t>(std::bit_width(v));
+}
+
+std::uint64_t Metrics::Histogram::bucket_lower(std::size_t b) {
+  return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+}
+
+std::uint64_t Metrics::Histogram::bucket_upper(std::size_t b) {
+  if (b == 0) return 0;
+  if (b >= 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << b) - 1;
+}
+
+Metrics::Histogram::Shard& Metrics::Histogram::shard() {
+  return shards_[worker_slot() % kShards];
+}
+
+void Metrics::Histogram::record(std::uint64_t v) {
+  Shard& s = shard();
+  s.buckets[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t cur = s.max.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !s.max.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+Metrics::Histogram::Snapshot Metrics::Histogram::snapshot() const {
+  Snapshot out;
+  for (const auto& s : shards_) {
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      const std::uint64_t n = s.buckets[b].load(std::memory_order_relaxed);
+      out.buckets[b] += n;
+      out.count += n;
+    }
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    const std::uint64_t m = s.max.load(std::memory_order_relaxed);
+    if (m > out.max) out.max = m;
+  }
+  return out;
+}
+
+void Metrics::Histogram::reset() {
+  for (auto& s : shards_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+    s.max.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t Metrics::Histogram::Snapshot::percentile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the quantile sample, 1-based: ceil(q * count), at least 1.
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(count));
+  if (static_cast<double>(rank) < q * static_cast<double>(count)) ++rank;
+  if (rank == 0) rank = 1;
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    cumulative += buckets[b];
+    if (cumulative >= rank) {
+      const std::uint64_t upper = bucket_upper(b);
+      return upper < max ? upper : max;
+    }
+  }
+  return max;
 }
 
 Metrics& Metrics::global() {
@@ -34,6 +106,29 @@ Metrics::Timer& Metrics::timer(std::string_view name) {
   return *it->second;
 }
 
+Metrics::Histogram& Metrics::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+Metrics::Snapshot Metrics::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Snapshot out;
+  for (const auto& [name, c] : counters_) out.counters[name] = c->read();
+  for (const auto& [name, t] : timers_) {
+    out.timers[name] = TimerValue{t->total_ns(), t->calls()};
+  }
+  for (const auto& [name, h] : histograms_) {
+    out.histograms[name] = h->snapshot();
+  }
+  return out;
+}
+
 std::string Metrics::dump() const {
   std::lock_guard<std::mutex> lk(mu_);
   std::ostringstream os;
@@ -44,6 +139,12 @@ std::string Metrics::dump() const {
     os << "timer " << name << " " << t->total_ns() << " ns " << t->calls()
        << " calls\n";
   }
+  for (const auto& [name, h] : histograms_) {
+    const auto s = h->snapshot();
+    os << "hist " << name << " count " << s.count << " sum " << s.sum
+       << " p50 " << s.p50() << " p90 " << s.p90() << " max " << s.max
+       << "\n";
+  }
   return os.str();
 }
 
@@ -51,6 +152,7 @@ void Metrics::reset() {
   std::lock_guard<std::mutex> lk(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, t] : timers_) t->reset();
+  for (auto& [name, h] : histograms_) h->reset();
 }
 
 }  // namespace pdf::runtime

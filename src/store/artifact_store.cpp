@@ -1,6 +1,7 @@
 #include "store/artifact_store.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 
@@ -42,6 +43,29 @@ runtime::Metrics::Counter& bytes_read_counter() {
 runtime::Metrics::Counter& bytes_written_counter() {
   static auto& c = runtime::Metrics::global().counter("store.bytes_written");
   return c;
+}
+runtime::Metrics::Timer& read_timer() {
+  static auto& t = runtime::Metrics::global().timer("store.read_ns");
+  return t;
+}
+runtime::Metrics::Timer& write_timer() {
+  static auto& t = runtime::Metrics::global().timer("store.write_ns");
+  return t;
+}
+runtime::Metrics::Histogram& record_bytes_hist() {
+  static auto& h = runtime::Metrics::global().histogram("store.record_bytes");
+  return h;
+}
+runtime::Metrics::Histogram& hit_ns_hist() {
+  static auto& h = runtime::Metrics::global().histogram("store.hit_ns");
+  return h;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 void put_u16le(std::uint8_t* p, std::uint16_t v) {
@@ -175,6 +199,7 @@ fs::path ArtifactStore::path_of(const ArtifactKey& key) const {
 
 bool ArtifactStore::put(const ArtifactKey& key, std::uint16_t kind_version,
                         std::span<const std::byte> payload) {
+  const auto write_scope = write_timer().measure();
   const fs::path final_path = path_of(key);
   std::error_code ec;
   fs::create_directories(final_path.parent_path(), ec);
@@ -199,6 +224,7 @@ bool ArtifactStore::put(const ArtifactKey& key, std::uint16_t kind_version,
     return false;
   }
   bytes_written_counter().add(sizeof header + payload.size());
+  record_bytes_hist().record(sizeof header + payload.size());
   return true;
 }
 
@@ -243,6 +269,8 @@ void ArtifactStore::quarantine(const fs::path& path) {
 
 std::optional<std::vector<std::byte>> ArtifactStore::get(
     const ArtifactKey& key, std::uint16_t kind_version) {
+  const auto read_scope = read_timer().measure();
+  const std::uint64_t t0 = now_ns();
   const fs::path path = path_of(key);
 
   std::vector<std::byte> bytes;
@@ -299,12 +327,16 @@ std::optional<std::vector<std::byte>> ArtifactStore::get(
   }
   hits_counter().add();
   bytes_read_counter().add(bytes.size());
+  record_bytes_hist().record(bytes.size());
+  hit_ns_hist().record(now_ns() - t0);
   bytes.erase(bytes.begin(), bytes.begin() + MappedArtifact::kHeaderSize);
   return bytes;
 }
 
 std::optional<MappedArtifact> ArtifactStore::map(const ArtifactKey& key,
                                                  std::uint16_t kind_version) {
+  const auto read_scope = read_timer().measure();
+  const std::uint64_t t0 = now_ns();
   const fs::path path = path_of(key);
 #if !defined(_WIN32)
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
@@ -341,6 +373,8 @@ std::optional<MappedArtifact> ArtifactStore::map(const ArtifactKey& key,
   }
   hits_counter().add();
   bytes_read_counter().add(size);
+  record_bytes_hist().record(size);
+  hit_ns_hist().record(now_ns() - t0);
   return mapped;
 #else
   // No mmap on this platform: fall back to a heap copy with the same

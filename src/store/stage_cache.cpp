@@ -16,6 +16,15 @@ runtime::Metrics::Counter& StageCache::stage_counter(std::string_view kind,
       "store.stage." + std::string(kind) + (hit ? ".hits" : ".misses"));
 }
 
+void StageCache::trace_stage(std::string_view kind, bool hit,
+                             std::uint64_t begin_ns) {
+  obs::TraceSession* session = obs::active_session();
+  if (session == nullptr || begin_ns == 0) return;
+  const char* name = session->intern("store.memoize." + std::string(kind) +
+                                     (hit ? ".hit" : ".miss"));
+  session->record(name, begin_ns, obs::trace_now_ns());
+}
+
 TargetSets cached_target_sets(StageCache* cache, const Netlist& nl,
                               const TargetSetConfig& cfg) {
   if (cache == nullptr) return build_target_sets(nl, cfg);

@@ -24,6 +24,7 @@
 #include <span>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "runtime/metrics.hpp"
 #include "store/artifact_store.hpp"
 #include "store/hash.hpp"
@@ -62,12 +63,15 @@ class StageCache {
 
   template <typename T, typename Fn>
   T memoize(std::span<const std::uint64_t> input_digests, Fn&& compute) {
+    const std::uint64_t span_begin =
+        obs::trace_active() ? obs::trace_now_ns() : 0;
     const ArtifactKey key = make_key<T>(input_digests);
     if (auto bytes = store_.get(key, Serde<T>::version)) {
       try {
         ByteReader r(*bytes);
         T value = Serde<T>::get(r);
         stage_counter(Serde<T>::kind, true).add();
+        trace_stage(Serde<T>::kind, true, span_begin);
         return value;
       } catch (const SerdeError&) {
         // Checksum-valid but undecodable (e.g. written by a buggy build at
@@ -79,12 +83,17 @@ class StageCache {
     ByteWriter w;
     Serde<T>::put(w, value);
     store_.put(key, Serde<T>::version, w.view());
+    trace_stage(Serde<T>::kind, false, span_begin);
     return value;
   }
 
  private:
   static runtime::Metrics::Counter& stage_counter(std::string_view kind,
                                                   bool hit);
+  /// Emits a `store.memoize.<kind>.hit|.miss` span covering
+  /// [begin_ns, now] into the active trace session, if any.
+  static void trace_stage(std::string_view kind, bool hit,
+                          std::uint64_t begin_ns);
 
   ArtifactStore store_;
 };

@@ -1,0 +1,358 @@
+// Observability layer: histogram bucketing and shard merging, span tracing
+// (nesting, thread attribution, ring overflow), Chrome-trace JSON
+// well-formedness, manifest schema round-trip, and the determinism contract
+// that tracing never perturbs engine results.
+//
+// Suites are prefixed "Obs" so the CI ThreadSanitizer job's -R filter picks
+// them up (histograms and trace rings are written from pool workers).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "enrich/enrichment.hpp"
+#include "gen/registry.hpp"
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
+#include "obs/trace.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace {
+
+using namespace pdf;
+using runtime::Metrics;
+
+// ---- histogram bucketing ----------------------------------------------------
+
+TEST(ObsHistogram, BucketBoundaries) {
+  using H = Metrics::Histogram;
+  EXPECT_EQ(H::bucket_of(0), 0u);
+  EXPECT_EQ(H::bucket_of(1), 1u);
+  EXPECT_EQ(H::bucket_of(2), 2u);
+  EXPECT_EQ(H::bucket_of(3), 2u);
+  EXPECT_EQ(H::bucket_of(4), 3u);
+  EXPECT_EQ(H::bucket_of(7), 3u);
+  EXPECT_EQ(H::bucket_of(8), 4u);
+  EXPECT_EQ(H::bucket_of(~std::uint64_t{0}), 64u);
+
+  // Every bucket's bounds map back into that bucket, and buckets tile the
+  // uint64 range without gaps.
+  for (std::size_t b = 0; b < H::kBuckets; ++b) {
+    EXPECT_EQ(H::bucket_of(H::bucket_lower(b)), b) << "bucket " << b;
+    EXPECT_EQ(H::bucket_of(H::bucket_upper(b)), b) << "bucket " << b;
+    if (b + 1 < H::kBuckets) {
+      EXPECT_EQ(H::bucket_upper(b) + 1, H::bucket_lower(b + 1));
+    }
+  }
+  EXPECT_EQ(H::bucket_upper(64), ~std::uint64_t{0});
+}
+
+TEST(ObsHistogram, RecordAndPercentiles) {
+  Metrics m;
+  auto& h = m.histogram("test.h");
+  // 90 small values in bucket 1, 10 large ones in bucket 7 (64..127).
+  for (int i = 0; i < 90; ++i) h.record(1);
+  for (int i = 0; i < 10; ++i) h.record(100);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.sum, 90u + 1000u);
+  EXPECT_EQ(s.max, 100u);
+  EXPECT_EQ(s.p50(), 1u);   // bucket 1 upper bound
+  EXPECT_EQ(s.p90(), 1u);   // rank 90 still lands in bucket 1
+  EXPECT_EQ(s.p99(), 100u); // bucket 7 upper (127) clipped to observed max
+  EXPECT_EQ(s.percentile(1.0), 100u);
+
+  h.reset();
+  const auto z = h.snapshot();
+  EXPECT_EQ(z.count, 0u);
+  EXPECT_EQ(z.percentile(0.5), 0u);
+}
+
+TEST(ObsHistogram, MergeAcrossShards) {
+  // Values recorded from distinct pool workers land in distinct shards; the
+  // snapshot must merge them exactly.
+  Metrics m;
+  auto& h = m.histogram("test.sharded");
+  runtime::ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  pool.parallel_for(kN, 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) h.record(i);
+  });
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, kN);
+  EXPECT_EQ(s.sum, kN * (kN - 1) / 2);
+  EXPECT_EQ(s.max, kN - 1);
+  std::uint64_t bucket_total = 0;
+  for (const auto b : s.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, kN);
+}
+
+TEST(ObsHistogram, DumpAndSnapshotExposure) {
+  Metrics m;
+  m.histogram("test.dump").record(5);
+  const std::string dump = m.dump();
+  EXPECT_NE(dump.find("hist test.dump count 1 sum 5"), std::string::npos)
+      << dump;
+  const auto snap = m.snapshot();
+  ASSERT_EQ(snap.histograms.count("test.dump"), 1u);
+  EXPECT_EQ(snap.histograms.at("test.dump").count, 1u);
+  m.reset();
+  EXPECT_EQ(m.snapshot().histograms.at("test.dump").count, 0u);
+}
+
+// ---- span tracing -----------------------------------------------------------
+
+TEST(ObsTrace, DisabledByDefaultAndSpansAreFree) {
+  EXPECT_FALSE(obs::trace_active());
+  { PDF_TRACE_SPAN("obs.test.noop"); }  // must not crash with no session
+  EXPECT_EQ(obs::active_session(), nullptr);
+}
+
+TEST(ObsTrace, SpanNestingAndThreadAttribution) {
+  obs::TraceSession session;
+  ASSERT_TRUE(session.start());
+  EXPECT_TRUE(obs::trace_active());
+  {
+    PDF_TRACE_SPAN("obs.test.outer");
+    PDF_TRACE_SPAN("obs.test.inner");
+  }
+  runtime::ThreadPool pool(4);
+  pool.parallel_for(64, 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      PDF_TRACE_SPAN("obs.test.worker");
+    }
+  });
+  session.stop();
+  EXPECT_FALSE(obs::trace_active());
+
+  const auto events = session.events();
+  ASSERT_EQ(events.size(), 66u);
+
+  std::size_t outer = 0, inner = 0, worker = 0;
+  std::set<std::uint32_t> worker_tids;
+  const obs::TraceSession::Event* outer_ev = nullptr;
+  const obs::TraceSession::Event* inner_ev = nullptr;
+  for (const auto& ev : events) {
+    const std::string name = ev.name;
+    if (name == "obs.test.outer") {
+      ++outer;
+      outer_ev = &ev;
+    } else if (name == "obs.test.inner") {
+      ++inner;
+      inner_ev = &ev;
+    } else if (name == "obs.test.worker") {
+      ++worker;
+      worker_tids.insert(ev.tid);
+    }
+  }
+  EXPECT_EQ(outer, 1u);
+  EXPECT_EQ(inner, 1u);
+  EXPECT_EQ(worker, 64u);
+  ASSERT_NE(outer_ev, nullptr);
+  ASSERT_NE(inner_ev, nullptr);
+  // Nesting: the outer span opened first and closed last.
+  EXPECT_LE(outer_ev->begin_ns, inner_ev->begin_ns);
+  EXPECT_GE(outer_ev->begin_ns + outer_ev->dur_ns,
+            inner_ev->begin_ns + inner_ev->dur_ns);
+  // The two main-thread spans carry worker_slot 0.
+  EXPECT_EQ(outer_ev->tid, 0u);
+  EXPECT_EQ(inner_ev->tid, 0u);
+  // All 64 iterations were attributed to valid slots; with a 4-participant
+  // pool the tids stay inside the dense slot range.
+  for (const std::uint32_t tid : worker_tids) {
+    EXPECT_LT(tid, runtime::kMaxWorkerSlots);
+  }
+  EXPECT_EQ(session.dropped(), 0u);
+}
+
+TEST(ObsTrace, RingDropsOldestWhenFull) {
+  obs::TraceSession session;
+  ASSERT_TRUE(session.start(/*ring_capacity=*/8));
+  for (int i = 0; i < 20; ++i) {
+    PDF_TRACE_SPAN("obs.test.ring");
+  }
+  session.stop();
+  EXPECT_EQ(session.events().size(), 8u);
+  EXPECT_EQ(session.dropped(), 12u);
+  // The 12 oldest events were overwritten; survivors come back begin-sorted.
+  const auto events = session.events();
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].begin_ns, events[i].begin_ns);
+  }
+}
+
+TEST(ObsTrace, OnlyOneSessionAtATime) {
+  obs::TraceSession a;
+  obs::TraceSession b;
+  ASSERT_TRUE(a.start());
+  EXPECT_FALSE(b.start());
+  a.stop();
+  EXPECT_TRUE(b.start());
+  b.stop();
+}
+
+TEST(ObsTrace, ChromeJsonParsesBack) {
+  obs::TraceSession session;
+  ASSERT_TRUE(session.start());
+  {
+    PDF_TRACE_SPAN("obs.test.chrome");
+  }
+  const char* interned = session.intern("obs.test.\"quoted\"");
+  session.record(interned, obs::trace_now_ns(), obs::trace_now_ns() + 1500);
+  session.stop();
+
+  const obs::Json doc = obs::Json::parse(session.chrome_json());
+  ASSERT_TRUE(doc.contains("traceEvents"));
+  const auto& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 2u);
+  std::set<std::string> names;
+  for (const auto& ev : events) {
+    // The fields Perfetto / chrome://tracing require of complete events.
+    EXPECT_EQ(ev.at("ph").as_string(), "X");
+    EXPECT_GE(ev.at("ts").as_double(), 0.0);
+    EXPECT_GE(ev.at("dur").as_double(), 0.0);
+    EXPECT_EQ(ev.at("pid").as_int(), 1);
+    EXPECT_GE(ev.at("tid").as_int(), 0);
+    names.insert(ev.at("name").as_string());
+  }
+  EXPECT_TRUE(names.count("obs.test.chrome"));
+  EXPECT_TRUE(names.count("obs.test.\"quoted\""));
+}
+
+// ---- JSON round-trip --------------------------------------------------------
+
+TEST(ObsJson, RoundTripScalarsAndContainers) {
+  obs::Json doc;
+  doc["null"] = obs::Json(nullptr);
+  doc["flag"] = true;
+  doc["int"] = std::int64_t{-42};
+  doc["big"] = std::uint64_t{1} << 62;
+  doc["pi"] = 3.25;
+  doc["text"] = "line1\nline2\t\"quoted\" \\slash";
+  obs::Json arr;
+  arr.push_back(1);
+  arr.push_back("two");
+  arr.push_back(obs::Json(false));
+  doc["arr"] = std::move(arr);
+
+  const obs::Json back = obs::Json::parse(doc.dump());
+  EXPECT_TRUE(back.at("null").is_null());
+  EXPECT_TRUE(back.at("flag").as_bool());
+  EXPECT_EQ(back.at("int").as_int(), -42);
+  EXPECT_EQ(back.at("big").as_int(), std::int64_t{1} << 62);
+  EXPECT_DOUBLE_EQ(back.at("pi").as_double(), 3.25);
+  EXPECT_EQ(back.at("text").as_string(), "line1\nline2\t\"quoted\" \\slash");
+  EXPECT_EQ(back.at("arr").as_array().size(), 3u);
+  EXPECT_EQ(back.at("arr").as_array()[1].as_string(), "two");
+  // Re-dump is byte-stable (sorted keys, exact ints).
+  EXPECT_EQ(back.dump(), doc.dump());
+}
+
+TEST(ObsJson, RejectsMalformedInput) {
+  EXPECT_THROW(obs::Json::parse("{"), obs::JsonError);
+  EXPECT_THROW(obs::Json::parse("[1,]"), obs::JsonError);
+  EXPECT_THROW(obs::Json::parse("{\"a\":1} trailing"), obs::JsonError);
+  EXPECT_THROW(obs::Json::parse("\"unterminated"), obs::JsonError);
+  EXPECT_THROW(obs::Json::parse("nul"), obs::JsonError);
+  EXPECT_THROW(obs::Json::parse(""), obs::JsonError);
+}
+
+// ---- run manifest -----------------------------------------------------------
+
+TEST(ObsManifest, SchemaRoundTrip) {
+  // Populate the global registry with one metric of each kind so the
+  // manifest has something from every map.
+  auto& g = Metrics::global();
+  g.counter("obstest.counter").add(7);
+  { auto scope = g.timer("obstest.timer").measure(); }
+  g.histogram("obstest.hist").record(33);
+
+  obs::RunInfo info;
+  info.bench = "obs_unit_test";
+  info.seed = 99;
+  info.n_p = 4000;
+  info.n_p0 = 300;
+  info.threads = 2;
+  info.store_enabled = true;
+  info.store_dir = ".artifact-store";
+  info.circuits.emplace_back("s27", 0.125);
+  info.trace_events = 5;
+  info.trace_dropped = 1;
+
+  const std::string path = "obs_manifest_test.json";
+  ASSERT_TRUE(obs::write_run_manifest(path, info));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::remove(path.c_str());
+
+  const obs::Json doc = obs::Json::parse(buf.str());
+  EXPECT_EQ(doc.at("schema").as_string(), "pdf.run_manifest/1");
+  EXPECT_EQ(doc.at("bench").as_string(), "obs_unit_test");
+  EXPECT_EQ(doc.at("params").at("seed").as_int(), 99);
+  EXPECT_EQ(doc.at("params").at("n_p").as_int(), 4000);
+  EXPECT_EQ(doc.at("params").at("n_p0").as_int(), 300);
+  EXPECT_EQ(doc.at("params").at("threads").as_int(), 2);
+  EXPECT_TRUE(doc.at("build").contains("compiler"));
+
+  const auto& circuits = doc.at("circuits").as_array();
+  ASSERT_EQ(circuits.size(), 1u);
+  EXPECT_EQ(circuits[0].at("circuit").as_string(), "s27");
+  EXPECT_DOUBLE_EQ(circuits[0].at("seconds").as_double(), 0.125);
+
+  const obs::Json& metrics = doc.at("metrics");
+  EXPECT_GE(metrics.at("counters").at("obstest.counter").as_int(), 7);
+  EXPECT_GE(metrics.at("timers").at("obstest.timer").at("calls").as_int(), 1);
+  const obs::Json& h = metrics.at("histograms").at("obstest.hist");
+  EXPECT_GE(h.at("count").as_int(), 1);
+  EXPECT_GE(h.at("max").as_int(), 33);
+  for (const char* field : {"count", "sum", "p50", "p90", "p99", "max"}) {
+    EXPECT_TRUE(h.contains(field)) << field;
+  }
+
+  EXPECT_TRUE(doc.at("store").contains("hits"));
+  EXPECT_TRUE(doc.at("store").contains("misses"));
+  EXPECT_EQ(doc.at("trace").at("events").as_int(), 5);
+  EXPECT_EQ(doc.at("trace").at("dropped").as_int(), 1);
+}
+
+// ---- determinism ------------------------------------------------------------
+
+TEST(ObsDeterminism, TracingDoesNotPerturbResults) {
+  const Netlist nl = benchmark_circuit("s27");
+  TargetSetConfig tcfg;
+  tcfg.n_p = 50;
+  tcfg.n_p0 = 20;
+  GeneratorConfig gcfg;
+  gcfg.heuristic = CompactionHeuristic::Value;
+
+  const EnrichmentWorkbench wb(nl, tcfg, nullptr);
+  const GenerationResult plain = wb.run_enriched(gcfg);
+
+  obs::TraceSession session;
+  ASSERT_TRUE(session.start());
+  const GenerationResult traced = wb.run_enriched(gcfg);
+  session.stop();
+
+  ASSERT_EQ(traced.tests.size(), plain.tests.size());
+  for (std::size_t i = 0; i < plain.tests.size(); ++i) {
+    ASSERT_EQ(traced.tests[i].pi_values.size(), plain.tests[i].pi_values.size());
+    for (std::size_t j = 0; j < plain.tests[i].pi_values.size(); ++j) {
+      EXPECT_TRUE(traced.tests[i].pi_values[j] == plain.tests[i].pi_values[j]);
+    }
+  }
+  EXPECT_EQ(traced.detected_p0, plain.detected_p0);
+  EXPECT_EQ(traced.detected_p1, plain.detected_p1);
+  // And the instrumented run actually recorded engine spans.
+  bool saw_engine_span = false;
+  for (const auto& ev : session.events()) {
+    if (std::string(ev.name) == "enrich.run_enriched") saw_engine_span = true;
+  }
+  EXPECT_TRUE(saw_engine_span);
+}
+
+}  // namespace
