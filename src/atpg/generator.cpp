@@ -107,6 +107,7 @@ class Generator {
       }
 
       drop_detected(*test);
+      result_.primary_targets.push_back(primary);
       result_.tests.push_back(std::move(*test));
     }
 

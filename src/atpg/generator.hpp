@@ -78,6 +78,10 @@ struct GenerationResult {
   /// (detected_p1 is empty when only one set was passed).
   std::vector<bool> detected_p0;
   std::vector<bool> detected_p1;
+  /// tests[i] was generated for sets[0]'s fault primary_targets[i] (an index
+  /// into the p0 span). Lets checkers verify the metamorphic invariant that
+  /// every generated test robustly detects the fault it was built for.
+  std::vector<std::size_t> primary_targets;
   GenerationStats stats;
 
   std::size_t detected_p0_count() const;

@@ -105,10 +105,20 @@ FaultRequirements build_requirements(const Netlist& nl, const PathDelayFault& f,
     if (c.has_value()) {
       const V3 nc = not3(*c);
       const V3 final_on_path = rising ? V3::One : V3::Zero;
+#ifdef PATHDELAY_MUTATION_WRONG_SIDE_INPUT
+      // Seeded bug (mutation testing only): the robust steady-vs-final-only
+      // decision is inverted, relaxing exactly the constraints that make a
+      // transition-to-controlling detection robust.
+      const Triple off_req =
+          (sens == Sensitization::Robust && final_on_path != *c)
+              ? steady(nc)
+              : final_only(nc);
+#else
       const Triple off_req =
           (sens == Sensitization::Robust && final_on_path == *c)
               ? steady(nc)
               : final_only(nc);
+#endif
       for (NodeId side : g.fanin) {
         if (side == on_path) continue;
         require(side, off_req);

@@ -169,7 +169,17 @@ std::vector<bool> ParallelFaultSimulator::detects_any(
   if (tests.empty()) return out;
   const DetectionMatrix matrix = detection_matrix(tests, faults);
   for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+#ifdef PATHDELAY_MUTATION_DROPPED_COVERAGE_UNION
+    // Seeded bug (mutation testing only): the last test is dropped from the
+    // union, so coverage attributable solely to it goes missing.
+    bool any = false;
+    for (std::size_t ti = 0; ti + 1 < tests.size(); ++ti) {
+      any = any || matrix.bit(fi, ti);
+    }
+    out[fi] = any;
+#else
     out[fi] = matrix.any(fi);
+#endif
   }
   return out;
 }

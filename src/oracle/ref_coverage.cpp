@@ -1,0 +1,66 @@
+// Set-based coverage accounting: detection decided per (test, fault) pair by
+// the definitional detects_any, counts aggregated with std::map.
+#include <map>
+
+#include "oracle/oracle.hpp"
+
+namespace pdf::oracle {
+
+std::size_t count_detected(const Netlist& nl,
+                           std::span<const TwoPatternTest> tests,
+                           std::span<const PathDelayFault> faults) {
+  std::size_t n = 0;
+  for (const bool d : detects_any(nl, tests, faults)) {
+    if (d) ++n;
+  }
+  return n;
+}
+
+std::vector<RefCoverageBucket> coverage_by_length(
+    const Netlist& nl, std::span<const TwoPatternTest> tests,
+    std::span<const PathDelayFault> faults) {
+  const std::vector<bool> detected = detects_any(nl, tests, faults);
+  // Descending length order via std::greater keys.
+  std::map<int, RefCoverageBucket, std::greater<int>> buckets;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const int len = complete_path_length(nl, faults[i].path.nodes);
+    RefCoverageBucket& b = buckets[len];
+    b.length = len;
+    b.total += 1;
+    if (detected[i]) b.detected += 1;
+  }
+  std::vector<RefCoverageBucket> out;
+  out.reserve(buckets.size());
+  for (const auto& [len, b] : buckets) out.push_back(b);
+  return out;
+}
+
+namespace {
+
+/// One plane of the cover relation: an unknown requirement asks nothing; a
+/// specified requirement is guaranteed only by the identical specified value.
+bool plane_covers(V3 have, V3 want) { return want == V3::X || have == want; }
+
+}  // namespace
+
+std::size_t delta_count(std::span<const ValueRequirement> have,
+                        std::span<const ValueRequirement> want) {
+  std::size_t n = 0;
+  for (const auto& w : want) {
+    // A line `have` says nothing about carries the all-unknown triple.
+    Triple h;
+    for (const auto& entry : have) {
+      if (entry.line == w.line) {
+        h = entry.value;
+        break;
+      }
+    }
+    const bool guaranteed = plane_covers(h.a1, w.value.a1) &&
+                            plane_covers(h.a2, w.value.a2) &&
+                            plane_covers(h.a3, w.value.a3);
+    if (!guaranteed) ++n;
+  }
+  return n;
+}
+
+}  // namespace pdf::oracle

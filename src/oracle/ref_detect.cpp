@@ -1,0 +1,225 @@
+// Robust detection decided from the definition of A(p) (paper Section 2.1).
+//
+// The requirement list is re-derived here from first principles: the
+// controlling value of a gate is found by probing both binary values against
+// every completion of the remaining inputs, and the transition direction at a
+// gate output is obtained by evaluating the gate under the final pattern —
+// no use of the production gate metadata (controlling_value/is_inverting) or
+// of the triple-algebra helpers (covers/merge).
+#include <map>
+#include <stdexcept>
+
+#include "oracle/oracle.hpp"
+
+namespace pdf::oracle {
+namespace {
+
+bool plane_conflicts(V3 a, V3 b) {
+  return a != V3::X && b != V3::X && a != b;
+}
+
+V3 plane_merge(V3 a, V3 b) { return a == V3::X ? b : a; }
+
+/// Binary evaluation of a gate whose inputs are all specified.
+bool eval_binary(GateType t, const std::vector<bool>& fanin) {
+  std::vector<V3> v(fanin.size());
+  for (std::size_t i = 0; i < fanin.size(); ++i) {
+    v[i] = fanin[i] ? V3::One : V3::Zero;
+  }
+  const V3 out = eval_gate_definitional(t, v);
+  if (out == V3::X) throw std::logic_error("oracle: binary eval returned x");
+  return out == V3::One;
+}
+
+/// The controlling value of a multi-input gate, by probing: `v` is
+/// controlling when pinning any single input to `v` fixes the output over
+/// every completion of the others. Unary gates have no side inputs, so the
+/// notion (and the off-path constraint it implies) does not apply.
+std::optional<bool> probe_controlling_value(GateType t, std::size_t arity) {
+  if (arity < 2) return std::nullopt;
+  for (const bool v : {false, true}) {
+    std::vector<bool> fanin(arity);
+    bool constant = true;
+    bool first = true;
+    bool fixed = false;
+    const std::size_t completions = std::size_t{1} << (arity - 1);
+    for (std::size_t code = 0; code < completions && constant; ++code) {
+      fanin[0] = v;
+      for (std::size_t k = 1; k < arity; ++k) fanin[k] = (code >> (k - 1)) & 1;
+      const bool out = eval_binary(t, fanin);
+      if (first) {
+        fixed = out;
+        first = false;
+      } else if (out != fixed) {
+        constant = false;
+      }
+    }
+    if (constant) return v;
+  }
+  return std::nullopt;
+}
+
+struct Merger {
+  std::map<NodeId, Triple> values;
+  bool conflicting = false;
+
+  void require(NodeId line, const Triple& v) {
+    auto [it, inserted] = values.emplace(line, v);
+    if (inserted) return;
+    Triple& have = it->second;
+    if (plane_conflicts(have.a1, v.a1) || plane_conflicts(have.a2, v.a2) ||
+        plane_conflicts(have.a3, v.a3)) {
+      // Contradiction: keep the earlier value (the production merge rule) and
+      // flag the fault undetectable.
+      conflicting = true;
+      return;
+    }
+    have = Triple{plane_merge(have.a1, v.a1), plane_merge(have.a2, v.a2),
+                  plane_merge(have.a3, v.a3)};
+  }
+};
+
+Triple transition_triple(bool rising) {
+  return rising ? Triple{V3::Zero, V3::X, V3::One}
+                : Triple{V3::One, V3::X, V3::Zero};
+}
+
+}  // namespace
+
+RefRequirements requirements_by_definition(const Netlist& nl,
+                                           const PathDelayFault& f) {
+  const auto& nodes = f.path.nodes;
+  if (nodes.empty()) throw std::invalid_argument("oracle: empty path");
+  if (nl.node(nodes.front()).type != GateType::Input) {
+    throw std::invalid_argument("oracle: path must start at a primary input");
+  }
+
+  Merger merged;
+  bool rising = f.rising_source;
+  merged.require(nodes.front(), transition_triple(rising));
+
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    const NodeId on_path = nodes[i];
+    const Node& gate = nl.node(nodes[i + 1]);
+    if (!is_primitive_logic(gate.type)) {
+      throw std::invalid_argument("oracle: path crosses non-primitive gate " +
+                                  gate.name);
+    }
+    bool connected = false;
+    for (NodeId fi : gate.fanin) connected = connected || fi == on_path;
+    if (!connected) {
+      throw std::runtime_error("oracle: consecutive path nodes not connected");
+    }
+
+    const bool final_on_path = rising;  // 0x1 ends at 1, 1x0 ends at 0
+    const std::optional<bool> c =
+        probe_controlling_value(gate.type, gate.fanin.size());
+    if (c.has_value()) {
+      const V3 nc = *c ? V3::Zero : V3::One;
+      // Transition ending at the controlling value: any off-path activity
+      // could fire the gate early, so the side inputs must be provably steady
+      // at non-controlling. Ending at the non-controlling value: the initial
+      // controlling on-path value pins the output, so only the final values
+      // of the side inputs matter.
+      const Triple off = final_on_path == *c ? Triple{nc, nc, nc}
+                                             : Triple{V3::X, V3::X, nc};
+      for (NodeId side : gate.fanin) {
+        if (side == on_path) continue;
+        merged.require(side, off);
+      }
+    }
+
+    // Direction of the propagated transition: evaluate the gate under the
+    // final pattern (on-path input at its final value, side inputs at their
+    // required non-controlling final value; unary gates have no sides).
+    std::vector<bool> final_fanin(gate.fanin.size());
+    for (std::size_t k = 0; k < gate.fanin.size(); ++k) {
+      final_fanin[k] =
+          gate.fanin[k] == on_path ? final_on_path : (c.has_value() && !*c);
+    }
+    rising = eval_binary(gate.type, final_fanin);
+    merged.require(nodes[i + 1], transition_triple(rising));
+  }
+
+  if (!nl.node(nodes.back()).is_output) {
+    throw std::invalid_argument("oracle: path must end at an output");
+  }
+
+  RefRequirements out;
+  out.conflicting = merged.conflicting;
+  out.values.reserve(merged.values.size());
+  for (const auto& [line, value] : merged.values) {
+    out.values.push_back(ValueRequirement{line, value});
+  }
+  return out;
+}
+
+namespace {
+
+bool satisfies(std::span<const Triple> simulated,
+               std::span<const ValueRequirement> reqs) {
+  for (const auto& r : reqs) {
+    const Triple have = simulated[r.line];
+    const Triple want = r.value;
+    if (want.a1 != V3::X && have.a1 != want.a1) return false;
+    if (want.a2 != V3::X && have.a2 != want.a2) return false;
+    if (want.a3 != V3::X && have.a3 != want.a3) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool detects(const Netlist& nl, const TwoPatternTest& t, const PathDelayFault& f) {
+  const RefRequirements reqs = requirements_by_definition(nl, f);
+  if (reqs.conflicting) return false;
+  const std::vector<Triple> simulated = simulate(nl, t.pi_values);
+  return satisfies(simulated, reqs.values);
+}
+
+std::optional<TwoPatternTest> find_robust_test(const Netlist& nl,
+                                               const PathDelayFault& f,
+                                               std::size_t max_inputs) {
+  const std::size_t n = nl.inputs().size();
+  if (n > max_inputs) {
+    throw std::invalid_argument("oracle: too many inputs for exhaustion");
+  }
+  const RefRequirements reqs = requirements_by_definition(nl, f);
+  if (reqs.conflicting) return std::nullopt;
+
+  TwoPatternTest t;
+  t.pi_values.resize(n);
+  const std::size_t total = std::size_t{1} << (2 * n);
+  for (std::size_t code = 0; code < total; ++code) {
+    std::size_t c = code;
+    for (std::size_t i = 0; i < n; ++i) {
+      const V3 v1 = (c & 1) ? V3::One : V3::Zero;
+      const V3 v3 = (c & 2) ? V3::One : V3::Zero;
+      c >>= 2;
+      t.pi_values[i] = Triple{v1, v1 == v3 ? v1 : V3::X, v3};
+    }
+    const std::vector<Triple> simulated = simulate(nl, t.pi_values);
+    if (satisfies(simulated, reqs.values)) return t;
+  }
+  return std::nullopt;
+}
+
+std::vector<bool> detects_any(const Netlist& nl,
+                              std::span<const TwoPatternTest> tests,
+                              std::span<const PathDelayFault> faults) {
+  std::vector<RefRequirements> reqs;
+  reqs.reserve(faults.size());
+  for (const auto& f : faults) reqs.push_back(requirements_by_definition(nl, f));
+
+  std::vector<bool> detected(faults.size(), false);
+  for (const auto& t : tests) {
+    const std::vector<Triple> simulated = simulate(nl, t.pi_values);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (detected[i] || reqs[i].conflicting) continue;
+      if (satisfies(simulated, reqs[i].values)) detected[i] = true;
+    }
+  }
+  return detected;
+}
+
+}  // namespace pdf::oracle

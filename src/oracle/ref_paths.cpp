@@ -1,0 +1,64 @@
+// Exhaustive path enumeration by naive recursion, with lengths recomputed
+// from the line-counting definition (paper Section 3.1 / ISCAS convention).
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+#include "oracle/oracle.hpp"
+
+namespace pdf::oracle {
+
+int consumers(const Netlist& nl, NodeId id) {
+  // Recounted from the fanin lists (per occurrence, so a gate using the same
+  // driver twice consumes it twice) instead of trusting the netlist's
+  // precomputed fanout lists.
+  int n = 0;
+  for (NodeId g = 0; g < nl.node_count(); ++g) {
+    for (NodeId f : nl.node(g).fanin) {
+      if (f == id) ++n;
+    }
+  }
+  if (nl.node(id).is_output) ++n;
+  return n;
+}
+
+int complete_path_length(const Netlist& nl, std::span<const NodeId> nodes) {
+  if (nodes.empty()) throw std::invalid_argument("oracle: empty path");
+  if (!nl.node(nodes.back()).is_output) {
+    throw std::invalid_argument("oracle: path does not end at an output");
+  }
+  int length = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    length += 1;  // the stem line out of nodes[i]
+    // Crossing from nodes[i] to its consumer (the next node, or the output
+    // tap at the end) traverses a branch line when the stem splits.
+    if (consumers(nl, nodes[i]) > 1) length += 1;
+  }
+  return length;
+}
+
+std::vector<RefPath> all_complete_paths(const Netlist& nl, std::size_t cap) {
+  if (!nl.finalized()) throw std::logic_error("oracle: netlist not finalized");
+  std::vector<RefPath> out;
+  std::vector<NodeId> current;
+
+  std::function<void(NodeId)> grow = [&](NodeId at) {
+    current.push_back(at);
+    if (nl.node(at).is_output) {
+      if (out.size() >= cap) {
+        throw std::runtime_error("oracle: path count exceeds cap");
+      }
+      out.push_back(RefPath{current, complete_path_length(nl, current)});
+    }
+    for (NodeId next : nl.node(at).fanout) grow(next);
+    current.pop_back();
+  };
+  for (NodeId pi : nl.inputs()) grow(pi);
+
+  std::stable_sort(out.begin(), out.end(), [](const RefPath& a, const RefPath& b) {
+    return a.length > b.length;
+  });
+  return out;
+}
+
+}  // namespace pdf::oracle

@@ -1,0 +1,119 @@
+// Definitional simulation: gate evaluation by enumerating binary
+// completions, netlist evaluation by memoized recursion.
+#include <functional>
+#include <stdexcept>
+
+#include "oracle/oracle.hpp"
+
+namespace pdf::oracle {
+namespace {
+
+/// Pure binary gate function, written from the textbook definition of each
+/// gate (no controlling-value shortcuts).
+bool eval_gate_binary(GateType t, const std::vector<bool>& fanin) {
+  switch (t) {
+    case GateType::Buf:
+      return fanin[0];
+    case GateType::Not:
+      return !fanin[0];
+    case GateType::And:
+    case GateType::Nand: {
+      bool all = true;
+      for (bool v : fanin) all = all && v;
+      return t == GateType::And ? all : !all;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      bool any = false;
+      for (bool v : fanin) any = any || v;
+      return t == GateType::Or ? any : !any;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      bool parity = false;
+      for (bool v : fanin) parity = parity != v;
+      return t == GateType::Xor ? parity : !parity;
+    }
+    default:
+      throw std::invalid_argument("oracle: cannot evaluate gate type");
+  }
+}
+
+}  // namespace
+
+V3 eval_gate_definitional(GateType t, std::span<const V3> fanin) {
+  std::vector<std::size_t> unknowns;
+  for (std::size_t i = 0; i < fanin.size(); ++i) {
+    if (fanin[i] == V3::X) unknowns.push_back(i);
+  }
+  if (unknowns.size() > 20) {
+    throw std::invalid_argument("oracle: too many unknown fanins to enumerate");
+  }
+  std::vector<bool> bits(fanin.size());
+  for (std::size_t i = 0; i < fanin.size(); ++i) bits[i] = fanin[i] == V3::One;
+
+  bool saw0 = false;
+  bool saw1 = false;
+  const std::size_t completions = std::size_t{1} << unknowns.size();
+  for (std::size_t code = 0; code < completions; ++code) {
+    for (std::size_t k = 0; k < unknowns.size(); ++k) {
+      bits[unknowns[k]] = (code >> k) & 1;
+    }
+    (eval_gate_binary(t, bits) ? saw1 : saw0) = true;
+    if (saw0 && saw1) return V3::X;
+  }
+  return saw1 ? V3::One : V3::Zero;
+}
+
+std::vector<V3> simulate_plane(const Netlist& nl, std::span<const V3> pi_values) {
+  if (!nl.finalized()) throw std::logic_error("oracle: netlist not finalized");
+  if (pi_values.size() != nl.inputs().size()) {
+    throw std::invalid_argument("oracle: wrong PI value count");
+  }
+  std::vector<V3> value(nl.node_count(), V3::X);
+  std::vector<char> known(nl.node_count(), 0);
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    value[nl.inputs()[i]] = pi_values[i];
+    known[nl.inputs()[i]] = 1;
+  }
+
+  std::function<V3(NodeId)> eval = [&](NodeId id) -> V3 {
+    if (known[id]) return value[id];
+    const Node& n = nl.node(id);
+    if (n.type == GateType::Input || n.type == GateType::Dff) {
+      throw std::logic_error("oracle: unvalued source node " + n.name);
+    }
+    std::vector<V3> fanin;
+    fanin.reserve(n.fanin.size());
+    for (NodeId f : n.fanin) fanin.push_back(eval(f));
+    value[id] = eval_gate_definitional(n.type, fanin);
+    known[id] = 1;
+    return value[id];
+  };
+  for (NodeId id = 0; id < nl.node_count(); ++id) eval(id);
+  return value;
+}
+
+std::vector<Triple> simulate(const Netlist& nl, std::span<const Triple> pi_values) {
+  std::vector<V3> p1(pi_values.size());
+  std::vector<V3> p2(pi_values.size());
+  std::vector<V3> p3(pi_values.size());
+  // PI triples are taken verbatim — deriving the intermediate value from the
+  // pattern planes is the job of whoever builds the test (pi_triple /
+  // TwoPatternTest), and the engines under test receive the same triples.
+  for (std::size_t i = 0; i < pi_values.size(); ++i) {
+    p1[i] = pi_values[i].a1;
+    p2[i] = pi_values[i].a2;
+    p3[i] = pi_values[i].a3;
+  }
+  const std::vector<V3> v1 = simulate_plane(nl, p1);
+  const std::vector<V3> v2 = simulate_plane(nl, p2);
+  const std::vector<V3> v3 = simulate_plane(nl, p3);
+  std::vector<Triple> out(nl.node_count());
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    out[id] = Triple{v1[id], v2[id], v3[id]};
+  }
+  return out;
+}
+
+}  // namespace pdf::oracle

@@ -51,7 +51,13 @@ int LineDelayModel::complete_length(std::span<const NodeId> nodes) const {
   if (!nl_->node(last).is_output) {
     throw std::logic_error("complete_length: path does not end at an output");
   }
+#ifdef PATHDELAY_MUTATION_PATH_LENGTH_OFF_BY_ONE
+  // Seeded bug (mutation testing only): the branch line at the final
+  // output tap is dropped, shortening every path ending at a fanout stem.
+  return partial_length(nodes);
+#else
   return partial_length(nodes) + branch_cost(last);
+#endif
 }
 
 LineDelayModel random_delay_model(const Netlist& nl, int min_delay,

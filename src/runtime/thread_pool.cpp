@@ -22,11 +22,35 @@ Metrics::Counter& chunk_counter() {
   return c;
 }
 
-// Slot 0 is the main/external thread; pool workers draw unique slots from
-// this counter for the whole process lifetime (slots are not recycled when a
-// pool is destroyed — kMaxWorkerSlots bounds the total).
+// Slot 0 is the main/external thread; pool workers draw unique slots from a
+// free list refilled when workers exit, falling back to this counter. A
+// dying worker's slot is only handed out after its pool joined it (release
+// runs before the thread returns, acquire goes through the same mutex), so
+// two live threads never share a slot and kMaxWorkerSlots bounds the
+// *concurrent* worker count, not the number of pool re-creations — a
+// long-lived process may resize the global pool freely (the pdf_check
+// thread-determinism fuzz does so thousands of times).
 std::atomic<std::size_t> g_next_slot{1};
+std::mutex g_slot_mu;
+std::vector<std::size_t> g_free_slots;
 thread_local std::size_t t_worker_slot = 0;
+
+std::size_t acquire_worker_slot() {
+  {
+    std::lock_guard<std::mutex> lk(g_slot_mu);
+    if (!g_free_slots.empty()) {
+      const std::size_t slot = g_free_slots.back();
+      g_free_slots.pop_back();
+      return slot;
+    }
+  }
+  return g_next_slot.fetch_add(1, std::memory_order_relaxed);
+}
+
+void release_worker_slot(std::size_t slot) {
+  std::lock_guard<std::mutex> lk(g_slot_mu);
+  g_free_slots.push_back(slot);
+}
 
 // Depth of pool tasks on this thread; > 0 means a parallel_for here is
 // nested and must run inline.
@@ -59,9 +83,9 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_main(std::size_t ordinal) {
-  t_worker_slot = g_next_slot.fetch_add(1, std::memory_order_relaxed);
+  t_worker_slot = acquire_worker_slot();
   if (t_worker_slot >= kMaxWorkerSlots) {
-    // Unreachable in practice (requires ~1k pool re-creations); fail loudly
+    // Requires more than kMaxWorkerSlots concurrent workers; fail loudly
     // rather than risk two live threads sharing per-worker state.
     std::terminate();
   }
@@ -70,7 +94,10 @@ void ThreadPool::worker_main(std::size_t ordinal) {
     {
       std::unique_lock<std::mutex> lk(mu_);
       wake_cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
-      if (stop_) return;
+      if (stop_) {
+        release_worker_slot(t_worker_slot);
+        return;
+      }
       seen = epoch_;
     }
     work(ordinal + 1);

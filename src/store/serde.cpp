@@ -246,6 +246,8 @@ void encode(ByteWriter& w, const GenerationResult& g) {
   for (const std::vector<bool>& set : g.detected) encode_bool_vector(w, set);
   encode_bool_vector(w, g.detected_p0);
   encode_bool_vector(w, g.detected_p1);
+  w.u64(g.primary_targets.size());
+  for (std::size_t t : g.primary_targets) w.u64(t);
   w.u64(g.stats.primary_attempts);
   w.u64(g.stats.primary_failures);
   w.u64(g.stats.secondary_accepted);
@@ -269,6 +271,9 @@ GenerationResult decode_generation_result(ByteReader& r) {
   }
   g.detected_p0 = decode_bool_vector(r);
   g.detected_p1 = decode_bool_vector(r);
+  const std::uint64_t targets = r.length(r.u64());
+  g.primary_targets.reserve(targets);
+  for (std::uint64_t i = 0; i < targets; ++i) g.primary_targets.push_back(r.u64());
   g.stats.primary_attempts = r.u64();
   g.stats.primary_failures = r.u64();
   g.stats.secondary_accepted = r.u64();

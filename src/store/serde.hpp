@@ -326,7 +326,8 @@ struct Serde<TargetSets> {
 template <>
 struct Serde<GenerationResult> {
   static constexpr std::string_view kind = "generation_result";
-  static constexpr std::uint16_t version = 1;
+  // v2: added primary_targets between the detection flags and the stats.
+  static constexpr std::uint16_t version = 2;
   static void put(ByteWriter& w, const GenerationResult& v) { encode(w, v); }
   static GenerationResult get(ByteReader& r) {
     return decode_generation_result(r);

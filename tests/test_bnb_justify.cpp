@@ -9,7 +9,7 @@
 #include "gen/registry.hpp"
 #include "paths/enumerate.hpp"
 #include "sim/triple_sim.hpp"
-#include "tests/test_helpers.hpp"
+#include "testutil/circuits.hpp"
 
 namespace pdf {
 namespace {
@@ -23,7 +23,7 @@ std::vector<TargetFault> screened_faults(const Netlist& nl) {
 }
 
 TEST(BnbJustify, SatisfiableWithWitness) {
-  const Netlist nl = testing::tiny_and_or();
+  const Netlist nl = testutil::tiny_and_or();
   BnbJustifier bnb(nl);
   const ValueRequirement reqs[] = {{nl.id_of("y"), kRise}};
   const BnbResult r = bnb.justify(reqs);
@@ -34,7 +34,7 @@ TEST(BnbJustify, SatisfiableWithWitness) {
 }
 
 TEST(BnbJustify, ProvesUnsatisfiability) {
-  const Netlist nl = testing::reconvergent();
+  const Netlist nl = testutil::reconvergent();
   BnbJustifier bnb(nl);
   const ValueRequirement reqs[] = {
       {nl.id_of("p"), kSteady1},
@@ -55,7 +55,7 @@ TEST(BnbJustify, ExactOnSmallCircuits) {
   BnbConfig cfg;
   cfg.max_backtracks = 100000;
   for (int iter = 0; iter < 60 && circuits < 10; ++iter) {
-    const Netlist nl = testing::random_small_netlist(rng);
+    const Netlist nl = testutil::random_small_netlist(rng);
     if (nl.inputs().size() > 5) continue;
     ++circuits;
     BnbJustifier bnb(nl);
@@ -72,7 +72,7 @@ TEST(BnbJustify, ExactOnSmallCircuits) {
       }
 
       bool exists = false;
-      testing::for_each_binary_test(
+      testutil::for_each_binary_test(
           nl.inputs().size(), [&](const std::vector<Triple>& pis) {
             if (exists) return;
             const auto values = simulate(nl, pis);

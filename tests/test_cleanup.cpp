@@ -5,7 +5,7 @@
 #include "netlist/bench_io.hpp"
 #include "netlist/transform.hpp"
 #include "sim/triple_sim.hpp"
-#include "tests/test_helpers.hpp"
+#include "testutil/circuits.hpp"
 
 namespace pdf {
 namespace {
@@ -110,7 +110,7 @@ TEST(Cleanup, CombinedPassOnDecomposedXor) {
 }
 
 TEST(Cleanup, IdempotentOnCleanNetlist) {
-  const Netlist nl = testing::reconvergent();
+  const Netlist nl = testutil::reconvergent();
   CleanupReport rep;
   const Netlist once = cleanup(nl, &rep);
   EXPECT_EQ(rep.buffers_removed, 0u);

@@ -9,7 +9,7 @@
 #include "gen/registry.hpp"
 #include "sim/event_sim.hpp"
 #include "sim/triple_sim.hpp"
-#include "tests/test_helpers.hpp"
+#include "testutil/circuits.hpp"
 
 namespace pdf {
 namespace {
@@ -80,7 +80,7 @@ void check_structure(const Netlist& nl, const CompiledCircuit& cc) {
 }
 
 TEST(CompiledCircuit, StructureMatchesNetlist) {
-  const Netlist tiny = testing::tiny_and_or();
+  const Netlist tiny = testutil::tiny_and_or();
   check_structure(tiny, CompiledCircuit(tiny));
   for (const char* name : {"s27", "s344_like", "s1196_like"}) {
     const Netlist nl = benchmark_circuit(name);
@@ -88,7 +88,7 @@ TEST(CompiledCircuit, StructureMatchesNetlist) {
   }
   Rng rng(77);
   for (int iter = 0; iter < 20; ++iter) {
-    const Netlist nl = testing::random_small_netlist(rng);
+    const Netlist nl = testutil::random_small_netlist(rng);
     check_structure(nl, CompiledCircuit(nl));
   }
 }
@@ -117,7 +117,7 @@ TEST(CompiledCircuit, DifferentialTripleSimulation) {
   Rng rng(2026);
   SimScratch scratch;
   for (int iter = 0; iter < 40; ++iter) {
-    const Netlist nl = testing::random_small_netlist(rng);
+    const Netlist nl = testutil::random_small_netlist(rng);
     const CompiledCircuit cc(nl);
     std::vector<Triple> pis(nl.inputs().size());
     for (auto& t : pis) {
@@ -137,7 +137,7 @@ TEST(CompiledCircuit, DifferentialPlaneSimulation) {
   Rng rng(4051);
   SimScratch scratch;
   for (int iter = 0; iter < 40; ++iter) {
-    const Netlist nl = testing::random_small_netlist(rng);
+    const Netlist nl = testutil::random_small_netlist(rng);
     const CompiledCircuit cc(nl);
     std::vector<V3> pis(nl.inputs().size());
     for (auto& v : pis) {
@@ -186,7 +186,7 @@ TEST(CompiledCircuit, DifferentialOnGeneratedBenchmarks) {
 TEST(CompiledCircuit, EventSimMatchesFullSimulation) {
   Rng rng(555);
   for (int iter = 0; iter < 20; ++iter) {
-    const Netlist nl = testing::random_small_netlist(rng);
+    const Netlist nl = testutil::random_small_netlist(rng);
     const CompiledCircuit cc(nl);
     EventSim sim(cc);
     std::vector<Triple> pis(nl.inputs().size());
@@ -230,7 +230,7 @@ TEST(CompiledCircuit, ScratchIsReusedAcrossCircuits) {
   // One scratch arena serves circuits of different sizes back to back.
   SimScratch scratch;
   Rng rng(31);
-  const Netlist small = testing::tiny_and_or();
+  const Netlist small = testutil::tiny_and_or();
   const Netlist big = benchmark_circuit("s1196_like");
   const CompiledCircuit cs(small), cb(big);
   std::vector<Triple> pi_small(small.inputs().size(), kRise);
@@ -246,7 +246,7 @@ TEST(CompiledCircuit, ScratchIsReusedAcrossCircuits) {
 }
 
 TEST(CompiledCircuit, WrongPiCountThrows) {
-  const Netlist nl = testing::tiny_and_or();
+  const Netlist nl = testutil::tiny_and_or();
   const CompiledCircuit cc(nl);
   SimScratch scratch;
   std::vector<Triple> pis(2, kSteady0);

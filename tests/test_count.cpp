@@ -4,7 +4,7 @@
 
 #include "gen/registry.hpp"
 #include "paths/enumerate.hpp"
-#include "tests/test_helpers.hpp"
+#include "testutil/circuits.hpp"
 
 namespace pdf {
 namespace {
@@ -24,7 +24,7 @@ TEST(PathCount, MatchesEnumerationOnRandomCircuits) {
   Rng rng(606);
   int checked = 0;
   for (int iter = 0; iter < 30 && checked < 10; ++iter) {
-    const Netlist nl = testing::random_small_netlist(rng);
+    const Netlist nl = testutil::random_small_netlist(rng);
     const PathCounts pc = count_paths(nl);
     if (pc.total > 20000) continue;
     ++checked;

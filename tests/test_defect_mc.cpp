@@ -4,7 +4,7 @@
 
 #include "enrich/enrichment.hpp"
 #include "gen/registry.hpp"
-#include "tests/test_helpers.hpp"
+#include "testutil/circuits.hpp"
 
 namespace pdf {
 namespace {
@@ -19,7 +19,7 @@ TwoPatternTest make_test(const Netlist& nl, std::vector<Triple> vals) {
 TEST(DefectMc, CatchesSlowGateOnSensitizedPath) {
   // tiny_and_or: y = AND(a, b), z = OR(y, c). Test: a rises, b=1, c=0 — the
   // path a->y->z is robustly sensitized. Nominal settle = 2; clock = 3.
-  const Netlist nl = testing::tiny_and_or();
+  const Netlist nl = testutil::tiny_and_or();
   DefectMcConfig cfg;
   cfg.nominal_gate_delay = 1;
   cfg.clock_period = 3;
@@ -36,7 +36,7 @@ TEST(DefectMc, CatchesSlowGateOnSensitizedPath) {
 }
 
 TEST(DefectMc, DefectOffTheSensitizedPathEscapes) {
-  const Netlist nl = testing::tiny_and_or();
+  const Netlist nl = testutil::tiny_and_or();
   DefectMcConfig cfg;
   cfg.nominal_gate_delay = 1;
   cfg.clock_period = 3;
@@ -48,7 +48,7 @@ TEST(DefectMc, DefectOffTheSensitizedPathEscapes) {
 }
 
 TEST(DefectMc, CaughtByAnyAndRates) {
-  const Netlist nl = testing::tiny_and_or();
+  const Netlist nl = testutil::tiny_and_or();
   DefectMcConfig cfg;
   cfg.nominal_gate_delay = 1;
   cfg.clock_period = 3;
@@ -122,7 +122,7 @@ TEST(DefectMc, SamplerIsDeterministicAndBounded) {
 }
 
 TEST(DefectMc, ConfigValidation) {
-  const Netlist nl = testing::tiny_and_or();
+  const Netlist nl = testutil::tiny_and_or();
   DefectMcConfig bad;
   bad.nominal_gate_delay = 0;
   bad.clock_period = 5;

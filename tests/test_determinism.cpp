@@ -16,7 +16,7 @@
 #include "paths/line_cover.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sim/triple_sim.hpp"
-#include "tests/test_helpers.hpp"
+#include "testutil/circuits.hpp"
 
 namespace pdf {
 namespace {

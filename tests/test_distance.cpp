@@ -5,7 +5,7 @@
 #include <functional>
 
 #include "gen/registry.hpp"
-#include "tests/test_helpers.hpp"
+#include "testutil/circuits.hpp"
 
 namespace pdf {
 namespace {
@@ -38,7 +38,7 @@ TEST(Distance, MatchesBruteForceOnS27) {
 TEST(Distance, MatchesBruteForceOnRandomCircuits) {
   Rng rng(4242);
   for (int iter = 0; iter < 20; ++iter) {
-    const Netlist nl = testing::random_small_netlist(rng);
+    const Netlist nl = testutil::random_small_netlist(rng);
     const LineDelayModel dm(nl);
     EXPECT_EQ(distances_to_outputs(dm), brute_distances(dm)) << "iter " << iter;
   }

@@ -8,7 +8,7 @@
 #include "netlist/cleanup.hpp"
 #include "sim/timed_sim.hpp"
 #include "sim/triple_sim.hpp"
-#include "tests/test_helpers.hpp"
+#include "testutil/circuits.hpp"
 
 namespace pdf {
 namespace {
@@ -97,13 +97,13 @@ TEST(EdgeCases, WideGateFanin) {
 }
 
 TEST(EdgeCases, GeneratorDetectedCountOutOfRange) {
-  const Netlist nl = testing::tiny_and_or();
+  const Netlist nl = testutil::tiny_and_or();
   GenerationResult r;
   EXPECT_EQ(r.detected_count(3), 0u);
 }
 
 TEST(EdgeCases, TimedSimConstantInputsProduceConstantWaveforms) {
-  const Netlist nl = testing::reconvergent();
+  const Netlist nl = testutil::reconvergent();
   std::vector<Triple> pis(nl.inputs().size(), kSteady1);
   std::vector<int> sw(nl.inputs().size(), 7);
   std::vector<int> delays(nl.node_count(), 3);

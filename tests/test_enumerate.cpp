@@ -8,7 +8,7 @@
 #include <set>
 
 #include "gen/registry.hpp"
-#include "tests/test_helpers.hpp"
+#include "testutil/circuits.hpp"
 
 namespace pdf {
 namespace {
@@ -99,7 +99,7 @@ TEST(Enumerate, BoundedMatchesBruteOnRandomCircuits) {
   Rng rng(777);
   int checked = 0;
   for (int iter = 0; iter < 40 && checked < 15; ++iter) {
-    const Netlist nl = testing::random_small_netlist(rng);
+    const Netlist nl = testutil::random_small_netlist(rng);
     const LineDelayModel dm(nl);
     const auto brute = brute_complete_paths(dm, 5000);
     if (brute.empty() || brute.size() > 5000) continue;

@@ -7,7 +7,7 @@
 #include "netlist/bench_io.hpp"
 #include "netlist/cleanup.hpp"
 #include "netlist/transform.hpp"
-#include "tests/test_helpers.hpp"
+#include "testutil/circuits.hpp"
 
 namespace pdf {
 namespace {

@@ -4,7 +4,7 @@
 
 #include "gen/registry.hpp"
 #include "sim/triple_sim.hpp"
-#include "tests/test_helpers.hpp"
+#include "testutil/circuits.hpp"
 
 namespace pdf {
 namespace {
@@ -12,7 +12,7 @@ namespace {
 TEST(EventSim, MatchesFullSimulationAfterIncrementalUpdates) {
   Rng rng(99);
   for (int iter = 0; iter < 25; ++iter) {
-    const Netlist nl = testing::random_small_netlist(rng);
+    const Netlist nl = testutil::random_small_netlist(rng);
     EventSim sim(nl);
     std::vector<Triple> pis(nl.inputs().size(), kAllX);
     for (int step = 0; step < 40; ++step) {
@@ -56,7 +56,7 @@ TEST(EventSim, RollbackRestoresEverything) {
 }
 
 TEST(EventSim, NestedTransactions) {
-  const Netlist nl = testing::tiny_and_or();
+  const Netlist nl = testutil::tiny_and_or();
   EventSim sim(nl);
   const std::size_t outer = sim.begin_txn();
   sim.set_pi(0, kSteady1);
@@ -72,7 +72,7 @@ TEST(EventSim, NestedTransactions) {
 }
 
 TEST(EventSim, CommitKeepsChanges) {
-  const Netlist nl = testing::tiny_and_or();
+  const Netlist nl = testutil::tiny_and_or();
   EventSim sim(nl);
   const std::size_t token = sim.begin_txn();
   sim.set_pi(0, kSteady1);
@@ -82,7 +82,7 @@ TEST(EventSim, CommitKeepsChanges) {
 }
 
 TEST(EventSim, ViolationCounting) {
-  const Netlist nl = testing::tiny_and_or();
+  const Netlist nl = testutil::tiny_and_or();
   EventSim sim(nl);
   sim.add_requirement(nl.id_of("y"), kSteady1);
   EXPECT_EQ(sim.violations(), 0);
@@ -101,7 +101,7 @@ TEST(EventSim, ViolationCounting) {
 }
 
 TEST(EventSim, ViolationsRollBackWithValues) {
-  const Netlist nl = testing::tiny_and_or();
+  const Netlist nl = testutil::tiny_and_or();
   EventSim sim(nl);
   sim.add_requirement(nl.id_of("y"), kSteady1);
   const std::size_t token = sim.begin_txn();
@@ -113,7 +113,7 @@ TEST(EventSim, ViolationsRollBackWithValues) {
 }
 
 TEST(EventSim, RequirementMergeTracksCounters) {
-  const Netlist nl = testing::tiny_and_or();
+  const Netlist nl = testutil::tiny_and_or();
   EventSim sim(nl);
   const NodeId z = nl.id_of("z");
   sim.add_requirement(z, kFinal1);
@@ -127,7 +127,7 @@ TEST(EventSim, RequirementMergeTracksCounters) {
 }
 
 TEST(EventSim, RequirementInsideTransactionRollsBack) {
-  const Netlist nl = testing::tiny_and_or();
+  const Netlist nl = testutil::tiny_and_or();
   EventSim sim(nl);
   const std::size_t token = sim.begin_txn();
   sim.add_requirement(nl.id_of("y"), kSteady1);
@@ -138,7 +138,7 @@ TEST(EventSim, RequirementInsideTransactionRollsBack) {
 }
 
 TEST(EventSim, ResetClearsState) {
-  const Netlist nl = testing::tiny_and_or();
+  const Netlist nl = testutil::tiny_and_or();
   EventSim sim(nl);
   sim.set_pi(0, kSteady1);
   sim.add_requirement(nl.id_of("y"), kSteady0);
@@ -152,7 +152,7 @@ TEST(EventSim, ResetClearsState) {
 }
 
 TEST(EventSim, GuardsAgainstMisuse) {
-  const Netlist nl = testing::tiny_and_or();
+  const Netlist nl = testutil::tiny_and_or();
   EventSim sim(nl);
   const std::size_t token = sim.begin_txn();
   EXPECT_THROW(sim.reset(), std::logic_error);

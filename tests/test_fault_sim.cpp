@@ -5,7 +5,7 @@
 #include "gen/registry.hpp"
 #include "sim/triple_sim.hpp"
 #include "paths/enumerate.hpp"
-#include "tests/test_helpers.hpp"
+#include "testutil/circuits.hpp"
 
 namespace pdf {
 namespace {

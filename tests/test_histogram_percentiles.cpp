@@ -1,0 +1,129 @@
+// Property tests for the log2-bucket histogram percentiles.
+//
+// The histogram stores only bucket counts, so a percentile cannot be exact;
+// the contract is that percentile(q) returns the upper bound of the bucket
+// containing the rank-ceil(q*n) sample, clipped to the observed maximum.
+// Against the exact order statistic e that means:
+//   e <= percentile(q) <= bucket_upper(bucket_of(e))
+// i.e. the report brackets the exact percentile from above within one log2
+// bucket, and equals min(bucket_upper(bucket_of(e)), max) exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "runtime/metrics.hpp"
+
+namespace pdf::runtime {
+namespace {
+
+using Histogram = Metrics::Histogram;
+
+/// Exact 1-based rank used by Snapshot::percentile.
+std::uint64_t rank_of(double q, std::uint64_t count) {
+  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(count));
+  if (static_cast<double>(rank) < q * static_cast<double>(count)) ++rank;
+  return rank == 0 ? 1 : rank;
+}
+
+void check_distribution(const std::vector<std::uint64_t>& values,
+                        const char* what) {
+  Histogram h;
+  for (const std::uint64_t v : values) h.record(v);
+  const Histogram::Snapshot snap = h.snapshot();
+  ASSERT_EQ(snap.count, values.size()) << what;
+
+  std::vector<std::uint64_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  ASSERT_EQ(snap.max, sorted.back()) << what;
+
+  for (const double q : {0.0, 0.25, 0.50, 0.90, 0.99, 1.0}) {
+    const std::uint64_t exact = sorted[rank_of(q, snap.count) - 1];
+    const std::uint64_t reported = snap.percentile(q);
+    // Never below the exact order statistic...
+    EXPECT_GE(reported, exact) << what << " q=" << q;
+    // ...never past the top of the exact sample's log2 bucket...
+    EXPECT_LE(reported, Histogram::bucket_upper(Histogram::bucket_of(exact)))
+        << what << " q=" << q;
+    // ...and precisely the documented value.
+    EXPECT_EQ(reported,
+              std::min(Histogram::bucket_upper(Histogram::bucket_of(exact)),
+                       snap.max))
+        << what << " q=" << q;
+  }
+}
+
+TEST(HistogramPercentiles, BucketBoundariesRoundTrip) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  for (std::size_t b = 1; b < Histogram::kBuckets; ++b) {
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_lower(b)), b);
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_upper(b)), b);
+    EXPECT_LE(Histogram::bucket_lower(b), Histogram::bucket_upper(b));
+  }
+}
+
+TEST(HistogramPercentiles, SingleValue) {
+  for (const std::uint64_t v : {std::uint64_t{0}, std::uint64_t{1},
+                                std::uint64_t{7}, std::uint64_t{1} << 40}) {
+    check_distribution({v}, "single value");
+  }
+}
+
+TEST(HistogramPercentiles, EmptyHistogramReportsZero) {
+  Histogram h;
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.p50(), 0u);
+  EXPECT_EQ(snap.p90(), 0u);
+  EXPECT_EQ(snap.p99(), 0u);
+}
+
+TEST(HistogramPercentiles, RandomDistributionsBracketExactPercentiles) {
+  Rng rng(0x4157);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + rng.below(400);
+    std::vector<std::uint64_t> values;
+    values.reserve(n);
+    switch (trial % 4) {
+      case 0:  // uniform small
+        for (std::size_t i = 0; i < n; ++i) values.push_back(rng.below(1000));
+        break;
+      case 1:  // log-uniform over the full 64-bit range
+        for (std::size_t i = 0; i < n; ++i) {
+          values.push_back(rng.next() >> rng.below(64));
+        }
+        break;
+      case 2:  // heavily tied (constants with occasional outliers)
+        for (std::size_t i = 0; i < n; ++i) {
+          values.push_back(rng.below(20) == 0 ? 1'000'000 : 42);
+        }
+        break;
+      default:  // lots of zeros (bucket 0 is special-cased)
+        for (std::size_t i = 0; i < n; ++i) {
+          values.push_back(rng.coin() ? 0 : rng.below(8));
+        }
+        break;
+    }
+    check_distribution(values, "random trial");
+  }
+}
+
+TEST(HistogramPercentiles, PercentilesAreMonotoneInQ) {
+  Rng rng(0xbeef);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 300; ++i) values.push_back(rng.next() >> rng.below(60));
+  Histogram h;
+  for (const std::uint64_t v : values) h.record(v);
+  const Histogram::Snapshot snap = h.snapshot();
+  std::uint64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const std::uint64_t r = snap.percentile(q);
+    EXPECT_GE(r, prev) << "q=" << q;
+    prev = r;
+  }
+}
+
+}  // namespace
+}  // namespace pdf::runtime

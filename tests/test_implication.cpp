@@ -4,13 +4,13 @@
 
 #include "gen/registry.hpp"
 #include "sim/triple_sim.hpp"
-#include "tests/test_helpers.hpp"
+#include "testutil/circuits.hpp"
 
 namespace pdf {
 namespace {
 
 TEST(Implication, ForwardPropagation) {
-  const Netlist nl = testing::tiny_and_or();
+  const Netlist nl = testutil::tiny_and_or();
   ImplicationEngine eng(nl);
   const ValueRequirement reqs[] = {
       {nl.id_of("a"), kSteady1},
@@ -23,7 +23,7 @@ TEST(Implication, ForwardPropagation) {
 }
 
 TEST(Implication, BackwardAndForcesAllInputs) {
-  const Netlist nl = testing::tiny_and_or();
+  const Netlist nl = testutil::tiny_and_or();
   ImplicationEngine eng(nl);
   const ValueRequirement reqs[] = {{nl.id_of("y"), kSteady1}};
   const ImplicationResult r = eng.imply(reqs);
@@ -36,7 +36,7 @@ TEST(Implication, BackwardAndForcesAllInputs) {
 TEST(Implication, BackwardLastFreeInput) {
   // y = AND(a, b) required 0 with a already forced 1 -> b must be 0 in that
   // plane.
-  const Netlist nl = testing::tiny_and_or();
+  const Netlist nl = testutil::tiny_and_or();
   ImplicationEngine eng(nl);
   const ValueRequirement reqs[] = {
       {nl.id_of("y"), final_only(V3::Zero)},
@@ -50,7 +50,7 @@ TEST(Implication, BackwardLastFreeInput) {
 
 TEST(Implication, PiCouplingMidForcesPatterns) {
   // A steady requirement on a PI forces both pattern planes.
-  const Netlist nl = testing::tiny_and_or();
+  const Netlist nl = testutil::tiny_and_or();
   ImplicationEngine eng(nl);
   const ValueRequirement reqs[] = {
       {nl.id_of("a"), Triple{V3::X, V3::One, V3::X}}};
@@ -60,7 +60,7 @@ TEST(Implication, PiCouplingMidForcesPatterns) {
 }
 
 TEST(Implication, PiCouplingPatternsForceMid) {
-  const Netlist nl = testing::tiny_and_or();
+  const Netlist nl = testutil::tiny_and_or();
   ImplicationEngine eng(nl);
   const ValueRequirement reqs[] = {
       {nl.id_of("a"), Triple{V3::One, V3::X, V3::One}}};
@@ -73,7 +73,7 @@ TEST(Implication, DetectsContradictionThroughReconvergence) {
   // z = NAND(p, q), p = AND(a, b), q = OR(NOT(a), b).
   // Requiring p=11x... steady 1 forces a=1, b=1, which forces q=1 and z=0;
   // also requiring z=1 must contradict.
-  const Netlist nl = testing::reconvergent();
+  const Netlist nl = testutil::reconvergent();
   ImplicationEngine eng(nl);
   const ValueRequirement reqs[] = {
       {nl.id_of("p"), kSteady1},
@@ -83,7 +83,7 @@ TEST(Implication, DetectsContradictionThroughReconvergence) {
 }
 
 TEST(Implication, ConsistentRequirementsStayConsistent) {
-  const Netlist nl = testing::reconvergent();
+  const Netlist nl = testutil::reconvergent();
   ImplicationEngine eng(nl);
   const ValueRequirement reqs[] = {{nl.id_of("p"), kSteady1}};
   EXPECT_FALSE(eng.contradicts(reqs));
@@ -98,7 +98,7 @@ TEST(Implication, SoundnessOnRandomCircuits) {
   Rng rng(31415);
   int circuits = 0;
   for (int iter = 0; iter < 60 && circuits < 12; ++iter) {
-    const Netlist nl = testing::random_small_netlist(rng);
+    const Netlist nl = testutil::random_small_netlist(rng);
     if (nl.inputs().size() > 5) continue;
     ++circuits;
     ImplicationEngine eng(nl);
@@ -116,7 +116,7 @@ TEST(Implication, SoundnessOnRandomCircuits) {
       const ImplicationResult imp = eng.imply(reqs);
 
       bool any_satisfying = false;
-      testing::for_each_binary_test(
+      testutil::for_each_binary_test(
           nl.inputs().size(), [&](const std::vector<Triple>& pis) {
             const auto values = simulate(nl, pis);
             for (const auto& r : reqs) {

@@ -5,7 +5,7 @@
 #include "faultsim/fault_sim.hpp"
 #include "gen/registry.hpp"
 #include "paths/enumerate.hpp"
-#include "tests/test_helpers.hpp"
+#include "testutil/circuits.hpp"
 
 namespace pdf {
 namespace {
@@ -19,7 +19,7 @@ std::vector<TargetFault> screened_faults(const Netlist& nl) {
 }
 
 TEST(Justify, SatisfiesSimpleRequirements) {
-  const Netlist nl = testing::tiny_and_or();
+  const Netlist nl = testutil::tiny_and_or();
   JustificationEngine eng(nl, 1);
   const ValueRequirement reqs[] = {{nl.id_of("y"), kRise}};
   const auto t = eng.justify(reqs);
@@ -31,7 +31,7 @@ TEST(Justify, SatisfiesSimpleRequirements) {
 }
 
 TEST(Justify, FailsOnUnsatisfiableRequirements) {
-  const Netlist nl = testing::reconvergent();
+  const Netlist nl = testutil::reconvergent();
   JustificationEngine eng(nl, 1);
   // p steady 1 forces a=b=1, hence q=1 and z=0: z steady 1 impossible.
   const ValueRequirement reqs[] = {
@@ -43,7 +43,7 @@ TEST(Justify, FailsOnUnsatisfiableRequirements) {
 }
 
 TEST(Justify, FailsWithoutImplicationSeedToo) {
-  const Netlist nl = testing::reconvergent();
+  const Netlist nl = testutil::reconvergent();
   JustificationEngine eng(nl, 1);
   JustifyConfig cfg;
   cfg.use_implication_seed = false;
@@ -162,7 +162,7 @@ TEST(Justify, RetriesImproveSuccessOdds) {
 }
 
 TEST(Justify, StatsAccumulate) {
-  const Netlist nl = testing::tiny_and_or();
+  const Netlist nl = testutil::tiny_and_or();
   JustificationEngine eng(nl, 1);
   const ValueRequirement reqs[] = {{nl.id_of("z"), kRise}};
   (void)eng.justify(reqs);

@@ -3,13 +3,13 @@
 #include <gtest/gtest.h>
 
 #include "gen/registry.hpp"
-#include "tests/test_helpers.hpp"
+#include "testutil/circuits.hpp"
 
 namespace pdf {
 namespace {
 
 TEST(Netlist, BuildAndLookup) {
-  Netlist nl = testing::tiny_and_or();
+  Netlist nl = testutil::tiny_and_or();
   EXPECT_EQ(nl.node_count(), 5u);
   EXPECT_EQ(nl.inputs().size(), 3u);
   EXPECT_EQ(nl.outputs().size(), 2u);
@@ -41,7 +41,7 @@ TEST(Netlist, UnknownFaninRejected) {
 }
 
 TEST(Netlist, LevelsAndTopoOrder) {
-  Netlist nl = testing::tiny_and_or();
+  Netlist nl = testutil::tiny_and_or();
   EXPECT_EQ(nl.depth(), 2);
   EXPECT_EQ(nl.node(nl.id_of("a")).level, 0);
   EXPECT_EQ(nl.node(nl.id_of("y")).level, 1);
@@ -56,7 +56,7 @@ TEST(Netlist, LevelsAndTopoOrder) {
 }
 
 TEST(Netlist, FanoutComputed) {
-  Netlist nl = testing::tiny_and_or();
+  Netlist nl = testutil::tiny_and_or();
   const auto& y = nl.node(nl.id_of("y"));
   ASSERT_EQ(y.fanout.size(), 1u);
   EXPECT_EQ(y.fanout[0], nl.id_of("z"));
@@ -64,21 +64,21 @@ TEST(Netlist, FanoutComputed) {
 }
 
 TEST(Netlist, FaninIndex) {
-  Netlist nl = testing::tiny_and_or();
+  Netlist nl = testutil::tiny_and_or();
   EXPECT_EQ(nl.fanin_index(nl.id_of("y"), nl.id_of("a")), 0u);
   EXPECT_EQ(nl.fanin_index(nl.id_of("y"), nl.id_of("b")), 1u);
   EXPECT_THROW(nl.fanin_index(nl.id_of("y"), nl.id_of("c")), std::runtime_error);
 }
 
 TEST(Netlist, MarkOutputIdempotent) {
-  Netlist nl = testing::tiny_and_or();
+  Netlist nl = testutil::tiny_and_or();
   const std::size_t before = nl.outputs().size();
   nl.mark_output("y");
   EXPECT_EQ(nl.outputs().size(), before);
 }
 
 TEST(Netlist, RedefineGateUnfinalizes) {
-  Netlist nl = testing::tiny_and_or();
+  Netlist nl = testutil::tiny_and_or();
   ASSERT_TRUE(nl.finalized());
   nl.redefine_gate(nl.id_of("z"), GateType::Nor,
                    {nl.id_of("y"), nl.id_of("c")});
@@ -88,13 +88,13 @@ TEST(Netlist, RedefineGateUnfinalizes) {
 }
 
 TEST(Netlist, RedefineInputRejected) {
-  Netlist nl = testing::tiny_and_or();
+  Netlist nl = testutil::tiny_and_or();
   EXPECT_THROW(nl.redefine_gate(nl.id_of("a"), GateType::Not, {nl.id_of("b")}),
                std::runtime_error);
 }
 
 TEST(Netlist, FreshNamesDoNotCollide) {
-  Netlist nl = testing::tiny_and_or();
+  Netlist nl = testutil::tiny_and_or();
   const std::string n1 = nl.fresh_name("y");
   const std::string n2 = nl.fresh_name("y");
   EXPECT_NE(n1, "y");

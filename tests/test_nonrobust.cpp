@@ -5,15 +5,12 @@
 #include "faultsim/fault_sim.hpp"
 #include "gen/registry.hpp"
 #include "paths/enumerate.hpp"
+#include "testutil/circuits.hpp"
 
 namespace pdf {
 namespace {
 
-Path named_path(const Netlist& nl, std::initializer_list<const char*> names) {
-  Path p;
-  for (const char* n : names) p.nodes.push_back(nl.id_of(n));
-  return p;
-}
+using testutil::named_path;
 
 std::optional<Triple> req_on(const FaultRequirements& r, NodeId line) {
   for (const auto& v : r.values) {

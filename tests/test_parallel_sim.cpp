@@ -6,7 +6,7 @@
 #include "faultsim/fault_sim.hpp"
 #include "gen/registry.hpp"
 #include "sim/triple_sim.hpp"
-#include "tests/test_helpers.hpp"
+#include "testutil/circuits.hpp"
 
 namespace pdf {
 namespace {
@@ -82,7 +82,7 @@ TEST(ParallelSim, WordLogicMatchesTripleSimExactly) {
   // "probe requirements".
   Rng rng(31);
   for (int iter = 0; iter < 10; ++iter) {
-    const Netlist nl = testing::random_small_netlist(rng);
+    const Netlist nl = testutil::random_small_netlist(rng);
     const auto tests = random_tests(nl, 64, rng);
     ParallelFaultSimulator parallel(nl);
     FaultSimulator scalar(nl);

@@ -3,17 +3,12 @@
 #include <gtest/gtest.h>
 
 #include "gen/registry.hpp"
-#include "tests/test_helpers.hpp"
+#include "testutil/circuits.hpp"
 
 namespace pdf {
 namespace {
 
-// Resolves a name path to node ids.
-Path named_path(const Netlist& nl, std::initializer_list<const char*> names) {
-  Path p;
-  for (const char* n : names) p.nodes.push_back(nl.id_of(n));
-  return p;
-}
+using testutil::named_path;
 
 TEST(PathModel, ConsumerCountsOnS27) {
   const Netlist nl = benchmark_circuit("s27");
@@ -67,7 +62,7 @@ TEST(PathModel, CompleteLengthRequiresOutputSink) {
 }
 
 TEST(PathModel, PathToString) {
-  const Netlist nl = testing::tiny_and_or();
+  const Netlist nl = testutil::tiny_and_or();
   const Path p = named_path(nl, {"a", "y", "z"});
   EXPECT_EQ(path_to_string(nl, p), "a -> y -> z");
   EXPECT_EQ(p.source(), nl.id_of("a"));

@@ -3,16 +3,12 @@
 #include <gtest/gtest.h>
 
 #include "gen/registry.hpp"
-#include "tests/test_helpers.hpp"
+#include "testutil/circuits.hpp"
 
 namespace pdf {
 namespace {
 
-Path named_path(const Netlist& nl, std::initializer_list<const char*> names) {
-  Path p;
-  for (const char* n : names) p.nodes.push_back(nl.id_of(n));
-  return p;
-}
+using testutil::named_path;
 
 std::optional<Triple> req_on(const FaultRequirements& r, NodeId line) {
   for (const auto& v : r.values) {

@@ -4,7 +4,7 @@
 
 #include "gen/registry.hpp"
 #include "paths/enumerate.hpp"
-#include "tests/test_helpers.hpp"
+#include "testutil/circuits.hpp"
 
 namespace pdf {
 namespace {

@@ -11,7 +11,7 @@
 #include "faultsim/parallel_sim.hpp"
 #include "runtime/metrics.hpp"
 #include "store/stage_cache.hpp"
-#include "test_helpers.hpp"
+#include "testutil/circuits.hpp"
 
 namespace pdf {
 namespace {
@@ -92,7 +92,7 @@ TEST(StageCacheTest, StageCountersTrackHitsAndMisses) {
 
 TEST(StageCacheTest, WorkbenchColdAndWarmRunsAreIdentical) {
   Rng rng(31);
-  const Netlist nl = testing::random_small_netlist(rng);
+  const Netlist nl = testutil::random_small_netlist(rng);
   TargetSetConfig tcfg;
   tcfg.n_p = 40;
   tcfg.n_p0 = 8;
@@ -146,7 +146,7 @@ TEST(StageCacheTest, WorkbenchColdAndWarmRunsAreIdentical) {
 
 TEST(StageCacheTest, CorruptedRecordsFallBackToRecomputation) {
   Rng rng(37);
-  const Netlist nl = testing::random_small_netlist(rng);
+  const Netlist nl = testutil::random_small_netlist(rng);
   TargetSetConfig tcfg;
   tcfg.n_p = 30;
   tcfg.n_p0 = 6;
@@ -192,7 +192,7 @@ TEST(StageCacheTest, CorruptedRecordsFallBackToRecomputation) {
 
 TEST(StageCacheTest, CachedDetectionMatrixHitMatchesComputed) {
   Rng rng(41);
-  const Netlist nl = testing::random_small_netlist(rng);
+  const Netlist nl = testutil::random_small_netlist(rng);
   TargetSetConfig tcfg;
   tcfg.n_p = 30;
   tcfg.n_p0 = 6;

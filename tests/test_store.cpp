@@ -20,7 +20,7 @@
 #include "store/artifact_store.hpp"
 #include "store/hash.hpp"
 #include "store/serde.hpp"
-#include "test_helpers.hpp"
+#include "testutil/circuits.hpp"
 
 namespace pdf {
 namespace {
@@ -214,7 +214,7 @@ TEST(StoreSerde, TestSetRoundTripIsBitIdentical) {
 TEST(StoreSerde, NetlistRoundTripProperty) {
   Rng rng(3);
   for (int trial = 0; trial < 25; ++trial) {
-    const Netlist nl = testing::random_small_netlist(rng);
+    const Netlist nl = testutil::random_small_netlist(rng);
     ByteWriter w;
     encode(w, nl);
     ByteReader r(w.view());
@@ -243,7 +243,7 @@ TEST(StoreSerde, NetlistRoundTripProperty) {
 TEST(StoreSerde, TargetSetsRoundTripIsBitIdentical) {
   Rng rng(5);
   for (int trial = 0; trial < 6; ++trial) {
-    const Netlist nl = testing::random_small_netlist(rng);
+    const Netlist nl = testutil::random_small_netlist(rng);
     TargetSetConfig cfg;
     cfg.n_p = 40;
     cfg.n_p0 = 8;
@@ -270,7 +270,7 @@ TEST(StoreSerde, TargetSetsRoundTripIsBitIdentical) {
 }
 
 TEST(StoreSerde, GenerationResultRoundTripIsBitIdentical) {
-  const Netlist nl = testing::reconvergent();
+  const Netlist nl = testutil::reconvergent();
   TargetSetConfig tcfg;
   tcfg.n_p = 20;
   tcfg.n_p0 = 4;
@@ -327,7 +327,7 @@ TEST(StoreSerde, DetectionMatrixRoundTripAndZeroCopyView) {
 TEST(StoreSerde, CompiledCircuitImageMirrorsLiveView) {
   Rng rng(23);
   for (int trial = 0; trial < 10; ++trial) {
-    const Netlist nl = testing::random_small_netlist(rng);
+    const Netlist nl = testutil::random_small_netlist(rng);
     const CompiledCircuit cc(nl);
 
     ByteWriter w;

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "tests/test_helpers.hpp"
+#include "testutil/circuits.hpp"
 
 namespace pdf {
 namespace {
@@ -29,7 +29,7 @@ TEST(TestPattern, PatternsStringWithUnknowns) {
 }
 
 TEST(TestPattern, ToStringUsesInputNames) {
-  const Netlist nl = testing::tiny_and_or();
+  const Netlist nl = testutil::tiny_and_or();
   TwoPatternTest t;
   t.pi_values = {kRise, kSteady1, kSteady0};
   const std::string s = test_to_string(nl, t);

@@ -7,7 +7,7 @@
 #include "paths/enumerate.hpp"
 #include "sim/timed_sim.hpp"
 #include "sim/triple_sim.hpp"
-#include "tests/test_helpers.hpp"
+#include "testutil/circuits.hpp"
 
 namespace pdf {
 namespace {
@@ -35,7 +35,7 @@ DelayDraw random_delays(const Netlist& nl, Rng& rng) {
 }
 
 TEST(TimingValidation, WaveformBasics) {
-  const Netlist nl = testing::tiny_and_or();
+  const Netlist nl = testutil::tiny_and_or();
   // a rises at t=5, b steady 1, c steady 0; unit-ish delays.
   std::vector<Triple> pis = {kRise, kSteady1, kSteady0};
   std::vector<int> sw = {5, 0, 0};
@@ -57,7 +57,7 @@ TEST(TimingValidation, GlitchAppearsWithSkewedArrivals) {
   // NOT(a) falls before b arrives. If p rises before the dip, z glitches
   // (1 -> 0 -> 1 -> 0). The timed simulator must expose the glitch for some
   // delay assignment and the triple simulator must have said x.
-  const Netlist nl = testing::reconvergent();
+  const Netlist nl = testutil::reconvergent();
   std::vector<Triple> pis = {kRise, kRise};
   const auto triple = simulate(nl, pis);
   const Triple z3 = triple[nl.id_of("z")];
@@ -78,7 +78,7 @@ TEST(TimingValidation, SteadyClaimsAreSoundUnderAllDelays) {
   // never switches in the timed simulation, for any delay assignment.
   Rng rng(90210);
   for (int iter = 0; iter < 12; ++iter) {
-    const Netlist nl = testing::random_small_netlist(rng);
+    const Netlist nl = testutil::random_small_netlist(rng);
     for (int assign = 0; assign < 6; ++assign) {
       std::vector<Triple> pis(nl.inputs().size());
       for (auto& t : pis) {
@@ -209,7 +209,7 @@ TEST(TimingValidation, NonRobustTestCanMaskThePath) {
 }
 
 TEST(TimingValidation, InputValidation) {
-  const Netlist nl = testing::tiny_and_or();
+  const Netlist nl = testutil::tiny_and_or();
   std::vector<Triple> pis(3, kSteady0);
   std::vector<int> sw(3, 0);
   std::vector<int> delays(nl.node_count(), 1);

@@ -4,7 +4,7 @@
 
 #include "netlist/bench_io.hpp"
 #include "sim/triple_sim.hpp"
-#include "tests/test_helpers.hpp"
+#include "testutil/circuits.hpp"
 
 namespace pdf {
 namespace {
@@ -83,7 +83,7 @@ TEST(Transform, MixedCircuitKeepsNames) {
 }
 
 TEST(Transform, NoXorIsStructurallyIdentical) {
-  const Netlist nl = testing::reconvergent();
+  const Netlist nl = testutil::reconvergent();
   const Netlist flat = decompose_xor(nl);
   EXPECT_EQ(flat.node_count(), nl.node_count());
   EXPECT_TRUE(is_atpg_ready(flat));

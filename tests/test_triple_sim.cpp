@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "gen/registry.hpp"
-#include "tests/test_helpers.hpp"
+#include "testutil/circuits.hpp"
 
 namespace pdf {
 namespace {
@@ -18,7 +18,7 @@ TEST(TripleSim, PiTripleDerivation) {
 }
 
 TEST(TripleSim, StableValuesPropagate) {
-  const Netlist nl = testing::tiny_and_or();
+  const Netlist nl = testutil::tiny_and_or();
   const std::vector<Triple> pis = {kSteady1, kSteady1, kSteady0};
   const auto v = simulate(nl, pis);
   EXPECT_EQ(v[nl.id_of("y")], kSteady1);
@@ -26,7 +26,7 @@ TEST(TripleSim, StableValuesPropagate) {
 }
 
 TEST(TripleSim, TransitionThroughAnd) {
-  const Netlist nl = testing::tiny_and_or();
+  const Netlist nl = testutil::tiny_and_or();
   // a rises, b steady 1, c steady 0: y rises hazard-free at the stem level
   // (intermediate x, as the transition instant is unknown), z follows.
   const std::vector<Triple> pis = {kRise, kSteady1, kSteady0};
@@ -36,7 +36,7 @@ TEST(TripleSim, TransitionThroughAnd) {
 }
 
 TEST(TripleSim, SteadyControllingValueBlocksHazard) {
-  const Netlist nl = testing::tiny_and_or();
+  const Netlist nl = testutil::tiny_and_or();
   // b steady 0 pins y at steady 0 no matter what a does.
   const std::vector<Triple> pis = {kRise, kSteady0, kRise};
   const auto v = simulate(nl, pis);
@@ -48,7 +48,7 @@ TEST(TripleSim, ReconvergentGlitchIsConservativelyX) {
   // z = NAND(AND(a,b), OR(NOT(a),b)) with b=1: z = NAND(a, 1*) — with a
   // rising, p rises and q is steady 1, so z falls. With b rising instead the
   // intermediate plane must stay x (possible hazard).
-  const Netlist nl = testing::reconvergent();
+  const Netlist nl = testutil::reconvergent();
   {
     const std::vector<Triple> pis = {kRise, kSteady1};
     const auto v = simulate(nl, pis);
@@ -76,7 +76,7 @@ TEST(TripleSim, PlanesMatchIndependentPlaneSimulation) {
   // simulation of plane k's PI values. Random circuits and assignments.
   Rng rng(2024);
   for (int iter = 0; iter < 30; ++iter) {
-    const Netlist nl = testing::random_small_netlist(rng);
+    const Netlist nl = testutil::random_small_netlist(rng);
     std::vector<Triple> pis(nl.inputs().size());
     for (auto& t : pis) {
       const V3 vals[] = {V3::Zero, V3::One, V3::X};
@@ -96,7 +96,7 @@ TEST(TripleSim, PlanesMatchIndependentPlaneSimulation) {
 }
 
 TEST(TripleSim, WrongPiCountThrows) {
-  const Netlist nl = testing::tiny_and_or();
+  const Netlist nl = testutil::tiny_and_or();
   std::vector<Triple> pis(2, kSteady0);
   EXPECT_THROW(simulate(nl, pis), std::invalid_argument);
   std::vector<V3> pv(4, V3::X);

@@ -5,7 +5,7 @@
 #include <sstream>
 
 #include "gen/registry.hpp"
-#include "tests/test_helpers.hpp"
+#include "testutil/circuits.hpp"
 
 namespace pdf {
 namespace {
@@ -19,7 +19,7 @@ std::vector<Waveform> sample_waveforms(const Netlist& nl) {
 }
 
 TEST(Vcd, StructureAndContent) {
-  const Netlist nl = testing::tiny_and_or();
+  const Netlist nl = testutil::tiny_and_or();
   const auto wf = sample_waveforms(nl);
   const std::string vcd = vcd_to_string(nl, wf, "unit test");
 
@@ -62,7 +62,7 @@ TEST(Vcd, ChangesAreTimeOrdered) {
 }
 
 TEST(Vcd, WrongSizeThrows) {
-  const Netlist nl = testing::tiny_and_or();
+  const Netlist nl = testutil::tiny_and_or();
   std::vector<Waveform> too_few(2);
   std::ostringstream os;
   EXPECT_THROW(write_vcd(os, nl, too_few), std::invalid_argument);

@@ -7,15 +7,12 @@
 #include "gen/registry.hpp"
 #include "paths/distance.hpp"
 #include "paths/enumerate.hpp"
+#include "testutil/circuits.hpp"
 
 namespace pdf {
 namespace {
 
-Path named_path(const Netlist& nl, std::initializer_list<const char*> names) {
-  Path p;
-  for (const char* n : names) p.nodes.push_back(nl.id_of(n));
-  return p;
-}
+using testutil::named_path;
 
 TEST(WeightedDelay, UnitWeightsMatchDefaultModel) {
   const Netlist nl = benchmark_circuit("s27");

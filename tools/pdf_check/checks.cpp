@@ -1,0 +1,495 @@
+#include "pdf_check/checks.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "atpg/generator.hpp"
+#include "atpg/test_pattern.hpp"
+#include "base/rng.hpp"
+#include "enrich/target_sets.hpp"
+#include "faults/fault.hpp"
+#include "faults/requirements.hpp"
+#include "faults/screen.hpp"
+#include "faultsim/fault_sim.hpp"
+#include "faultsim/parallel_sim.hpp"
+#include "oracle/oracle.hpp"
+#include "paths/enumerate.hpp"
+#include "paths/path.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sim/triple_sim.hpp"
+#include "store/serde.hpp"
+#include "store/stage_cache.hpp"
+#include "testutil/circuits.hpp"
+
+namespace pdf::check {
+namespace {
+
+std::size_t g_base_threads = 1;
+
+std::vector<TwoPatternTest> random_tests(const Netlist& nl, std::uint64_t seed,
+                                         std::size_t count) {
+  Rng rng(seed);
+  std::vector<TwoPatternTest> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(testutil::random_two_pattern_test(rng, nl.inputs().size()));
+  }
+  return out;
+}
+
+/// The oracle's exhaustive path set, or nullopt when the circuit has too many
+/// paths to enumerate exhaustively (the case is skipped, not failed).
+std::optional<std::vector<oracle::RefPath>> ref_paths(const Netlist& nl) {
+  try {
+    return oracle::all_complete_paths(nl, 20'000);
+  } catch (const std::runtime_error&) {
+    return std::nullopt;
+  }
+}
+
+/// Both faults of every reference path, capped (list order: both directions of
+/// the first path, then the second, ... — the production faults_for_paths
+/// convention).
+std::vector<PathDelayFault> faults_of(std::span<const oracle::RefPath> paths,
+                                      std::size_t max_paths) {
+  std::vector<PathDelayFault> out;
+  const std::size_t n = std::min(paths.size(), max_paths);
+  out.reserve(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const bool rising : {true, false}) {
+      PathDelayFault f;
+      f.path.nodes = paths[i].nodes;
+      f.rising_source = rising;
+      f.length = paths[i].length;
+      out.push_back(std::move(f));
+    }
+  }
+  return out;
+}
+
+std::string describe_test(const TwoPatternTest& t) { return t.patterns_string(); }
+
+std::string describe_fault(const Netlist& nl, const PathDelayFault& f) {
+  return fault_to_string(nl, f);
+}
+
+// ---- differential: triple simulation ---------------------------------------
+
+std::optional<std::string> check_sim(const Netlist& nl, std::uint64_t seed) {
+  const auto tests = random_tests(nl, mix(seed, 0x51), 8);
+  for (const auto& t : tests) {
+    const std::vector<Triple> prod = simulate(nl, t.pi_values);
+    const std::vector<Triple> ref = oracle::simulate(nl, t.pi_values);
+    for (NodeId id = 0; id < nl.node_count(); ++id) {
+      if (prod[id] != ref[id]) {
+        return "sim: node " + nl.node(id).name + " under " + describe_test(t) +
+               ": production " + prod[id].str() + " vs oracle " + ref[id].str();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// ---- differential: path enumeration ----------------------------------------
+
+std::optional<std::string> check_paths(const Netlist& nl, std::uint64_t seed) {
+  (void)seed;
+  const auto ref = ref_paths(nl);
+  if (!ref) return std::nullopt;
+
+  const LineDelayModel dm(nl);
+  EnumerationConfig cfg;
+  cfg.max_faults = 2 * ref->size() + 16;  // never prunes
+  const EnumerationResult full = enumerate_longest_paths(dm, cfg);
+  if (full.paths.size() != ref->size()) {
+    return "paths: production enumerated " + std::to_string(full.paths.size()) +
+           " complete paths, oracle " + std::to_string(ref->size());
+  }
+  std::map<std::vector<NodeId>, int> by_nodes;
+  for (const auto& p : *ref) by_nodes.emplace(p.nodes, p.length);
+  int prev = full.paths.empty() ? 0 : full.paths.front().length;
+  for (const auto& p : full.paths) {
+    const auto it = by_nodes.find(p.path.nodes);
+    if (it == by_nodes.end()) {
+      return "paths: production path not in oracle set (or duplicated)";
+    }
+    if (it->second != p.length) {
+      return "paths: length of a path: production " + std::to_string(p.length) +
+             " vs oracle " + std::to_string(it->second);
+    }
+    if (p.length > prev) return "paths: result not sorted by descending length";
+    prev = p.length;
+  }
+
+  // Bounded run: the survivors must be the K longest paths of the full set
+  // (as a length multiset; ties may break either way).
+  if (ref->size() >= 4) {
+    EnumerationConfig bounded_cfg;
+    bounded_cfg.max_faults = ref->size();  // about half the paths survive
+    const EnumerationResult bounded = enumerate_longest_paths(dm, bounded_cfg);
+    if (bounded.paths.size() > ref->size()) {
+      return "paths: bounded run produced more paths than exist";
+    }
+    for (std::size_t i = 0; i < bounded.paths.size(); ++i) {
+      if (bounded.paths[i].length != (*ref)[i].length) {
+        return "paths: bounded survivor " + std::to_string(i) + " has length " +
+               std::to_string(bounded.paths[i].length) +
+               ", oracle's i-th longest is " + std::to_string((*ref)[i].length);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// ---- differential: requirement construction and n_delta --------------------
+
+std::optional<std::string> check_requirements(const Netlist& nl,
+                                              std::uint64_t seed) {
+  (void)seed;
+  const auto ref = ref_paths(nl);
+  if (!ref) return std::nullopt;
+  const auto faults = faults_of(*ref, 60);
+
+  std::vector<const PathDelayFault*> usable;
+  std::vector<FaultRequirements> usable_reqs;
+  for (const auto& f : faults) {
+    const FaultRequirements prod = build_requirements(nl, f, Sensitization::Robust);
+    const oracle::RefRequirements want = oracle::requirements_by_definition(nl, f);
+    if (prod.conflicting != want.conflicting) {
+      return "requirements: conflict flag of " + describe_fault(nl, f) +
+             ": production " + std::to_string(prod.conflicting) + " vs oracle " +
+             std::to_string(want.conflicting);
+    }
+    if (prod.conflicting) continue;
+    if (prod.values.size() != want.values.size()) {
+      return "requirements: " + describe_fault(nl, f) + ": production has " +
+             std::to_string(prod.values.size()) + " requirements, oracle " +
+             std::to_string(want.values.size());
+    }
+    for (std::size_t i = 0; i < prod.values.size(); ++i) {
+      if (!(prod.values[i] == want.values[i])) {
+        return "requirements: " + describe_fault(nl, f) + " line " +
+               nl.node(want.values[i].line).name + ": production " +
+               prod.values[i].value.str() + " vs oracle " +
+               want.values[i].value.str();
+      }
+    }
+    usable.push_back(&f);
+    usable_reqs.push_back(prod);
+  }
+
+  // n_delta of the value-based heuristic against the set-based definition.
+  for (std::size_t a = 0; a + 1 < usable.size() && a < 8; ++a) {
+    RequirementSet set;
+    set.add_all(usable_reqs[a].values);
+    const auto& want = usable_reqs[a + 1].values;
+    const std::size_t prod = set.delta_count(want);
+    const std::size_t ref_delta = oracle::delta_count(set.items(), want);
+    if (prod != ref_delta) {
+      return "delta_count: production " + std::to_string(prod) + " vs oracle " +
+             std::to_string(ref_delta) + " for " +
+             describe_fault(nl, *usable[a + 1]) + " against " +
+             describe_fault(nl, *usable[a]);
+    }
+  }
+  return std::nullopt;
+}
+
+// ---- differential: fault simulation ----------------------------------------
+
+std::optional<std::string> check_faultsim(const Netlist& nl, std::uint64_t seed) {
+  const auto ref = ref_paths(nl);
+  if (!ref) return std::nullopt;
+  const auto all_faults = faults_of(*ref, 60);
+
+  std::vector<TargetFault> targets;
+  std::vector<PathDelayFault> kept;
+  for (const auto& f : all_faults) {
+    FaultRequirements reqs = build_requirements(nl, f, Sensitization::Robust);
+    if (reqs.conflicting) continue;
+    targets.push_back(TargetFault{f, std::move(reqs.values)});
+    kept.push_back(f);
+  }
+  if (targets.empty()) return std::nullopt;
+
+  const auto tests = random_tests(nl, mix(seed, 0xf5), 10);
+  const FaultSimulator fsim(nl);
+  const std::vector<bool> scalar = fsim.detects_any(tests, targets);
+  const ParallelFaultSimulator psim(nl);
+  const std::vector<bool> parallel = psim.detects_any(tests, targets);
+  const std::vector<bool> want = oracle::detects_any(nl, tests, kept);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    if (scalar[i] != want[i]) {
+      return "faultsim: " + describe_fault(nl, kept[i]) + ": FaultSimulator " +
+             std::to_string(scalar[i]) + " vs oracle " + std::to_string(want[i]);
+    }
+    if (parallel[i] != want[i]) {
+      return "faultsim: " + describe_fault(nl, kept[i]) +
+             ": ParallelFaultSimulator " + std::to_string(parallel[i]) +
+             " vs oracle " + std::to_string(want[i]);
+    }
+  }
+  return std::nullopt;
+}
+
+// ---- ATPG: every generated test detects its primary target -----------------
+
+std::optional<std::string> check_atpg(const Netlist& nl, std::uint64_t seed) {
+  TargetSetConfig tcfg;
+  tcfg.n_p = 60;
+  tcfg.n_p0 = 10;
+  const TargetSets ts = build_target_sets(nl, tcfg);
+  if (ts.p0.empty()) return std::nullopt;
+
+  GeneratorConfig gcfg;
+  gcfg.seed = mix(seed, 0xa7);
+  const GenerationResult res = generate_tests(nl, ts.p0, ts.p1, gcfg);
+  if (res.primary_targets.size() != res.tests.size()) {
+    return "atpg: primary_targets has " +
+           std::to_string(res.primary_targets.size()) + " entries for " +
+           std::to_string(res.tests.size()) + " tests";
+  }
+  for (std::size_t i = 0; i < res.tests.size(); ++i) {
+    const std::size_t target = res.primary_targets[i];
+    if (target >= ts.p0.size()) return "atpg: primary target index out of range";
+    if (!oracle::detects(nl, res.tests[i], ts.p0[target].fault)) {
+      return "atpg: generated test " + describe_test(res.tests[i]) +
+             " does not robustly detect its primary target " +
+             describe_fault(nl, ts.p0[target].fault) + " per the oracle";
+    }
+  }
+
+  // The generator's detection flags are a claim about the whole test set;
+  // the oracle must agree fault by fault.
+  for (std::size_t set = 0; set < 2; ++set) {
+    const auto& targets = set == 0 ? ts.p0 : ts.p1;
+    const auto& flags = set == 0 ? res.detected_p0 : res.detected_p1;
+    if (targets.empty() || flags.size() != targets.size()) continue;
+    std::vector<PathDelayFault> faults;
+    for (const auto& t : targets) faults.push_back(t.fault);
+    const std::vector<bool> want = oracle::detects_any(nl, res.tests, faults);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (flags[i] != want[i]) {
+        return "atpg: detection flag of " + describe_fault(nl, faults[i]) +
+               " (set P" + std::to_string(set) + "): generator " +
+               std::to_string(flags[i]) + " vs oracle " + std::to_string(want[i]);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// ---- coverage accounting ----------------------------------------------------
+
+std::optional<std::string> check_coverage(const Netlist& nl, std::uint64_t seed) {
+  const auto ref = ref_paths(nl);
+  if (!ref) return std::nullopt;
+
+  TargetSetConfig tcfg;
+  tcfg.n_p = 60;
+  tcfg.n_p0 = 10;
+  const TargetSets ts = build_target_sets(nl, tcfg);
+  if (ts.p0.empty()) return std::nullopt;
+  std::vector<PathDelayFault> f0, f1;
+  for (const auto& t : ts.p0) f0.push_back(t.fault);
+  for (const auto& t : ts.p1) f1.push_back(t.fault);
+
+  const auto tests = random_tests(nl, mix(seed, 0xc0), 8);
+  const UnionCoverage cov =
+      store::cached_union_coverage(nullptr, nl, tests, ts.p0, ts.p1, tcfg);
+  const std::size_t want0 = oracle::count_detected(nl, tests, f0);
+  const std::size_t want1 = oracle::count_detected(nl, tests, f1);
+  if (cov.p0_detected != want0 || cov.p1_detected != want1) {
+    return "coverage: union coverage P0 " + std::to_string(cov.p0_detected) +
+           "/P1 " + std::to_string(cov.p1_detected) + " vs oracle " +
+           std::to_string(want0) + "/" + std::to_string(want1);
+  }
+  if (cov.p0_total != ts.p0.size() || cov.p1_total != ts.p1.size()) {
+    return "coverage: totals do not match the target sets";
+  }
+
+  // Metamorphic: adding a test never lowers the union coverage.
+  std::size_t prev = 0;
+  for (std::size_t k = 0; k <= tests.size(); ++k) {
+    const UnionCoverage c = store::cached_union_coverage(
+        nullptr, nl, std::span<const TwoPatternTest>(tests).first(k), ts.p0,
+        ts.p1, tcfg);
+    const std::size_t detected = c.p0_detected + c.p1_detected;
+    if (detected < prev) {
+      return "coverage: adding test " + std::to_string(k) +
+             " lowered union coverage from " + std::to_string(prev) + " to " +
+             std::to_string(detected);
+    }
+    prev = detected;
+  }
+  return std::nullopt;
+}
+
+// ---- metamorphic: pruning yields a prefix of the fault-length sequence -----
+
+std::optional<std::string> check_prune_prefix(const Netlist& nl,
+                                              std::uint64_t seed) {
+  (void)seed;
+  const auto ref = ref_paths(nl);
+  if (!ref || ref->size() < 4) return std::nullopt;
+
+  const LineDelayModel dm(nl);
+  EnumerationConfig cfg;
+  cfg.max_faults = 2 * ref->size() + 16;
+  const EnumerationResult full = enumerate_longest_paths(dm, cfg);
+
+  EnumerationConfig pruned_cfg;
+  pruned_cfg.max_faults = std::max<std::size_t>(4, ref->size());
+  const EnumerationResult pruned = enumerate_longest_paths(dm, pruned_cfg);
+  if (pruned.paths.size() > full.paths.size()) {
+    return "prune: bounded enumeration returned more paths than the full run";
+  }
+  // Fault lengths (two faults per path) of the pruned run must be the leading
+  // entries of the full run's descending sequence.
+  for (std::size_t i = 0; i < pruned.paths.size(); ++i) {
+    if (pruned.paths[i].length != full.paths[i].length) {
+      return "prune: pruned fault-length sequence diverges at path " +
+             std::to_string(i) + ": " + std::to_string(pruned.paths[i].length) +
+             " vs " + std::to_string(full.paths[i].length);
+    }
+  }
+  return std::nullopt;
+}
+
+// ---- execution-condition determinism ---------------------------------------
+
+struct GenerationOutputs {
+  std::vector<TwoPatternTest> tests;
+  std::vector<std::vector<bool>> detected;
+  std::vector<std::size_t> primary_targets;
+};
+
+GenerationOutputs outputs_of(const GenerationResult& r) {
+  return GenerationOutputs{r.tests, r.detected, r.primary_targets};
+}
+
+std::optional<std::string> diff_outputs(const GenerationOutputs& a,
+                                        const GenerationOutputs& b,
+                                        const std::string& what) {
+  if (a.tests.size() != b.tests.size()) {
+    return what + ": test counts differ (" + std::to_string(a.tests.size()) +
+           " vs " + std::to_string(b.tests.size()) + ")";
+  }
+  for (std::size_t i = 0; i < a.tests.size(); ++i) {
+    if (a.tests[i].pi_values != b.tests[i].pi_values) {
+      return what + ": test " + std::to_string(i) + " differs (" +
+             describe_test(a.tests[i]) + " vs " + describe_test(b.tests[i]) + ")";
+    }
+  }
+  if (a.detected != b.detected) return what + ": detection flags differ";
+  if (a.primary_targets != b.primary_targets) {
+    return what + ": primary target attribution differs";
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_threads(const Netlist& nl, std::uint64_t seed) {
+  TargetSetConfig tcfg;
+  tcfg.n_p = 60;
+  tcfg.n_p0 = 10;
+  const TargetSets ts = build_target_sets(nl, tcfg);
+  GeneratorConfig gcfg;
+  gcfg.seed = mix(seed, 0x7d);
+  const auto tests = random_tests(nl, mix(seed, 0x7e), 8);
+
+  const auto run_all = [&] {
+    GenerationOutputs out = outputs_of(generate_tests(nl, ts.p0, ts.p1, gcfg));
+    const ParallelFaultSimulator psim(nl);
+    const std::vector<bool> d = psim.detects_any(tests, ts.p0);
+    out.detected.push_back(d);
+    return out;
+  };
+
+  runtime::set_global_threads(1);
+  const GenerationOutputs serial = run_all();
+  runtime::set_global_threads(g_base_threads > 1 ? g_base_threads : 4);
+  const GenerationOutputs parallel = run_all();
+  runtime::set_global_threads(g_base_threads);
+  return diff_outputs(serial, parallel, "threads: --threads 1 vs N");
+}
+
+std::optional<std::string> check_store(const Netlist& nl, std::uint64_t seed) {
+  TargetSetConfig tcfg;
+  tcfg.n_p = 60;
+  tcfg.n_p0 = 10;
+  const TargetSets ts = build_target_sets(nl, tcfg);
+  GeneratorConfig gcfg;
+  gcfg.seed = mix(seed, 0x3a);
+
+  namespace fs = std::filesystem;
+  char dirname[64];
+  std::snprintf(dirname, sizeof dirname, "pdf_check_store_%016llx",
+                static_cast<unsigned long long>(mix(seed, 0x3b)));
+  const fs::path dir = fs::temp_directory_path() / dirname;
+  fs::remove_all(dir);
+
+  std::optional<std::string> failure;
+  {
+    store::StageCache cache(dir);
+    const GenerationResult cold =
+        store::cached_generate(&cache, nl, ts.p0, ts.p1, tcfg, gcfg);
+    const GenerationResult warm =
+        store::cached_generate(&cache, nl, ts.p0, ts.p1, tcfg, gcfg);
+    const GenerationResult plain = generate_tests(nl, ts.p0, ts.p1, gcfg);
+    failure = diff_outputs(outputs_of(cold), outputs_of(plain),
+                           "store: cold cache vs uncached");
+    if (!failure) {
+      failure = diff_outputs(outputs_of(warm), outputs_of(cold),
+                             "store: warm cache vs cold");
+    }
+
+    if (!failure) {
+      // Serde round-trip of the result record (the same codec the cache used).
+      store::ByteWriter w;
+      store::encode(w, cold);
+      store::ByteReader r(w.view());
+      const GenerationResult back = store::decode_generation_result(r);
+      failure = diff_outputs(outputs_of(back), outputs_of(cold),
+                             "store: serde round-trip");
+    }
+  }
+  fs::remove_all(dir);
+  return failure;
+}
+
+constexpr Check kChecks[] = {
+    {"sim_vs_oracle", 1, check_sim},
+    {"paths_vs_oracle", 1, check_paths},
+    {"requirements_vs_oracle", 1, check_requirements},
+    {"faultsim_vs_oracle", 1, check_faultsim},
+    {"atpg_primary_targets", 2, check_atpg},
+    {"coverage_accounting", 2, check_coverage},
+    {"prune_prefix", 2, check_prune_prefix},
+    {"threads_determinism", 25, check_threads},
+    {"store_cold_warm", 50, check_store},
+};
+
+}  // namespace
+
+std::span<const Check> all_checks() { return kChecks; }
+
+void set_base_threads(std::size_t threads) { g_base_threads = threads; }
+
+const Check* find_check(const std::string& name) {
+  for (const Check& c : kChecks) {
+    if (name == c.name) return &c;
+  }
+  return nullptr;
+}
+
+std::uint64_t mix(std::uint64_t seed, std::uint64_t salt) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (salt + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace pdf::check

@@ -1,0 +1,41 @@
+// The differential / metamorphic check catalog of pdf_check.
+//
+// Every check is a pure function of (netlist, case seed): it derives any
+// random tests or configs it needs from the seed, runs a production engine
+// and the oracle (or the same engine twice under different execution
+// conditions), and returns a failure message or nullopt. Purity is what
+// makes shrinking possible — the shrinker replays the same (check, seed)
+// against ever-smaller netlists and keeps the failure reproducible.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace pdf::check {
+
+using CheckFn = std::optional<std::string> (*)(const Netlist&, std::uint64_t seed);
+
+struct Check {
+  const char* name;
+  /// Run this check on every `stride`-th generated case (1 = every case);
+  /// keeps the expensive whole-pipeline checks from dominating the budget.
+  std::size_t stride;
+  CheckFn fn;
+};
+
+/// The full catalog. `base_threads` is the pool size the driver runs with;
+/// the thread-determinism check restores it after resizing the global pool.
+std::span<const Check> all_checks();
+void set_base_threads(std::size_t threads);
+
+/// Looks a check up by name (for --replay and --check); null when unknown.
+const Check* find_check(const std::string& name);
+
+/// SplitMix64 — derives independent sub-seeds from a case seed.
+std::uint64_t mix(std::uint64_t seed, std::uint64_t salt);
+
+}  // namespace pdf::check

@@ -1,0 +1,160 @@
+#include "pdf_check/shrink.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "netlist/bench_io.hpp"
+
+namespace pdf::check {
+namespace {
+
+/// Rebuilds the netlist with `victim` (a gate) removed: every consumer is
+/// rewired to the victim's first fanin, and an output mark on the victim
+/// moves there too. Returns nullopt when the edit is impossible or produces
+/// an invalid netlist.
+std::optional<Netlist> without_gate(const Netlist& nl, NodeId victim) {
+  const Node& v = nl.node(victim);
+  if (v.type == GateType::Input || v.fanin.empty()) return std::nullopt;
+  const NodeId bypass = v.fanin[0];
+  if (bypass == victim) return std::nullopt;
+
+  try {
+    Netlist out(nl.name());
+    std::vector<NodeId> map(nl.node_count(), kNoNode);
+    for (NodeId id = 0; id < nl.node_count(); ++id) {
+      if (id == victim) continue;
+      map[id] = nl.node(id).type == GateType::Input
+                    ? out.add_input(nl.node(id).name)
+                    : out.add_gate_placeholder(nl.node(id).name, nl.node(id).type);
+    }
+    for (NodeId id = 0; id < nl.node_count(); ++id) {
+      if (id == victim || nl.node(id).type == GateType::Input) continue;
+      std::vector<NodeId> fanin;
+      for (NodeId f : nl.node(id).fanin) {
+        fanin.push_back(map[f == victim ? bypass : f]);
+      }
+      out.set_fanin(map[id], std::move(fanin));
+    }
+    for (NodeId id = 0; id < nl.node_count(); ++id) {
+      if (id != victim && nl.node(id).is_output) out.mark_output(map[id]);
+    }
+    if (v.is_output) out.mark_output(map[bypass]);
+    out.finalize();
+    for (NodeId id = 0; id < out.node_count(); ++id) {
+      if (out.node(id).fanout.empty() && out.node(id).type != GateType::Input &&
+          !out.node(id).is_output) {
+        out.mark_output(id);
+      }
+    }
+    out.finalize();
+    return out;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+/// Drops an unconsumed, unobserved primary input (keeping at least one).
+std::optional<Netlist> without_input(const Netlist& nl, NodeId victim) {
+  const Node& v = nl.node(victim);
+  if (v.type != GateType::Input || !v.fanout.empty() || v.is_output) {
+    return std::nullopt;
+  }
+  if (nl.inputs().size() < 2) return std::nullopt;
+
+  try {
+    Netlist out(nl.name());
+    std::vector<NodeId> map(nl.node_count(), kNoNode);
+    for (NodeId id = 0; id < nl.node_count(); ++id) {
+      if (id == victim) continue;
+      map[id] = nl.node(id).type == GateType::Input
+                    ? out.add_input(nl.node(id).name)
+                    : out.add_gate_placeholder(nl.node(id).name, nl.node(id).type);
+    }
+    for (NodeId id = 0; id < nl.node_count(); ++id) {
+      if (id == victim || nl.node(id).type == GateType::Input) continue;
+      std::vector<NodeId> fanin;
+      for (NodeId f : nl.node(id).fanin) fanin.push_back(map[f]);
+      out.set_fanin(map[id], std::move(fanin));
+    }
+    for (NodeId id = 0; id < nl.node_count(); ++id) {
+      if (id != victim && nl.node(id).is_output) out.mark_output(map[id]);
+    }
+    out.finalize();
+    return out;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+void shrink(Failure& f) {
+  const auto failure_of = [&](const Netlist& cand) -> std::optional<std::string> {
+    // A candidate that makes the check throw is a different problem, not a
+    // smaller instance of this one: treat it as passing.
+    try {
+      return f.check->fn(cand, f.seed);
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  };
+
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (NodeId id = static_cast<NodeId>(f.netlist.node_count()); id-- > 0;) {
+      std::optional<Netlist> cand = without_gate(f.netlist, id);
+      if (!cand) cand = without_input(f.netlist, id);
+      if (!cand) continue;
+      if (std::optional<std::string> msg = failure_of(*cand)) {
+        f.netlist = std::move(*cand);
+        f.message = std::move(*msg);
+        improved = true;
+        break;
+      }
+    }
+  }
+}
+
+void write_repro(const Failure& f, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write repro file " + path);
+  char seed_hex[32];
+  std::snprintf(seed_hex, sizeof seed_hex, "0x%016llx",
+                static_cast<unsigned long long>(f.seed));
+  out << "# pdf_check repro\n";
+  out << "# check: " << f.check->name << "\n";
+  out << "# seed: " << seed_hex << "\n";
+  out << "# " << f.message << "\n";
+  out << to_bench_string(f.netlist);
+}
+
+Replay read_repro(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read repro file " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  Replay r;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::string check_tag = "# check: ";
+    const std::string seed_tag = "# seed: ";
+    if (line.rfind(check_tag, 0) == 0) {
+      r.check_name = line.substr(check_tag.size());
+    } else if (line.rfind(seed_tag, 0) == 0) {
+      r.seed = std::strtoull(line.substr(seed_tag.size()).c_str(), nullptr, 0);
+    }
+  }
+  if (r.check_name.empty()) {
+    throw std::runtime_error("repro file has no '# check:' header: " + path);
+  }
+  r.netlist = parse_bench_string(text, "repro");
+  return r;
+}
+
+}  // namespace pdf::check

@@ -1,0 +1,45 @@
+// Greedy delta-debugging of failing pdf_check cases.
+//
+// A failing case is fully determined by (netlist, check, seed): checks derive
+// everything else from the seed. The shrinker repeatedly tries structural
+// simplifications (bypass a gate, drop an unused input) and keeps any variant
+// on which the same check still fails, producing a near-minimal netlist. The
+// result is written as a self-contained repro file — .bench text plus the
+// check name and seed in header comments — that `pdf_check --replay` reruns.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "pdf_check/checks.hpp"
+
+namespace pdf::check {
+
+struct Failure {
+  Netlist netlist;
+  const Check* check = nullptr;
+  std::uint64_t seed = 0;
+  std::string message;
+};
+
+/// Shrinks `f.netlist` while `f.check` keeps failing with `f.seed`; updates
+/// the netlist and message in place. Deterministic and bounded (at most
+/// O(nodes^2) check replays).
+void shrink(Failure& f);
+
+/// Writes the repro file; returns the message of the final failure state.
+void write_repro(const Failure& f, const std::string& path);
+
+struct Replay {
+  Netlist netlist;
+  std::string check_name;
+  std::uint64_t seed = 0;
+};
+
+/// Parses a repro file written by write_repro. Throws std::runtime_error on
+/// malformed input.
+Replay read_repro(const std::string& path);
+
+}  // namespace pdf::check
