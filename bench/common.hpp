@@ -8,6 +8,9 @@
 //   --csv            also print CSV after the table
 //   --threads N      size the runtime thread pool (default 1;
 //                    0 = hardware concurrency)
+//   --backend NAME   simulation backend for batched fault simulation
+//                    (scalar | bitpar; default bitpar — all backends emit
+//                    bit-identical results, see DESIGN.md §11)
 //   --metrics        dump the runtime metrics registry to stderr at exit
 //   --metrics-json F write a machine-readable run manifest (JSON) to F
 //   --trace F        record a span trace and write Chrome-trace JSON to F
@@ -44,6 +47,7 @@
 #include "report/table.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/thread_pool.hpp"
+#include "sim/backend.hpp"
 #include "store/stage_cache.hpp"
 
 namespace pdf::bench {
@@ -53,6 +57,7 @@ struct Options {
   std::size_t n_p0 = 300;
   std::uint64_t seed = 1;
   std::size_t threads = 1;
+  std::string backend = "bitpar";  // resolved sim::selected_backend() name
   bool csv = false;
   bool paper = false;
   bool metrics = false;
@@ -137,6 +142,7 @@ inline void finish_run(const Options& o) {
   info.n_p = o.n_p;
   info.n_p0 = o.n_p0;
   info.threads = runtime::global_threads();
+  info.backend = o.backend;
   info.paper = o.paper;
   info.store_enabled = o.use_store;
   info.store_dir = o.use_store ? o.store_dir : "";
@@ -180,6 +186,14 @@ inline Options parse_options(int argc, char** argv,
       o.csv = true;
     } else if (a == "--threads") {
       o.threads = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--backend") {
+      o.backend = next();
+      try {
+        sim::select_backend(o.backend);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        std::exit(2);
+      }
     } else if (a == "--metrics") {
       o.metrics = true;
     } else if (a == "--metrics-json") {
@@ -206,8 +220,12 @@ inline Options parse_options(int argc, char** argv,
     } else if (a == "--help" || a == "-h") {
       std::printf(
           "options: [--paper] [--np N] [--np0 N] [--seed S] [--csv] "
-          "[--threads N] [--metrics] [--metrics-json FILE] [--trace FILE] "
-          "[--store DIR] [--no-store] [--circuits a,b,c]\n"
+          "[--threads N] [--backend %s] [--metrics] [--metrics-json FILE] "
+          "[--trace FILE] [--store DIR] [--no-store] [--circuits a,b,c]\n"
+          "backend: batched fault simulation engine (default %s); every\n"
+          "backend produces bit-identical results at any thread count.\n",
+          sim::backend_names().c_str(), sim::selected_backend().name());
+      std::printf(
           "store: stages (enumeration, ATPG, fault simulation) are memoized\n"
           "in a content-addressed artifact store (default .artifact-store/);\n"
           "warm runs skip recomputation and emit identical outputs.\n"

@@ -8,10 +8,19 @@
 // the flattened CompiledCircuit path on NAME (default: the largest registry
 // circuit), verifies the two produce bit-identical values on every line, and
 // reports the speedup.
-//   micro_engines threads [--circuit NAME] [--csv] [--metrics]
-// thread-scaling sweep: runs ParallelFaultSimulator::detection_matrix on NAME
+//   micro_engines threads [--circuit NAME] [--backend NAME] [--csv] [--metrics]
+// thread-scaling sweep: runs BatchSimulator::detection_matrix on NAME
 // at 1, 2, 4 and 8 pool threads, verifies every matrix is bit-identical to
 // the single-thread run, and reports wall time and speedup per thread count.
+//   micro_engines backends [--circuit NAME] [--csv] [--metrics]
+//                          [--metrics-json FILE]
+// backend comparison: builds the same detection matrix through every
+// registered sim::SimBackend, verifies all matrices are bit-identical to the
+// scalar reference and that the steady-state sweeps allocate nothing (the
+// sim.<backend>.scratch_grows counters must not move), and reports wall time
+// and throughput (tests x faults / sec) per backend. Exits nonzero unless
+// all matrices match, the zero-allocation invariant holds, and the
+// bit-parallel backend beats scalar by at least 5x.
 //   micro_engines store [--circuit NAME] [--dir DIR] [--csv] [--metrics]
 // cold-vs-warm pipeline comparison through the content-addressed artifact
 // store: runs the full enumeration -> ATPG -> coverage -> detection-matrix
@@ -32,16 +41,19 @@
 #include <cstring>
 #include <filesystem>
 #include <functional>
+#include <stdexcept>
 #include <string>
 
 #include "atpg/justify.hpp"
 #include "core/compiled_circuit.hpp"
 #include "enrich/enrichment.hpp"
 #include "enrich/target_sets.hpp"
+#include "faultsim/batch_sim.hpp"
 #include "faultsim/fault_sim.hpp"
-#include "faultsim/parallel_sim.hpp"
 #include "gen/registry.hpp"
+#include "obs/manifest.hpp"
 #include "obs/trace.hpp"
+#include "sim/backend.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sim/event_sim.hpp"
@@ -171,9 +183,9 @@ void BM_FaultSimBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_FaultSimBatch);
 
-void BM_FaultSimParallel64(benchmark::State& state) {
+void BM_FaultSimBitPar64(benchmark::State& state) {
   const Netlist& nl = circuit();
-  ParallelFaultSimulator fsim(nl);
+  BatchSimulator fsim(nl, &sim::bitpar_backend());
   Rng rng(5);
   std::vector<TwoPatternTest> tests(64);
   for (auto& t : tests) {
@@ -188,7 +200,7 @@ void BM_FaultSimParallel64(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * targets().p0.size() * 64);
 }
-BENCHMARK(BM_FaultSimParallel64);
+BENCHMARK(BM_FaultSimBitPar64);
 
 void BM_FaultSimScalar64(benchmark::State& state) {
   const Netlist& nl = circuit();
@@ -325,7 +337,7 @@ int run_thread_scaling(const std::string& name, bool csv, bool metrics) {
     }
   }
 
-  const ParallelFaultSimulator fsim(nl);
+  const BatchSimulator fsim(nl);  // the selected backend (--backend)
   const int rounds = 5;
 
   std::printf("== detection_matrix thread scaling ==\n");
@@ -368,6 +380,121 @@ int run_thread_scaling(const std::string& name, bool csv, bool metrics) {
                  runtime::Metrics::global().dump().c_str());
   }
   return all_identical ? 0 : 1;
+}
+
+// ---- backend-comparison mode -----------------------------------------------
+
+int run_backend_compare(const std::string& name, bool csv, bool metrics,
+                        const std::string& metrics_json) {
+  if (!has_benchmark(name)) {
+    std::fprintf(stderr, "unknown circuit '%s' (see bench_atpg --list)\n",
+                 name.c_str());
+    return 2;
+  }
+  const Netlist nl = benchmark_circuit(name);
+
+  TargetSetConfig tcfg;
+  tcfg.n_p = 4000;
+  tcfg.n_p0 = 300;
+  const TargetSets ts = build_target_sets(nl, tcfg);
+  if (ts.p0.empty()) {
+    std::fprintf(stderr, "no target faults on %s\n", name.c_str());
+    return 2;
+  }
+
+  constexpr std::size_t kTests = 1024;
+  Rng rng(24680);
+  std::vector<TwoPatternTest> tests(kTests);
+  for (auto& t : tests) {
+    t.pi_values.resize(nl.inputs().size());
+    for (auto& v : t.pi_values) {
+      v = pi_triple(rng.coin() ? V3::One : V3::Zero,
+                    rng.coin() ? V3::One : V3::Zero);
+    }
+  }
+  const int rounds = 5;
+  const double work = static_cast<double>(kTests) * ts.p0.size();
+
+  std::printf("== detection_matrix backend comparison ==\n");
+  std::printf("circuit: %s (%zu nodes), faults: %zu, tests: %zu\n",
+              name.c_str(), nl.node_count(), ts.p0.size(), kTests);
+  std::printf("%8s %12s %10s %18s %10s %10s\n", "backend", "best ms", "speedup",
+              "tests*faults/sec", "identical", "zero-alloc");
+
+  struct Row {
+    const char* backend;
+    double ms;
+    double throughput;
+    bool identical;
+    bool zero_alloc;
+  };
+  std::vector<Row> rows;
+  DetectionMatrix reference;
+  bool all_identical = true;
+  bool all_zero_alloc = true;
+  for (sim::SimBackend* backend : sim::all_backends()) {
+    const BatchSimulator fsim(nl, backend);
+    DetectionMatrix m = fsim.detection_matrix(tests, ts.p0);  // warm scratch
+    auto& grows = runtime::Metrics::global().counter(
+        "sim." + std::string(backend->name()) + ".scratch_grows");
+    const std::uint64_t grows_before = grows.read();
+    const double ms = measure_ms(
+        [&] { m = fsim.detection_matrix(tests, ts.p0); }, rounds);
+    const bool zero_alloc = grows.read() == grows_before;
+    if (rows.empty()) reference = m;
+    const bool identical = m == reference;
+    all_identical = all_identical && identical;
+    all_zero_alloc = all_zero_alloc && zero_alloc;
+    const double throughput = work / (ms / 1000.0);
+    rows.push_back({backend->name(), ms, throughput, identical, zero_alloc});
+    std::printf("%8s %12.3f %9.2fx %18.3e %10s %10s\n", backend->name(), ms,
+                rows.front().ms / ms, throughput, identical ? "yes" : "NO",
+                zero_alloc ? "yes" : "NO");
+  }
+
+  double bitpar_speedup = 0;
+  for (const Row& r : rows) {
+    if (std::strcmp(r.backend, "bitpar") == 0) {
+      bitpar_speedup = rows.front().ms / r.ms;
+    }
+  }
+  std::printf("bitpar over scalar: %.2fx (gate: >= 5x)\n", bitpar_speedup);
+
+  if (csv) {
+    std::printf("\ncsv:\nbackend,ms,speedup,throughput,identical,zero_alloc\n");
+    for (const Row& r : rows) {
+      std::printf("%s,%.4f,%.3f,%.3e,%d,%d\n", r.backend, r.ms,
+                  rows.front().ms / r.ms, r.throughput, r.identical ? 1 : 0,
+                  r.zero_alloc ? 1 : 0);
+    }
+  }
+  if (metrics) {
+    std::fprintf(stderr, "\n-- runtime metrics --\n%s",
+                 runtime::Metrics::global().dump().c_str());
+  }
+  if (!metrics_json.empty()) {
+    for (const Row& r : rows) {
+      runtime::Metrics::global()
+          .counter("bench.backends." + std::string(r.backend) +
+                   ".tests_x_faults_per_sec")
+          .add(static_cast<std::uint64_t>(r.throughput));
+    }
+    obs::RunInfo info;
+    info.bench = "micro_engines.backends";
+    info.n_p = tcfg.n_p;
+    info.n_p0 = tcfg.n_p0;
+    info.threads = runtime::global_threads();
+    info.backend = sim::selected_backend().name();
+    for (const Row& r : rows) {
+      info.circuits.emplace_back(std::string(name) + ":" + r.backend,
+                                 r.ms / 1000.0);
+    }
+    if (!obs::write_run_manifest(metrics_json, info)) {
+      std::fprintf(stderr, "warning: could not write manifest to %s\n",
+                   metrics_json.c_str());
+    }
+  }
+  return all_identical && all_zero_alloc && bitpar_speedup >= 5.0 ? 0 : 1;
 }
 
 // ---- cold-vs-warm store mode -----------------------------------------------
@@ -420,7 +547,7 @@ int run_store_mode(const std::string& name, const std::string& dir, bool csv,
     const EnrichmentWorkbench wb(nl, tcfg, &cache);
     r.enriched = wb.run_enriched(g);
     r.coverage = wb.coverage_of(r.enriched);
-    const ParallelFaultSimulator fsim(nl);
+    const BatchSimulator fsim(nl);
     r.matrix = store::cached_detection_matrix(&cache, fsim, nl,
                                               r.enriched.tests,
                                               wb.targets().p0);
@@ -585,12 +712,15 @@ int main(int argc, char** argv) {
   bool thread_scaling = false;
   bool store_mode = false;
   bool obs_mode = false;
+  bool backend_mode = false;
   bool csv = false;
   bool metrics = false;
   std::string circuit_name = "s13207_like";
   std::string store_dir = ".artifact-store.micro";
+  std::string metrics_json;
   for (int i = 1; i < argc; ++i) {
-    const bool any_mode = compare || thread_scaling || store_mode || obs_mode;
+    const bool any_mode =
+        compare || thread_scaling || store_mode || obs_mode || backend_mode;
     if (std::strcmp(argv[i], "compiled-vs-legacy") == 0) {
       compare = true;
     } else if (std::strcmp(argv[i], "threads") == 0 && !any_mode) {
@@ -600,11 +730,25 @@ int main(int argc, char** argv) {
       circuit_name = "s1196_like";  // mid-size default: cold pass in seconds
     } else if (std::strcmp(argv[i], "obs") == 0 && !any_mode) {
       obs_mode = true;
+    } else if (std::strcmp(argv[i], "backends") == 0 && !any_mode) {
+      backend_mode = true;
+      circuit_name = "s1196_like";  // the acceptance circuit for the 5x gate
     } else if (any_mode && std::strcmp(argv[i], "--csv") == 0) {
       csv = true;
-    } else if ((thread_scaling || store_mode) &&
+    } else if ((thread_scaling || store_mode || backend_mode) &&
                std::strcmp(argv[i], "--metrics") == 0) {
       metrics = true;
+    } else if (backend_mode && std::strcmp(argv[i], "--metrics-json") == 0 &&
+               i + 1 < argc) {
+      metrics_json = argv[++i];
+    } else if (thread_scaling && std::strcmp(argv[i], "--backend") == 0 &&
+               i + 1 < argc) {
+      try {
+        sim::select_backend(argv[++i]);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
     } else if (store_mode && std::strcmp(argv[i], "--dir") == 0 &&
                i + 1 < argc) {
       store_dir = argv[++i];
@@ -617,6 +761,9 @@ int main(int argc, char** argv) {
   if (thread_scaling) return run_thread_scaling(circuit_name, csv, metrics);
   if (store_mode) return run_store_mode(circuit_name, store_dir, csv, metrics);
   if (obs_mode) return run_obs_mode(circuit_name, csv);
+  if (backend_mode) {
+    return run_backend_compare(circuit_name, csv, metrics, metrics_json);
+  }
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

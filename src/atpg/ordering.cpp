@@ -6,7 +6,7 @@
 #include <utility>
 #include <vector>
 
-#include "faultsim/parallel_sim.hpp"
+#include "faultsim/batch_sim.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace pdf {
@@ -14,7 +14,7 @@ namespace pdf {
 OrderingResult order_tests_by_coverage(const Netlist& nl,
                                        std::span<const TwoPatternTest> tests,
                                        std::span<const TargetFault> faults) {
-  ParallelFaultSimulator sim(nl);
+  BatchSimulator sim(nl);
   const DetectionMatrix matrix = sim.detection_matrix(tests, faults);
   runtime::ThreadPool& pool = runtime::global_pool();
 

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "faultsim/parallel_sim.hpp"
+#include "faultsim/batch_sim.hpp"
 #include "obs/trace.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/thread_pool.hpp"
@@ -95,7 +95,7 @@ UnionCoverage EnrichmentWorkbench::coverage_of(const GenerationResult& r) const 
     c.p1_detected = r.detected_p1_count();
   } else {
     const auto simulate_p1 = [&] {
-      ParallelFaultSimulator fsim(*nl_);
+      BatchSimulator fsim(*nl_);
       const std::vector<bool> d1 = fsim.detects_any(r.tests, targets_.p1);
       UnionCoverage p1_only;
       p1_only.p1_total = targets_.p1.size();

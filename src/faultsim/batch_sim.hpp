@@ -1,0 +1,58 @@
+// Batched robust fault simulation through a pluggable sim::SimBackend.
+//
+// BatchSimulator is the engine every whole-test-set consumer uses —
+// detection-matrix construction, enrichment coverage sweeps, greedy test
+// ordering, diagnosis. It compiles the netlist once, validates inputs, keeps
+// the engine-level observability (the `faultsim.detection_matrix` timer and
+// `faultsim.matrix_tests` histogram), and delegates the actual simulation to
+// a SimBackend: the process-wide selected backend by default (`--backend`),
+// or one pinned explicitly for differential testing.
+//
+// Every backend produces the bit-identical DetectionMatrix for any thread
+// count (see src/sim/backend.hpp and DESIGN.md §11), so results never depend
+// on which backend ran — callers may cache them under backend-free keys
+// (store::cached_detection_matrix does). Per-test scalar queries stay on
+// FaultSimulator, the ATPG inner-loop engine.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "atpg/test_pattern.hpp"
+#include "core/compiled_circuit.hpp"
+#include "faults/screen.hpp"
+#include "faultsim/detection_matrix.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/backend.hpp"
+
+namespace pdf {
+
+class BatchSimulator {
+ public:
+  /// The netlist must be finalized, combinational, and outlive the
+  /// simulator. `backend == nullptr` means the process-wide selection
+  /// (sim::selected_backend(), captured at construction).
+  explicit BatchSimulator(const Netlist& nl,
+                          const sim::SimBackend* backend = nullptr);
+
+  BatchSimulator(const BatchSimulator&) = delete;
+  BatchSimulator& operator=(const BatchSimulator&) = delete;
+
+  const sim::SimBackend& backend() const { return *backend_; }
+
+  /// Full detection matrix: row f is a bitset over tests (bit t set when
+  /// tests[t] detects faults[f]), packed 64 per word. Parallel over 64-test
+  /// words on the global runtime pool.
+  DetectionMatrix detection_matrix(std::span<const TwoPatternTest> tests,
+                                   std::span<const TargetFault> faults) const;
+
+  /// Per-fault flags: detected by at least one of `tests`.
+  std::vector<bool> detects_any(std::span<const TwoPatternTest> tests,
+                                std::span<const TargetFault> faults) const;
+
+ private:
+  CompiledCircuit cc_;
+  const sim::SimBackend* backend_;
+};
+
+}  // namespace pdf

@@ -4,14 +4,14 @@
 #include <bit>
 #include <stdexcept>
 
-#include "faultsim/parallel_sim.hpp"
+#include "faultsim/batch_sim.hpp"
 
 namespace pdf {
 
 Diagnoser::Diagnoser(const Netlist& nl, std::span<const TwoPatternTest> tests,
                      std::span<const TargetFault> faults)
     : test_count_(tests.size()) {
-  ParallelFaultSimulator sim(nl);
+  BatchSimulator sim(nl);
   matrix_ = sim.detection_matrix(tests, faults);
 }
 

@@ -52,6 +52,7 @@ Json run_manifest(const RunInfo& info) {
   params["n_p"] = info.n_p;
   params["n_p0"] = info.n_p0;
   params["threads"] = info.threads;
+  params["backend"] = info.backend;
   params["paper"] = info.paper;
   params["store_enabled"] = info.store_enabled;
   params["store_dir"] = info.store_dir;

@@ -28,7 +28,8 @@ struct RunInfo {
   std::uint64_t n_p = 0;   // N_P target-set budget
   std::uint64_t n_p0 = 0;  // N_P0 subset budget
   std::uint64_t threads = 1;
-  bool paper = false;  // --paper preset active
+  std::string backend;  // sim::SimBackend name ("scalar", "bitpar", ...)
+  bool paper = false;   // --paper preset active
   bool store_enabled = false;
   std::string store_dir;
   /// (circuit, wall seconds) in run order.

@@ -5,8 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "faultsim/batch_sim.hpp"
 #include "faultsim/fault_sim.hpp"
-#include "faultsim/parallel_sim.hpp"
 
 namespace pdf {
 namespace {
@@ -35,15 +35,10 @@ CoverageBreakdown build(std::span<const TargetFault> faults,
 CoverageBreakdown coverage_by_length(const Netlist& nl,
                                      std::span<const TwoPatternTest> tests,
                                      std::span<const TargetFault> faults) {
-  // The word-parallel simulator needs a combinational, primitive-gate
-  // netlist; anything else takes the scalar path (identical results).
-  bool word_parallel_ok = !nl.has_sequential();
-  for (NodeId id = 0; word_parallel_ok && id < nl.node_count(); ++id) {
-    const GateType t = nl.node(id).type;
-    if (t == GateType::Xor || t == GateType::Xnor) word_parallel_ok = false;
-  }
-  if (word_parallel_ok) {
-    ParallelFaultSimulator fsim(nl);
+  // The batched backends need a combinational netlist; sequential circuits
+  // take the per-test scalar path (identical results).
+  if (!nl.has_sequential()) {
+    BatchSimulator fsim(nl);
     return coverage_by_length(faults, fsim.detection_matrix(tests, faults));
   }
   FaultSimulator fsim(nl);

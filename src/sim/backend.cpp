@@ -1,0 +1,54 @@
+#include "sim/backend.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace pdf::sim {
+
+namespace {
+
+// The default stays bitpar: it is bit-identical to scalar (enforced by
+// pdf_check and test_backend) and an order of magnitude faster on
+// detection-matrix builds, so opting *down* to scalar is the explicit move.
+SimBackend*& selected_slot() {
+  static SimBackend* selected = &bitpar_backend();
+  return selected;
+}
+
+}  // namespace
+
+std::span<SimBackend* const> all_backends() {
+  static const std::array<SimBackend*, 2> backends = {&scalar_backend(),
+                                                      &bitpar_backend()};
+  return backends;
+}
+
+SimBackend* find_backend(std::string_view name) {
+  for (SimBackend* b : all_backends()) {
+    if (name == b->name()) return b;
+  }
+  return nullptr;
+}
+
+std::string backend_names() {
+  std::string out;
+  for (SimBackend* b : all_backends()) {
+    if (!out.empty()) out += ", ";
+    out += b->name();
+  }
+  return out;
+}
+
+SimBackend& selected_backend() { return *selected_slot(); }
+
+void select_backend(std::string_view name) {
+  SimBackend* b = find_backend(name);
+  if (b == nullptr) {
+    throw std::invalid_argument("unknown simulation backend '" +
+                                std::string(name) + "' (available: " +
+                                backend_names() + ")");
+  }
+  selected_slot() = b;
+}
+
+}  // namespace pdf::sim

@@ -1,0 +1,85 @@
+// Pluggable simulation backends for batched robust fault simulation.
+//
+// A SimBackend turns a CompiledCircuit plus a batch of two-pattern tests and
+// target faults into a DetectionMatrix. The contract (DESIGN.md §11) is
+// strict so callers can treat the backend as an interchangeable detail:
+//
+//   * Value encoding: the triple algebra's three {0,1,x} planes. How a
+//     backend represents them internally (dense Triple arrays, 2-bit planes
+//     packed 64 tests per word, SIMD lanes, ...) is its own business.
+//   * Batching: the backend owns the loop over tests and faults. Callers
+//     hand over whole batches; per-test APIs stay on FaultSimulator, which
+//     remains the scalar single-query engine for ATPG inner loops.
+//   * Determinism: every backend produces the bit-identical DetectionMatrix
+//     for the same (circuit, tests, faults) — independent of backend choice
+//     and of the runtime thread count. pdf_check's `backends_agree` check
+//     and tests/test_backend.cpp enforce this continuously.
+//   * Memory: backends own reusable per-worker scratch arenas; steady-state
+//     batched queries perform no per-call heap allocation (observable via
+//     the `sim.<name>.scratch_grows` counters; asserted by the
+//     `micro_engines backends` mode).
+//
+// Backends are stateless singletons apart from their scratch arenas (which
+// follow the runtime::PerWorker sharing contract: one external thread plus
+// the global pool's workers). `selected_backend()` is the process-wide
+// default used when a caller doesn't pin one explicitly — set it once at
+// startup (`--backend` in the bench drivers and pdf_check), not mid-run.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "atpg/test_pattern.hpp"
+#include "core/compiled_circuit.hpp"
+#include "faults/screen.hpp"
+#include "faultsim/detection_matrix.hpp"
+
+namespace pdf::sim {
+
+class SimBackend {
+ public:
+  virtual ~SimBackend() = default;
+
+  /// Stable identifier ("scalar", "bitpar", ...): the `--backend` value, the
+  /// metric-name component and the manifest entry.
+  virtual const char* name() const = 0;
+
+  /// Can this backend simulate `cc`? All current backends require a
+  /// combinational circuit; future accelerator backends may be narrower
+  /// (callers fall back to another backend or to FaultSimulator).
+  virtual bool supports(const CompiledCircuit& cc) const = 0;
+
+  /// Full fault-by-test detection matrix: bit (f, t) is set iff tests[t]
+  /// robustly detects faults[f]. Parallel over 64-test word columns on the
+  /// global runtime pool; bit-identical across backends and thread counts.
+  /// Test widths must match cc.inputs() (validated by BatchSimulator).
+  virtual DetectionMatrix detection_matrix(
+      const CompiledCircuit& cc, std::span<const TwoPatternTest> tests,
+      std::span<const TargetFault> faults) const = 0;
+};
+
+/// The scalar reference backend: one compiled triple simulation per test.
+SimBackend& scalar_backend();
+
+/// The bit-parallel backend: 64 tests per word, 2-bit-plane {0,1,x} encoding.
+SimBackend& bitpar_backend();
+
+/// Every registered backend, in registration order (scalar first).
+std::span<SimBackend* const> all_backends();
+
+/// Lookup by name(); nullptr when unknown.
+SimBackend* find_backend(std::string_view name);
+
+/// Comma-separated list of registered backend names (for error messages).
+std::string backend_names();
+
+/// The process-wide default backend (bitpar unless select_backend() changed
+/// it). Engines that don't take an explicit backend use this one.
+SimBackend& selected_backend();
+
+/// Sets the process-wide default. Throws std::invalid_argument on an unknown
+/// name. Call at startup, before engines capture the selection.
+void select_backend(std::string_view name);
+
+}  // namespace pdf::sim

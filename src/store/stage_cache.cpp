@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <string>
 
-#include "faultsim/parallel_sim.hpp"
+#include "faultsim/batch_sim.hpp"
 
 namespace pdf::store {
 
@@ -54,7 +54,7 @@ UnionCoverage cached_union_coverage(StageCache* cache, const Netlist& nl,
                                     std::span<const TargetFault> p1,
                                     const TargetSetConfig& target_cfg) {
   const auto compute = [&] {
-    ParallelFaultSimulator fsim(nl);
+    BatchSimulator fsim(nl);
     const std::vector<bool> d0 = fsim.detects_any(tests, p0);
     const std::vector<bool> d1 = fsim.detects_any(tests, p1);
     UnionCoverage c;
@@ -72,7 +72,7 @@ UnionCoverage cached_union_coverage(StageCache* cache, const Netlist& nl,
 }
 
 DetectionMatrix cached_detection_matrix(StageCache* cache,
-                                        const ParallelFaultSimulator& fsim,
+                                        const BatchSimulator& fsim,
                                         const Netlist& nl,
                                         std::span<const TwoPatternTest> tests,
                                         std::span<const TargetFault> faults) {

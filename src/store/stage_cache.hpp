@@ -31,7 +31,7 @@
 #include "store/serde.hpp"
 
 namespace pdf {
-class ParallelFaultSimulator;
+class BatchSimulator;
 }
 
 namespace pdf::store {
@@ -121,9 +121,11 @@ UnionCoverage cached_union_coverage(StageCache* cache, const Netlist& nl,
                                     std::span<const TargetFault> p1,
                                     const TargetSetConfig& target_cfg);
 
-/// Full fault-by-test detection matrix.
+/// Full fault-by-test detection matrix. The key is backend-free on purpose:
+/// every sim::SimBackend produces the bit-identical matrix (DESIGN.md §11),
+/// so a record written under one backend is a valid hit under any other.
 DetectionMatrix cached_detection_matrix(StageCache* cache,
-                                        const ParallelFaultSimulator& fsim,
+                                        const BatchSimulator& fsim,
                                         const Netlist& nl,
                                         std::span<const TwoPatternTest> tests,
                                         std::span<const TargetFault> faults);

@@ -1,0 +1,233 @@
+// Parameterized backend conformance suite: every backend registered in
+// sim::all_backends() must agree bit-for-bit with the scalar per-test
+// FaultSimulator and with the brute-force oracle on the shared fixture
+// circuits, at any thread count.
+//
+// The PDF_BACKEND environment variable selects the process-wide default
+// backend before main() runs, so CI can run the *entire* test binary once
+// per backend (matrix job) — every test that builds a BatchSimulator without
+// naming a backend then exercises the selected one.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "base/triple.hpp"
+#include "core/compiled_circuit.hpp"
+#include "faults/requirements.hpp"
+#include "faults/screen.hpp"
+#include "faultsim/batch_sim.hpp"
+#include "faultsim/fault_sim.hpp"
+#include "oracle/oracle.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sim/backend.hpp"
+#include "testutil/circuits.hpp"
+
+namespace pdf {
+namespace {
+
+// Honors PDF_BACKEND before any test runs (and before gtest_main), making
+// the whole binary run against the named backend.
+const bool g_env_backend_applied = [] {
+  if (const char* env = std::getenv("PDF_BACKEND")) {
+    sim::select_backend(env);
+  }
+  return true;
+}();
+
+// Restores the process-wide backend selection (and a 1-thread pool) no
+// matter how a test exits, so the PDF_BACKEND choice survives this suite.
+struct SelectionGuard {
+  const sim::SimBackend& entry = sim::selected_backend();
+  ~SelectionGuard() {
+    sim::select_backend(entry.name());
+    runtime::set_global_threads(1);
+  }
+};
+
+/// XOR/XNOR coverage: p = XOR(a, b), q = XNOR(p, c), z = XOR(a, q).
+Netlist xor_circuit() {
+  Netlist nl("xors");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId c = nl.add_input("c");
+  const NodeId p = nl.add_gate("p", GateType::Xor, {a, b});
+  const NodeId q = nl.add_gate("q", GateType::Xnor, {p, c});
+  const NodeId z = nl.add_gate("z", GateType::Xor, {a, q});
+  nl.mark_output(z);
+  nl.finalize();
+  return nl;
+}
+
+std::vector<Netlist> fixtures() {
+  std::vector<Netlist> out;
+  out.push_back(testutil::tiny_and_or());
+  out.push_back(testutil::reconvergent());
+  out.push_back(testutil::chain_circuit(6));
+  out.push_back(xor_circuit());
+  for (const std::uint64_t seed : {11u, 22u, 33u}) {
+    Rng rng(seed);
+    out.push_back(testutil::random_small_netlist(rng));
+  }
+  return out;
+}
+
+std::vector<TwoPatternTest> random_tests(const Netlist& nl, std::uint64_t seed,
+                                         std::size_t count) {
+  Rng rng(seed);
+  std::vector<TwoPatternTest> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(testutil::random_two_pattern_test(rng, nl.inputs().size()));
+  }
+  return out;
+}
+
+/// One single-line requirement per node and plane-edge: exercises every
+/// {0,1,x} encoding case of every backend on every line of the circuit.
+std::vector<TargetFault> probe_faults(const Netlist& nl) {
+  std::vector<TargetFault> out;
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    for (const Triple& req : {kSteady0, kSteady1, kRise, kFall}) {
+      TargetFault tf;
+      tf.requirements = {{id, req}};
+      out.push_back(std::move(tf));
+    }
+  }
+  return out;
+}
+
+/// Robust-sensitizable path faults with their requirement lists, plus the
+/// raw fault list (for the oracle, which takes PathDelayFaults).
+struct PathTargets {
+  std::vector<TargetFault> targets;
+  std::vector<PathDelayFault> faults;
+};
+
+PathTargets path_targets(const Netlist& nl) {
+  PathTargets out;
+  const auto paths = oracle::all_complete_paths(nl, 20'000);
+  for (const auto& rp : paths) {
+    for (const bool rising : {true, false}) {
+      PathDelayFault f;
+      f.path.nodes = rp.nodes;
+      f.rising_source = rising;
+      f.length = rp.length;
+      FaultRequirements reqs = build_requirements(nl, f, Sensitization::Robust);
+      if (reqs.conflicting) continue;
+      out.targets.push_back(TargetFault{f, std::move(reqs.values)});
+      out.faults.push_back(std::move(f));
+    }
+  }
+  return out;
+}
+
+TEST(Backend, RegistryListsScalarAndBitParallel) {
+  ASSERT_GE(sim::all_backends().size(), 2u);
+  EXPECT_STREQ(sim::all_backends().front()->name(), "scalar");
+  ASSERT_NE(sim::find_backend("scalar"), nullptr);
+  ASSERT_NE(sim::find_backend("bitpar"), nullptr);
+  EXPECT_EQ(sim::find_backend("scalar"), &sim::scalar_backend());
+  EXPECT_EQ(sim::find_backend("bitpar"), &sim::bitpar_backend());
+  for (sim::SimBackend* b : sim::all_backends()) {
+    EXPECT_NE(sim::backend_names().find(b->name()), std::string::npos);
+  }
+}
+
+TEST(Backend, SelectionRoundTripsAndRejectsUnknownNames) {
+  SelectionGuard guard;
+  EXPECT_EQ(sim::find_backend("no_such_backend"), nullptr);
+  EXPECT_THROW(sim::select_backend("no_such_backend"), std::invalid_argument);
+  for (sim::SimBackend* b : sim::all_backends()) {
+    sim::select_backend(b->name());
+    EXPECT_EQ(&sim::selected_backend(), b);
+    // A null backend argument means "whatever is selected right now".
+    const Netlist nl = testutil::tiny_and_or();
+    EXPECT_EQ(&BatchSimulator(nl).backend(), b);
+  }
+}
+
+TEST(Backend, EveryBackendMatchesScalarSimulatorOnFixtures) {
+  for (const Netlist& nl : fixtures()) {
+    const auto targets = probe_faults(nl);
+    const auto tests = random_tests(nl, 0xabc0 + nl.node_count(), 70);
+    const FaultSimulator scalar(nl);
+    const CompiledCircuit cc(nl);
+    for (sim::SimBackend* backend : sim::all_backends()) {
+      ASSERT_TRUE(backend->supports(cc)) << backend->name();
+      const BatchSimulator fsim(nl, backend);
+      const DetectionMatrix m = fsim.detection_matrix(tests, targets);
+      for (std::size_t f = 0; f < targets.size(); ++f) {
+        for (std::size_t t = 0; t < tests.size(); ++t) {
+          ASSERT_EQ(m.bit(f, t), scalar.detects(tests[t], targets[f]))
+              << nl.name() << " backend " << backend->name() << " fault " << f
+              << " test " << t;
+        }
+      }
+    }
+  }
+}
+
+TEST(Backend, EveryBackendMatchesOracleOnPathFaults) {
+  for (const Netlist& nl : fixtures()) {
+    // build_requirements only walks primitive-logic paths; the XOR fixture
+    // is exercised against the scalar simulator in the probe-fault test.
+    bool primitive = true;
+    for (NodeId id = 0; id < nl.node_count(); ++id) {
+      const GateType t = nl.node(id).type;
+      primitive = primitive && (t == GateType::Input || is_primitive_logic(t));
+    }
+    if (!primitive) continue;
+    const PathTargets pt = path_targets(nl);
+    if (pt.targets.empty()) continue;
+    const auto tests = random_tests(nl, 0xdef0 + nl.node_count(), 40);
+    const std::vector<bool> want = oracle::detects_any(nl, tests, pt.faults);
+    for (sim::SimBackend* backend : sim::all_backends()) {
+      const BatchSimulator fsim(nl, backend);
+      const std::vector<bool> got = fsim.detects_any(tests, pt.targets);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got[i], want[i])
+            << nl.name() << " backend " << backend->name() << " fault " << i;
+      }
+    }
+  }
+}
+
+TEST(Backend, MatricesIdenticalAcrossThreadCountsPerBackend) {
+  SelectionGuard guard;
+  Rng rng(77);
+  const Netlist nl = testutil::random_small_netlist(rng);
+  const auto targets = probe_faults(nl);
+  const auto tests = random_tests(nl, 0x7777, 130);  // crosses a word boundary
+  for (sim::SimBackend* backend : sim::all_backends()) {
+    const BatchSimulator fsim(nl, backend);
+    runtime::set_global_threads(1);
+    const DetectionMatrix m1 = fsim.detection_matrix(tests, targets);
+    runtime::set_global_threads(4);
+    const DetectionMatrix m4 = fsim.detection_matrix(tests, targets);
+    EXPECT_EQ(m1, m4) << backend->name();
+  }
+}
+
+TEST(Backend, SequentialCircuitsAreRejected) {
+  Netlist nl("seq");
+  const NodeId a = nl.add_input("a");
+  const NodeId ff = nl.add_gate("ff", GateType::Dff, {a});
+  const NodeId z = nl.add_gate("z", GateType::Not, {ff});
+  nl.mark_output(z);
+  nl.finalize();
+  ASSERT_TRUE(nl.has_sequential());
+  const CompiledCircuit cc(nl);
+  for (sim::SimBackend* backend : sim::all_backends()) {
+    EXPECT_FALSE(backend->supports(cc)) << backend->name();
+    EXPECT_THROW(BatchSimulator(nl, backend), std::logic_error);
+  }
+}
+
+}  // namespace
+}  // namespace pdf

@@ -1,4 +1,4 @@
-#include "faultsim/parallel_sim.hpp"
+#include "faultsim/batch_sim.hpp"
 
 #include <gtest/gtest.h>
 
@@ -24,7 +24,7 @@ std::vector<TwoPatternTest> random_tests(const Netlist& nl, std::size_t count,
   return tests;
 }
 
-TEST(ParallelSim, MatchesScalarSimulatorOnRandomTests) {
+TEST(BatchSim, MatchesScalarSimulatorOnRandomTests) {
   for (const char* name : {"s27", "b03_like", "rca16"}) {
     const Netlist nl = benchmark_circuit(name);
     TargetSetConfig cfg;
@@ -38,7 +38,7 @@ TEST(ParallelSim, MatchesScalarSimulatorOnRandomTests) {
     const auto tests = random_tests(nl, 130, rng);
 
     FaultSimulator scalar(nl);
-    ParallelFaultSimulator parallel(nl);
+    BatchSimulator parallel(nl);
     EXPECT_EQ(parallel.detects_any(tests, ts.p0),
               scalar.detects_any(tests, ts.p0))
         << name;
@@ -48,7 +48,7 @@ TEST(ParallelSim, MatchesScalarSimulatorOnRandomTests) {
   }
 }
 
-TEST(ParallelSim, DetectionMatrixMatchesPerTestScalar) {
+TEST(BatchSim, DetectionMatrixMatchesPerTestScalar) {
   const Netlist nl = benchmark_circuit("s27");
   TargetSetConfig cfg;
   cfg.n_p = 100;
@@ -59,7 +59,7 @@ TEST(ParallelSim, DetectionMatrixMatchesPerTestScalar) {
   Rng rng(9);
   const auto tests = random_tests(nl, 70, rng);
   FaultSimulator scalar(nl);
-  ParallelFaultSimulator parallel(nl);
+  BatchSimulator parallel(nl);
   const DetectionMatrix matrix = parallel.detection_matrix(tests, ts.p0);
   ASSERT_EQ(matrix.fault_count(), ts.p0.size());
   ASSERT_EQ(matrix.test_count(), tests.size());
@@ -76,7 +76,7 @@ TEST(ParallelSim, DetectionMatrixMatchesPerTestScalar) {
   }
 }
 
-TEST(ParallelSim, WordLogicMatchesTripleSimExactly) {
+TEST(BatchSim, WordLogicMatchesTripleSimExactly) {
   // Property: pack 64 random tests and compare every line's computed triple
   // against the scalar triple simulator, via the detection of per-line
   // "probe requirements".
@@ -84,7 +84,7 @@ TEST(ParallelSim, WordLogicMatchesTripleSimExactly) {
   for (int iter = 0; iter < 10; ++iter) {
     const Netlist nl = testutil::random_small_netlist(rng);
     const auto tests = random_tests(nl, 64, rng);
-    ParallelFaultSimulator parallel(nl);
+    BatchSimulator parallel(nl);
     FaultSimulator scalar(nl);
 
     // One synthetic "fault" per node and interesting triple.
@@ -102,9 +102,9 @@ TEST(ParallelSim, WordLogicMatchesTripleSimExactly) {
   }
 }
 
-TEST(ParallelSim, EmptyInputs) {
+TEST(BatchSim, EmptyInputs) {
   const Netlist nl = benchmark_circuit("s27");
-  ParallelFaultSimulator parallel(nl);
+  BatchSimulator parallel(nl);
   EXPECT_TRUE(parallel.detects_any({}, {}).empty());
   TargetSetConfig cfg;
   cfg.n_p = 40;
@@ -114,9 +114,9 @@ TEST(ParallelSim, EmptyInputs) {
   for (bool b : none) EXPECT_FALSE(b);
 }
 
-TEST(ParallelSim, BadTestWidthThrows) {
+TEST(BatchSim, BadTestWidthThrows) {
   const Netlist nl = benchmark_circuit("s27");
-  ParallelFaultSimulator parallel(nl);
+  BatchSimulator parallel(nl);
   TwoPatternTest t;
   t.pi_values.assign(2, kSteady0);
   TargetFault tf;

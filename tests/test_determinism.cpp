@@ -9,8 +9,8 @@
 
 #include "enrich/enrichment.hpp"
 #include "faultsim/defect_mc.hpp"
+#include "faultsim/batch_sim.hpp"
 #include "faultsim/fault_sim.hpp"
-#include "faultsim/parallel_sim.hpp"
 #include "gen/registry.hpp"
 #include "paths/distance.hpp"
 #include "paths/line_cover.hpp"
@@ -51,19 +51,32 @@ TEST(Determinism, DetectionMatrixIdenticalAcrossThreadCounts) {
 
   Rng rng(555);
   const auto tests = random_tests(nl, 200, rng);
-  const ParallelFaultSimulator fsim(nl);
 
-  runtime::set_global_threads(1);
-  const DetectionMatrix m1 = fsim.detection_matrix(tests, ts.p0);
-  runtime::set_global_threads(8);
-  const DetectionMatrix m8 = fsim.detection_matrix(tests, ts.p0);
-  EXPECT_EQ(m1, m8);
+  // Every registered backend: 1-thread and 8-thread matrices bit-identical,
+  // and identical to each other across backends.
+  DetectionMatrix reference;
+  bool have_reference = false;
+  for (sim::SimBackend* backend : sim::all_backends()) {
+    const BatchSimulator fsim(nl, backend);
+    runtime::set_global_threads(1);
+    const DetectionMatrix m1 = fsim.detection_matrix(tests, ts.p0);
+    runtime::set_global_threads(8);
+    const DetectionMatrix m8 = fsim.detection_matrix(tests, ts.p0);
+    EXPECT_EQ(m1, m8) << backend->name();
+    if (!have_reference) {
+      reference = m1;
+      have_reference = true;
+    } else {
+      EXPECT_EQ(m1, reference) << backend->name() << " vs "
+                               << sim::all_backends().front()->name();
+    }
+  }
 
-  // And both agree with the scalar per-test simulator.
+  // And all agree with the scalar per-test simulator.
   FaultSimulator scalar(nl);
   for (std::size_t f = 0; f < ts.p0.size(); f += 17) {
     for (std::size_t t = 0; t < tests.size(); t += 13) {
-      EXPECT_EQ(m8.bit(f, t), scalar.detects(tests[t], ts.p0[f]));
+      EXPECT_EQ(reference.bit(f, t), scalar.detects(tests[t], ts.p0[f]));
     }
   }
 }

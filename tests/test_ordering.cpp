@@ -6,7 +6,7 @@
 #include <numeric>
 
 #include "enrich/enrichment.hpp"
-#include "faultsim/parallel_sim.hpp"
+#include "faultsim/batch_sim.hpp"
 #include "gen/registry.hpp"
 
 namespace pdf {
@@ -43,7 +43,7 @@ TEST(Ordering, CumulativeCoverageIsMonotoneAndEndsAtTotal) {
   for (std::size_t i = 0; i + 1 < r.cumulative_detected.size(); ++i) {
     EXPECT_LE(r.cumulative_detected[i], r.cumulative_detected[i + 1]);
   }
-  ParallelFaultSimulator sim(fx.nl);
+  BatchSimulator sim(fx.nl);
   const auto det = sim.detects_any(fx.gen.tests, fx.sets.p0);
   const std::size_t total =
       static_cast<std::size_t>(std::count(det.begin(), det.end(), true));
@@ -54,7 +54,7 @@ TEST(Ordering, GreedyFirstPickIsTheBestSingleTest) {
   Fixture fx;
   const OrderingResult r =
       order_tests_by_coverage(fx.nl, fx.gen.tests, fx.sets.p0);
-  ParallelFaultSimulator sim(fx.nl);
+  BatchSimulator sim(fx.nl);
   std::size_t best_single = 0;
   for (const auto& t : fx.gen.tests) {
     const TwoPatternTest one[] = {t};
@@ -72,7 +72,7 @@ TEST(Ordering, OrderedPrefixDominatesOriginalPrefix) {
   Fixture fx;
   const OrderingResult r =
       order_tests_by_coverage(fx.nl, fx.gen.tests, fx.sets.p0);
-  ParallelFaultSimulator sim(fx.nl);
+  BatchSimulator sim(fx.nl);
   const auto ordered = apply_order(fx.gen.tests, r.order);
   for (std::size_t k = 1; k <= fx.gen.tests.size(); k += 7) {
     const auto det_orig = sim.detects_any(

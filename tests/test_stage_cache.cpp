@@ -8,7 +8,7 @@
 #include <fstream>
 
 #include "enrich/enrichment.hpp"
-#include "faultsim/parallel_sim.hpp"
+#include "faultsim/batch_sim.hpp"
 #include "runtime/metrics.hpp"
 #include "store/stage_cache.hpp"
 #include "testutil/circuits.hpp"
@@ -201,7 +201,7 @@ TEST(StageCacheTest, CachedDetectionMatrixHitMatchesComputed) {
   StageCache cache(dir.path);
   EnrichmentWorkbench wb(nl, tcfg, &cache);
   const GenerationResult res = wb.run_enriched({});
-  ParallelFaultSimulator fsim(nl);
+  BatchSimulator fsim(nl);
 
   const DetectionMatrix direct =
       fsim.detection_matrix(res.tests, wb.targets().p0);

@@ -16,7 +16,7 @@
 #include "base/rng.hpp"
 #include "core/compiled_circuit.hpp"
 #include "enrich/target_sets.hpp"
-#include "faultsim/parallel_sim.hpp"
+#include "faultsim/detection_matrix.hpp"
 #include "store/artifact_store.hpp"
 #include "store/hash.hpp"
 #include "store/serde.hpp"

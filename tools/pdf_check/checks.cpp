@@ -13,12 +13,13 @@
 #include "faults/fault.hpp"
 #include "faults/requirements.hpp"
 #include "faults/screen.hpp"
+#include "faultsim/batch_sim.hpp"
 #include "faultsim/fault_sim.hpp"
-#include "faultsim/parallel_sim.hpp"
 #include "oracle/oracle.hpp"
 #include "paths/enumerate.hpp"
 #include "paths/path.hpp"
 #include "runtime/thread_pool.hpp"
+#include "sim/backend.hpp"
 #include "sim/triple_sim.hpp"
 #include "store/serde.hpp"
 #include "store/stage_cache.hpp"
@@ -218,19 +219,69 @@ std::optional<std::string> check_faultsim(const Netlist& nl, std::uint64_t seed)
   const auto tests = random_tests(nl, mix(seed, 0xf5), 10);
   const FaultSimulator fsim(nl);
   const std::vector<bool> scalar = fsim.detects_any(tests, targets);
-  const ParallelFaultSimulator psim(nl);
-  const std::vector<bool> parallel = psim.detects_any(tests, targets);
+  const BatchSimulator psim(nl);  // the selected backend (--backend)
+  const std::vector<bool> batched = psim.detects_any(tests, targets);
   const std::vector<bool> want = oracle::detects_any(nl, tests, kept);
   for (std::size_t i = 0; i < targets.size(); ++i) {
     if (scalar[i] != want[i]) {
       return "faultsim: " + describe_fault(nl, kept[i]) + ": FaultSimulator " +
              std::to_string(scalar[i]) + " vs oracle " + std::to_string(want[i]);
     }
-    if (parallel[i] != want[i]) {
-      return "faultsim: " + describe_fault(nl, kept[i]) +
-             ": ParallelFaultSimulator " + std::to_string(parallel[i]) +
+    if (batched[i] != want[i]) {
+      return "faultsim: " + describe_fault(nl, kept[i]) + ": BatchSimulator[" +
+             psim.backend().name() + "] " + std::to_string(batched[i]) +
              " vs oracle " + std::to_string(want[i]);
     }
+  }
+  return std::nullopt;
+}
+
+// ---- differential: cross-backend detection matrices ------------------------
+
+std::optional<std::string> check_backends(const Netlist& nl,
+                                          std::uint64_t seed) {
+  // Every registered sim::SimBackend must produce the bit-identical
+  // detection matrix. The fault list mixes per-line probe requirements
+  // (every node x {steady0, steady1, rise, fall} — exercising each plane of
+  // each line) with real path faults when the circuit is enumerable; the
+  // test count crosses a word boundary so partial-lane masking is covered.
+  std::vector<TargetFault> targets;
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    for (const Triple& req : {kSteady0, kSteady1, kRise, kFall}) {
+      TargetFault tf;
+      tf.requirements = {{id, req}};
+      targets.push_back(std::move(tf));
+    }
+  }
+  if (const auto ref = ref_paths(nl)) {
+    for (const auto& f : faults_of(*ref, 40)) {
+      FaultRequirements reqs = build_requirements(nl, f, Sensitization::Robust);
+      if (reqs.conflicting) continue;
+      targets.push_back(TargetFault{f, std::move(reqs.values)});
+    }
+  }
+
+  const auto tests = random_tests(nl, mix(seed, 0xbe), 130);
+  const BatchSimulator reference(nl, &sim::scalar_backend());
+  const DetectionMatrix want = reference.detection_matrix(tests, targets);
+  for (sim::SimBackend* backend : sim::all_backends()) {
+    if (backend == &sim::scalar_backend()) continue;
+    const BatchSimulator candidate(nl, backend);
+    const DetectionMatrix got = candidate.detection_matrix(tests, targets);
+    if (got == want) continue;
+    for (std::size_t f = 0; f < targets.size(); ++f) {
+      for (std::size_t t = 0; t < tests.size(); ++t) {
+        if (got.bit(f, t) == want.bit(f, t)) continue;
+        const auto& req = targets[f].requirements.front();
+        return std::string("backends: ") + backend->name() + " says " +
+               std::to_string(got.bit(f, t)) + ", scalar says " +
+               std::to_string(want.bit(f, t)) + " for requirement " +
+               nl.node(req.line).name + "=" + req.value.str() + " (fault " +
+               std::to_string(f) + ") under " + describe_test(tests[t]);
+      }
+    }
+    return std::string("backends: ") + backend->name() +
+           " matrix differs from scalar (shape mismatch)";
   }
   return std::nullopt;
 }
@@ -402,7 +453,7 @@ std::optional<std::string> check_threads(const Netlist& nl, std::uint64_t seed) 
 
   const auto run_all = [&] {
     GenerationOutputs out = outputs_of(generate_tests(nl, ts.p0, ts.p1, gcfg));
-    const ParallelFaultSimulator psim(nl);
+    const BatchSimulator psim(nl);
     const std::vector<bool> d = psim.detects_any(tests, ts.p0);
     out.detected.push_back(d);
     return out;
@@ -465,6 +516,7 @@ constexpr Check kChecks[] = {
     {"paths_vs_oracle", 1, check_paths},
     {"requirements_vs_oracle", 1, check_requirements},
     {"faultsim_vs_oracle", 1, check_faultsim},
+    {"backends_agree", 2, check_backends},
     {"atpg_primary_targets", 2, check_atpg},
     {"coverage_accounting", 2, check_coverage},
     {"prune_prefix", 2, check_prune_prefix},

@@ -7,8 +7,8 @@
 // to a near-minimal netlist and written to a repro file that --replay reruns.
 //
 //   pdf_check [--cases N] [--seed S | --seed from-git-sha] [--threads N]
-//             [--check NAME] [--repro FILE] [--replay FILE] [--list-checks]
-//             [--verbose]
+//             [--backend NAME] [--check NAME] [--repro FILE] [--replay FILE]
+//             [--list-checks] [--verbose]
 //
 // Exit status: 0 clean, 1 check failure (repro written), 2 usage/setup error.
 #include <cstdio>
@@ -22,6 +22,7 @@
 #include "pdf_check/checks.hpp"
 #include "pdf_check/shrink.hpp"
 #include "runtime/thread_pool.hpp"
+#include "sim/backend.hpp"
 #include "testutil/circuits.hpp"
 
 namespace {
@@ -42,9 +43,9 @@ struct Options {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--cases N] [--seed S|from-git-sha] [--threads N]\n"
-               "          [--check NAME] [--repro FILE] [--replay FILE]\n"
-               "          [--list-checks] [--verbose]\n",
-               argv0);
+               "          [--backend %s] [--check NAME] [--repro FILE]\n"
+               "          [--replay FILE] [--list-checks] [--verbose]\n",
+               argv0, pdf::sim::backend_names().c_str());
   std::exit(2);
 }
 
@@ -83,6 +84,13 @@ Options parse_options(int argc, char** argv) {
                                    : std::strtoull(v.c_str(), nullptr, 0);
     } else if (arg == "--threads") {
       o.threads = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--backend") {
+      try {
+        pdf::sim::select_backend(value());
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "pdf_check: %s\n", e.what());
+        std::exit(2);
+      }
     } else if (arg == "--check") {
       o.only_check = value();
     } else if (arg == "--repro") {
