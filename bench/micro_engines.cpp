@@ -27,6 +27,14 @@
 // pipeline twice against a fresh store root (default .artifact-store.micro,
 // wiped first), verifies the warm results are identical to the cold ones,
 // and reports per-phase wall clock, speedup and store hit/miss counts.
+//   micro_engines serve [--circuit NAME] [--dir DIR] [--csv] [--metrics]
+// in-process serve::Server throughput: pushes a mixed hot/cold job stream
+// through 4 worker shards over a fresh store root (default
+// .artifact-store.serve, wiped first and after), verifies every response's
+// result object is byte-identical to a direct single-shot run_job of the
+// same request, and reports jobs/s, end-to-end latency p50/p99 and the
+// stage-cache hit/miss split. Exits nonzero on any mismatch or if the hot
+// half of the stream produced no cache hits.
 //   micro_engines obs [--circuit NAME] [--csv]
 // span-tracing overhead on the robust-sim hot loop: times the loop bare,
 // with PDF_TRACE_SPAN while tracing is disabled (the steady state of every
@@ -37,10 +45,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <functional>
+#include <map>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 
@@ -53,6 +64,9 @@
 #include "gen/registry.hpp"
 #include "obs/manifest.hpp"
 #include "obs/trace.hpp"
+#include "serve/job.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
 #include "sim/backend.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/thread_pool.hpp"
@@ -705,6 +719,123 @@ int run_obs_mode(const std::string& name, bool csv) {
   return 0;
 }
 
+// `micro_engines serve`: in-process serve::Server throughput. A mixed
+// hot/cold job stream (half the jobs share one seed and become StageCache
+// hits after the first completion) is pushed through 4 worker shards; every
+// response's deterministic result object is verified byte-identical to a
+// direct single-shot run_job of the same request, and the run reports
+// throughput plus the serve-side queue/latency distribution.
+int run_serve_mode(const std::string& name, const std::string& dir, bool csv,
+                   bool metrics) {
+  const Netlist nl = benchmark_circuit(name);
+  std::filesystem::remove_all(dir);
+
+  serve::ServerConfig cfg;
+  cfg.concurrency = 4;
+  cfg.queue_depth = 64;
+  cfg.store_dir = dir;
+  cfg.backend = sim::selected_backend().name();
+
+  constexpr int kJobs = 32;
+  const auto make_job = [&](int j) {
+    serve::Request req;
+    req.id = j + 1;
+    req.kind = serve::RequestKind::Enrich;
+    req.circuit = name;
+    req.target.n_p = 300;
+    req.target.n_p0 = 40;
+    req.gen.seed = j % 2 == 0 ? 1 : static_cast<std::uint64_t>(100 + j);
+    return req;
+  };
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<serve::Response> responses;
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    serve::Server server(cfg);
+    for (int j = 0; j < kJobs; ++j) {
+      server.submit(make_job(j), [&](serve::Response r) {
+        std::lock_guard<std::mutex> lk(mu);
+        responses.push_back(std::move(r));
+        cv.notify_all();
+      });
+    }
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return responses.size() == kJobs; });
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::uint64_t hits = 0, misses = 0;
+  std::vector<double> latency_ms;
+  const serve::JobContext uncached{nullptr, cfg.backend, "", ""};
+  std::map<std::uint64_t, std::string> expected;  // seed -> result bytes
+  bool ok = true;
+  for (const auto& resp : responses) {
+    if (resp.status != serve::Status::Ok) {
+      std::fprintf(stderr, "FAIL: job %lld: %s\n",
+                   static_cast<long long>(resp.id),
+                   resp.error.message.c_str());
+      ok = false;
+      continue;
+    }
+    hits += resp.cache_hits;
+    misses += resp.cache_misses;
+    latency_ms.push_back(static_cast<double>(resp.queue_ns + resp.run_ns) /
+                         1e6);
+    const serve::Request ref = make_job(static_cast<int>(resp.id - 1));
+    auto it = expected.find(ref.gen.seed);
+    if (it == expected.end()) {
+      it = expected
+               .emplace(ref.gen.seed,
+                        serve::run_job(ref, uncached).result.dump())
+               .first;
+    }
+    if (resp.result.dump() != it->second) {
+      std::fprintf(stderr, "FAIL: job %lld result differs from single-shot\n",
+                   static_cast<long long>(resp.id));
+      ok = false;
+    }
+  }
+  std::sort(latency_ms.begin(), latency_ms.end());
+  const auto pct = [&](double q) {
+    if (latency_ms.empty()) return 0.0;
+    return latency_ms[static_cast<std::size_t>(
+        q * static_cast<double>(latency_ms.size() - 1))];
+  };
+
+  std::printf("== in-process serve throughput ==\n");
+  std::printf("circuit: %s, jobs: %d (hot/cold mix), workers: %zu\n",
+              name.c_str(), kJobs, cfg.concurrency);
+  std::printf("wall: %.3f s, throughput: %.1f jobs/s\n", secs,
+              secs > 0 ? kJobs / secs : 0.0);
+  std::printf("latency_ms: p50 %.2f p99 %.2f\n", pct(0.50), pct(0.99));
+  std::printf("stage-cache: %llu hits, %llu misses\n",
+              static_cast<unsigned long long>(hits),
+              static_cast<unsigned long long>(misses));
+  std::printf("single-shot equivalence: %s\n", ok ? "ok" : "MISMATCH");
+  if (csv) {
+    std::printf("\ncsv:\ncircuit,jobs,wall_s,jobs_per_s,p50_ms,p99_ms,hits,"
+                "misses,ok\n");
+    std::printf("%s,%d,%.4f,%.1f,%.3f,%.3f,%llu,%llu,%d\n", name.c_str(),
+                kJobs, secs, secs > 0 ? kJobs / secs : 0.0, pct(0.50),
+                pct(0.99), static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses), ok ? 1 : 0);
+  }
+  if (metrics) {
+    std::fprintf(stderr, "%s", runtime::Metrics::global().dump().c_str());
+  }
+  std::filesystem::remove_all(dir);
+  // The warm half of the stream must actually have hit the cache.
+  if (hits == 0) {
+    std::fprintf(stderr, "FAIL: hot jobs produced no stage-cache hits\n");
+    return 1;
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -713,14 +844,15 @@ int main(int argc, char** argv) {
   bool store_mode = false;
   bool obs_mode = false;
   bool backend_mode = false;
+  bool serve_mode = false;
   bool csv = false;
   bool metrics = false;
   std::string circuit_name = "s13207_like";
   std::string store_dir = ".artifact-store.micro";
   std::string metrics_json;
   for (int i = 1; i < argc; ++i) {
-    const bool any_mode =
-        compare || thread_scaling || store_mode || obs_mode || backend_mode;
+    const bool any_mode = compare || thread_scaling || store_mode ||
+                          obs_mode || backend_mode || serve_mode;
     if (std::strcmp(argv[i], "compiled-vs-legacy") == 0) {
       compare = true;
     } else if (std::strcmp(argv[i], "threads") == 0 && !any_mode) {
@@ -733,9 +865,13 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "backends") == 0 && !any_mode) {
       backend_mode = true;
       circuit_name = "s1196_like";  // the acceptance circuit for the 5x gate
+    } else if (std::strcmp(argv[i], "serve") == 0 && !any_mode) {
+      serve_mode = true;
+      circuit_name = "s27";  // per-job cost small: throughput, not ATPG time
+      store_dir = ".artifact-store.serve";
     } else if (any_mode && std::strcmp(argv[i], "--csv") == 0) {
       csv = true;
-    } else if ((thread_scaling || store_mode || backend_mode) &&
+    } else if ((thread_scaling || store_mode || backend_mode || serve_mode) &&
                std::strcmp(argv[i], "--metrics") == 0) {
       metrics = true;
     } else if (backend_mode && std::strcmp(argv[i], "--metrics-json") == 0 &&
@@ -749,7 +885,7 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s\n", e.what());
         return 2;
       }
-    } else if (store_mode && std::strcmp(argv[i], "--dir") == 0 &&
+    } else if ((store_mode || serve_mode) && std::strcmp(argv[i], "--dir") == 0 &&
                i + 1 < argc) {
       store_dir = argv[++i];
     } else if (any_mode && std::strcmp(argv[i], "--circuit") == 0 &&
@@ -764,6 +900,7 @@ int main(int argc, char** argv) {
   if (backend_mode) {
     return run_backend_compare(circuit_name, csv, metrics, metrics_json);
   }
+  if (serve_mode) return run_serve_mode(circuit_name, store_dir, csv, metrics);
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -4,13 +4,15 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "base/error.hpp"
 #include "sim/triple_sim.hpp"
 
 namespace pdf {
 namespace {
 
 [[noreturn]] void fail(int line_no, const std::string& msg) {
-  throw std::runtime_error("test file line " + std::to_string(line_no) + ": " + msg);
+  throw ParseError("tests", line_no,
+                   "test file line " + std::to_string(line_no) + ": " + msg);
 }
 
 }  // namespace

@@ -1,0 +1,48 @@
+// Typed error hierarchy for recoverable pipeline failures.
+//
+// Long-running consumers — the pdf_serve daemon above all — must map a bad
+// request (malformed .bench text, an inconsistent config) to a structured
+// failure response instead of dying, so the error *class* has to be
+// recoverable from the exception type alone:
+//
+//   * ParseError  — malformed input text (.bench netlists, test files).
+//     Derives std::runtime_error (what parsers historically threw, so
+//     existing catch sites keep working) and carries the input source name
+//     and the 1-based line number as data, not just as message prose.
+//   * ConfigError — structurally valid input with invalid parameters
+//     (zero fault budgets, mis-sized stem-weight vectors, unknown enum
+//     names). Derives std::invalid_argument for the same compatibility
+//     reason.
+//
+// Everything else (std::logic_error, SerdeError, bad_alloc, ...) remains an
+// internal error: serve maps it to a generic failure and keeps running.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace pdf {
+
+/// Malformed input text. `line() == 0` means the error is not attributable
+/// to a single line (e.g. an unreadable file or a whole-netlist check).
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string source, int line, const std::string& what)
+      : std::runtime_error(what), source_(std::move(source)), line_(line) {}
+
+  const std::string& source() const noexcept { return source_; }
+  int line() const noexcept { return line_; }
+
+ private:
+  std::string source_;
+  int line_;
+};
+
+/// Well-formed input with invalid parameter values.
+class ConfigError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+}  // namespace pdf

@@ -5,7 +5,10 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 #include <vector>
+
+#include "base/error.hpp"
 
 namespace pdf {
 namespace {
@@ -15,10 +18,6 @@ std::string strip(const std::string& s) {
   while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
   while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
   return s.substr(b, e - b);
-}
-
-[[noreturn]] void fail(int line_no, const std::string& msg) {
-  throw std::runtime_error(".bench line " + std::to_string(line_no) + ": " + msg);
 }
 
 struct GateDef {
@@ -31,8 +30,13 @@ struct GateDef {
 }  // namespace
 
 Netlist parse_bench(std::istream& in, const std::string& circuit_name) {
+  auto fail = [&](int line_no, const std::string& msg) -> void {
+    throw ParseError(circuit_name, line_no,
+                     ".bench line " + std::to_string(line_no) + ": " + msg);
+  };
+
   std::vector<std::string> input_names;
-  std::vector<std::string> output_names;
+  std::vector<std::pair<std::string, int>> output_names;  // (name, line)
   std::vector<GateDef> defs;
 
   std::string raw;
@@ -75,7 +79,7 @@ Netlist parse_bench(std::istream& in, const std::string& circuit_name) {
       if (upper == "INPUT") {
         input_names.push_back(args[0]);
       } else if (upper == "OUTPUT") {
-        output_names.push_back(args[0]);
+        output_names.emplace_back(args[0], line_no);
       } else {
         fail(line_no, "unknown directive: " + fn);
       }
@@ -126,13 +130,20 @@ Netlist parse_bench(std::istream& in, const std::string& circuit_name) {
     nl.set_fanin(ids[i], std::move(fanin));
   }
 
-  for (const auto& name : output_names) {
+  for (const auto& [name, out_line] : output_names) {
     auto id = nl.find(name);
-    if (!id) throw std::runtime_error("OUTPUT(" + name + ") names an undefined signal");
+    if (!id) fail(out_line, "OUTPUT(" + name + ") names an undefined signal");
     nl.mark_output(*id);
   }
 
-  nl.finalize();
+  // Whole-netlist structural checks (arity, combinational acyclicity) are
+  // not attributable to one line; surface them as ParseError line 0 so a
+  // serving layer still sees a typed input failure, not an internal error.
+  try {
+    nl.finalize();
+  } catch (const std::runtime_error& e) {
+    throw ParseError(circuit_name, 0, std::string(".bench: ") + e.what());
+  }
   return nl;
 }
 
@@ -143,7 +154,7 @@ Netlist parse_bench_string(const std::string& text, const std::string& circuit_n
 
 Netlist parse_bench_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open .bench file: " + path);
+  if (!in) throw ParseError(path, 0, "cannot open .bench file: " + path);
   std::string name = path;
   if (auto slash = name.find_last_of('/'); slash != std::string::npos) {
     name = name.substr(slash + 1);

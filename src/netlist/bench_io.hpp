@@ -16,8 +16,10 @@
 
 namespace pdf {
 
-/// Parses .bench text. Throws std::runtime_error with a line number on any
-/// syntax or structural error.
+/// Parses .bench text. Throws pdf::ParseError (a std::runtime_error carrying
+/// the source name and 1-based line, see base/error.hpp) on any syntax or
+/// structural error — never aborts, so long-running callers (pdf_serve) can
+/// turn bad input into a structured request failure.
 Netlist parse_bench(std::istream& in, const std::string& circuit_name = "bench");
 Netlist parse_bench_string(const std::string& text,
                            const std::string& circuit_name = "bench");

@@ -6,6 +6,7 @@
 #include <queue>
 #include <stdexcept>
 
+#include "base/error.hpp"
 #include "obs/trace.hpp"
 #include "paths/distance.hpp"
 #include "runtime/metrics.hpp"
@@ -317,9 +318,9 @@ class Enumerator {
 
 EnumerationResult enumerate_longest_paths(const LineDelayModel& dm,
                                           const EnumerationConfig& cfg) {
-  if (cfg.max_faults == 0) throw std::invalid_argument("max_faults must be > 0");
+  if (cfg.max_faults == 0) throw ConfigError("max_faults must be > 0");
   if (cfg.faults_per_path <= 0) {
-    throw std::invalid_argument("faults_per_path must be > 0");
+    throw ConfigError("faults_per_path must be > 0");
   }
   Enumerator e(dm, cfg);
   return e.run();

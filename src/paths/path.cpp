@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "base/error.hpp"
 #include "base/rng.hpp"
 
 namespace pdf {
@@ -24,10 +25,10 @@ LineDelayModel::LineDelayModel(const Netlist& nl, std::vector<int> stem_weights)
     : nl_(&nl), stem_weight_(std::move(stem_weights)) {
   if (!nl.finalized()) throw std::logic_error("LineDelayModel: netlist not finalized");
   if (stem_weight_.size() != nl.node_count()) {
-    throw std::invalid_argument("LineDelayModel: wrong stem-weight vector size");
+    throw ConfigError("LineDelayModel: wrong stem-weight vector size");
   }
   for (int w : stem_weight_) {
-    if (w < 0) throw std::invalid_argument("LineDelayModel: negative stem weight");
+    if (w < 0) throw ConfigError("LineDelayModel: negative stem weight");
   }
   consumers_.resize(nl.node_count());
   for (NodeId id = 0; id < nl.node_count(); ++id) {

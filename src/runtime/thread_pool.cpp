@@ -1,6 +1,7 @@
 #include "runtime/thread_pool.hpp"
 
 #include <memory>
+#include <stdexcept>
 
 #include "runtime/metrics.hpp"
 
@@ -59,6 +60,25 @@ thread_local int t_task_depth = 0;
 }  // namespace
 
 std::size_t worker_slot() { return t_worker_slot; }
+
+ExternalWorkerScope::ExternalWorkerScope() {
+  if (t_worker_slot != 0) {
+    throw std::logic_error(
+        "ExternalWorkerScope: thread already holds a worker slot");
+  }
+  slot_ = acquire_worker_slot();
+  if (slot_ >= kMaxWorkerSlots) {
+    // Same bound as pool workers: never let two live threads share a slot.
+    release_worker_slot(slot_);
+    throw std::logic_error("ExternalWorkerScope: worker slots exhausted");
+  }
+  t_worker_slot = slot_;
+}
+
+ExternalWorkerScope::~ExternalWorkerScope() {
+  t_worker_slot = 0;
+  release_worker_slot(slot_);
+}
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {

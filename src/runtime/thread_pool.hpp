@@ -52,6 +52,28 @@ inline constexpr std::size_t kMaxWorkerSlots = 1024;
 /// [1, kMaxWorkerSlots) for every pool worker thread.
 std::size_t worker_slot();
 
+/// RAII registration of a long-lived *external* thread (one the pool did not
+/// create — e.g. a pdf_serve request worker) as a distinct per-worker-state
+/// participant. Unregistered external threads all report worker_slot() == 0
+/// and therefore must not run PerWorker-backed engines concurrently (the
+/// singleton sim backends keep slot-indexed scratch). Holding an
+/// ExternalWorkerScope for the thread's lifetime gives it a unique slot from
+/// the same recycled pool the worker threads draw from, making concurrent
+/// engine use from several external threads safe. Construct once per thread;
+/// nesting (a thread that already has a nonzero slot) throws.
+class ExternalWorkerScope {
+ public:
+  ExternalWorkerScope();
+  ~ExternalWorkerScope();
+  ExternalWorkerScope(const ExternalWorkerScope&) = delete;
+  ExternalWorkerScope& operator=(const ExternalWorkerScope&) = delete;
+
+  std::size_t slot() const { return slot_; }
+
+ private:
+  std::size_t slot_;
+};
+
 class ThreadPool {
  public:
   /// Total participant count including the caller; 0 picks the hardware

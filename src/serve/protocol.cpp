@@ -1,0 +1,263 @@
+#include "serve/protocol.hpp"
+
+#include <exception>
+
+#include "base/error.hpp"
+
+namespace pdf::serve {
+
+namespace {
+
+RequestKind kind_from_string(const std::string& s) {
+  if (s == "enrich") return RequestKind::Enrich;
+  if (s == "basic") return RequestKind::Basic;
+  if (s == "ping") return RequestKind::Ping;
+  if (s == "stats") return RequestKind::Stats;
+  if (s == "cancel") return RequestKind::Cancel;
+  if (s == "shutdown") return RequestKind::Shutdown;
+  throw ConfigError("unknown request kind '" + s +
+                    "' (enrich, basic, ping, stats, cancel, shutdown)");
+}
+
+CompactionHeuristic heuristic_from_string(const std::string& s) {
+  if (s == "none" || s == "uncomp") return CompactionHeuristic::None;
+  if (s == "arbitrary" || s == "arbit") return CompactionHeuristic::Arbitrary;
+  if (s == "length") return CompactionHeuristic::Length;
+  if (s == "value" || s == "values") return CompactionHeuristic::Value;
+  throw ConfigError("unknown heuristic '" + s +
+                    "' (none, arbitrary, length, value)");
+}
+
+Status status_from_string(const std::string& s) {
+  if (s == "ok") return Status::Ok;
+  if (s == "error") return Status::Error;
+  if (s == "rejected") return Status::Rejected;
+  if (s == "cancelled") return Status::Cancelled;
+  throw obs::JsonError("unknown response status '" + s + "'");
+}
+
+std::int64_t int_field(const obs::Json& doc, const char* key,
+                       std::int64_t fallback) {
+  if (!doc.contains(key)) return fallback;
+  const std::int64_t v = doc.at(key).as_int();
+  return v;
+}
+
+std::uint64_t uint_field(const obs::Json& doc, const char* key,
+                         std::int64_t fallback) {
+  const std::int64_t v = int_field(doc, key, fallback);
+  if (v < 0) throw ConfigError(std::string(key) + " must be >= 0");
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+const char* kind_name(RequestKind k) {
+  switch (k) {
+    case RequestKind::Enrich: return "enrich";
+    case RequestKind::Basic: return "basic";
+    case RequestKind::Ping: return "ping";
+    case RequestKind::Stats: return "stats";
+    case RequestKind::Cancel: return "cancel";
+    case RequestKind::Shutdown: return "shutdown";
+  }
+  return "?";
+}
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::Ok: return "ok";
+    case Status::Error: return "error";
+    case Status::Rejected: return "rejected";
+    case Status::Cancelled: return "cancelled";
+  }
+  return "?";
+}
+
+Request parse_request(const std::string& line) {
+  const obs::Json doc = obs::Json::parse(line);
+  if (!doc.is_object()) throw obs::JsonError("request must be a JSON object");
+
+  Request req;
+  req.id = int_field(doc, "id", 0);
+  if (doc.contains("kind")) {
+    req.kind = kind_from_string(doc.at("kind").as_string());
+  }
+  if (doc.contains("circuit")) req.circuit = doc.at("circuit").as_string();
+  if (doc.contains("bench")) req.bench_text = doc.at("bench").as_string();
+  req.target.n_p = static_cast<std::size_t>(
+      uint_field(doc, "np", static_cast<std::int64_t>(req.target.n_p)));
+  req.target.n_p0 = static_cast<std::size_t>(
+      uint_field(doc, "np0", static_cast<std::int64_t>(req.target.n_p0)));
+  req.gen.seed = uint_field(doc, "seed",
+                            static_cast<std::int64_t>(req.gen.seed));
+  if (doc.contains("heuristic")) {
+    req.gen.heuristic = heuristic_from_string(doc.at("heuristic").as_string());
+  }
+  if (doc.contains("manifest")) req.want_manifest = doc.at("manifest").as_bool();
+  if (doc.contains("tests")) req.want_tests = doc.at("tests").as_bool();
+  if (doc.contains("target")) req.cancel_target = doc.at("target").as_int();
+
+  const bool is_job =
+      req.kind == RequestKind::Enrich || req.kind == RequestKind::Basic;
+  if (is_job) {
+    if (req.circuit.empty() == req.bench_text.empty()) {
+      throw ConfigError(
+          "job requests need exactly one of 'circuit' (registry name) or "
+          "'bench' (inline .bench text)");
+    }
+    if (req.target.n_p == 0) throw ConfigError("np must be > 0");
+    if (req.target.n_p0 == 0) throw ConfigError("np0 must be > 0");
+    if (req.target.n_p0 > req.target.n_p) {
+      throw ConfigError("np0 must be <= np");
+    }
+  }
+  if (req.kind == RequestKind::Cancel && req.cancel_target == 0) {
+    throw ConfigError("cancel requests need a nonzero 'target' job id");
+  }
+  return req;
+}
+
+obs::Json request_json(const Request& req) {
+  obs::Json doc;
+  doc["id"] = req.id;
+  doc["kind"] = kind_name(req.kind);
+  if (!req.circuit.empty()) doc["circuit"] = req.circuit;
+  if (!req.bench_text.empty()) doc["bench"] = req.bench_text;
+  doc["np"] = static_cast<std::int64_t>(req.target.n_p);
+  doc["np0"] = static_cast<std::int64_t>(req.target.n_p0);
+  doc["seed"] = req.gen.seed;
+  doc["heuristic"] = [&] {
+    switch (req.gen.heuristic) {
+      case CompactionHeuristic::None: return "none";
+      case CompactionHeuristic::Arbitrary: return "arbitrary";
+      case CompactionHeuristic::Length: return "length";
+      case CompactionHeuristic::Value: return "value";
+    }
+    return "value";
+  }();
+  if (req.want_manifest) doc["manifest"] = true;
+  if (req.want_tests) doc["tests"] = true;
+  if (req.cancel_target != 0) doc["target"] = req.cancel_target;
+  return doc;
+}
+
+std::int64_t salvage_request_id(const std::string& line) {
+  try {
+    const obs::Json doc = obs::Json::parse(line);
+    if (doc.contains("id")) return doc.at("id").as_int();
+  } catch (const obs::JsonError&) {
+  }
+  // The line is not valid JSON; scan for a top-level-looking `"id": <int>`
+  // so the client can still correlate the error response.
+  const auto key = line.find("\"id\"");
+  if (key == std::string::npos) return 0;
+  std::size_t i = key + 4;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  if (i >= line.size() || line[i] != ':') return 0;
+  ++i;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  const bool neg = i < line.size() && line[i] == '-';
+  if (neg) ++i;
+  std::int64_t value = 0;
+  bool any = false;
+  while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
+    value = value * 10 + (line[i] - '0');
+    any = true;
+    ++i;
+  }
+  if (!any) return 0;
+  return neg ? -value : value;
+}
+
+obs::Json Response::to_json() const {
+  obs::Json doc;
+  doc["id"] = id;
+  doc["status"] = status_name(status);
+  if (!result.is_null()) doc["result"] = result;
+  if (status != Status::Ok) {
+    obs::Json e;
+    e["kind"] = error.kind;
+    e["message"] = error.message;
+    if (error.line >= 0) e["line"] = error.line;
+    doc["error"] = std::move(e);
+  }
+  if (retry_after_ms != 0) doc["retry_after_ms"] = retry_after_ms;
+  obs::Json cache;
+  cache["hits"] = cache_hits;
+  cache["misses"] = cache_misses;
+  doc["cache"] = std::move(cache);
+  obs::Json latency;
+  latency["queue_ns"] = queue_ns;
+  latency["run_ns"] = run_ns;
+  doc["latency"] = std::move(latency);
+  if (!manifest.is_null()) doc["manifest"] = manifest;
+  return doc;
+}
+
+std::string Response::to_line() const { return to_json().dump(); }
+
+Response parse_response(const std::string& line) {
+  const obs::Json doc = obs::Json::parse(line);
+  if (!doc.is_object()) throw obs::JsonError("response must be a JSON object");
+  Response r;
+  r.id = int_field(doc, "id", 0);
+  r.status = status_from_string(doc.at("status").as_string());
+  if (doc.contains("result")) r.result = doc.at("result");
+  if (doc.contains("error")) {
+    const obs::Json& e = doc.at("error");
+    r.error.kind = e.at("kind").as_string();
+    r.error.message = e.at("message").as_string();
+    if (e.contains("line")) {
+      r.error.line = static_cast<int>(e.at("line").as_int());
+    }
+  }
+  if (doc.contains("retry_after_ms")) {
+    r.retry_after_ms = static_cast<std::uint64_t>(
+        doc.at("retry_after_ms").as_int());
+  }
+  if (doc.contains("cache")) {
+    r.cache_hits =
+        static_cast<std::uint64_t>(doc.at("cache").at("hits").as_int());
+    r.cache_misses =
+        static_cast<std::uint64_t>(doc.at("cache").at("misses").as_int());
+  }
+  if (doc.contains("latency")) {
+    r.queue_ns =
+        static_cast<std::uint64_t>(doc.at("latency").at("queue_ns").as_int());
+    r.run_ns =
+        static_cast<std::uint64_t>(doc.at("latency").at("run_ns").as_int());
+  }
+  if (doc.contains("manifest")) r.manifest = doc.at("manifest");
+  return r;
+}
+
+ErrorInfo classify_error(std::exception_ptr eptr) {
+  ErrorInfo info;
+  try {
+    std::rethrow_exception(eptr);
+  } catch (const ParseError& e) {
+    info.kind = "parse_error";
+    info.message = e.what();
+    info.line = e.line();
+  } catch (const ConfigError& e) {
+    info.kind = "config_error";
+    info.message = e.what();
+  } catch (const obs::JsonError& e) {
+    info.kind = "parse_error";
+    info.message = e.what();
+  } catch (const std::invalid_argument& e) {
+    // Engine-level parameter rejections that predate ConfigError.
+    info.kind = "config_error";
+    info.message = e.what();
+  } catch (const std::exception& e) {
+    info.kind = "internal";
+    info.message = e.what();
+  } catch (...) {
+    info.kind = "internal";
+    info.message = "unknown error";
+  }
+  return info;
+}
+
+}  // namespace pdf::serve

@@ -1,0 +1,99 @@
+// Line-delimited JSON protocol of the pdf_serve daemon.
+//
+// One request per line, one response line per request, over a local stream
+// socket (or stdin/stdout in `pdf_serve --once`). Requests carry an
+// enrichment job — a netlist (registry name or inline .bench text) plus the
+// TargetSetConfig / GeneratorConfig knobs — or a control verb (ping, stats,
+// cancel, shutdown). Responses carry a `status`, the deterministic `result`
+// object for completed jobs, a typed `error` object for failures, and
+// optional per-request observability (cache hit deltas, latencies, a full
+// pdf.run_manifest/1 document).
+//
+// Determinism contract: the `result` object is a pure function of the job
+// parameters — no timestamps, no latencies, no cache state — and obs::Json
+// dumps are key-sorted, so the same job always serializes to the same result
+// bytes whether it ran cold, warm, in the daemon or via --once. Timing and
+// cache telemetry live in sibling envelope fields that comparisons exclude.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "atpg/generator.hpp"
+#include "enrich/target_sets.hpp"
+#include "obs/json.hpp"
+
+namespace pdf::serve {
+
+inline constexpr const char* kProtocolVersion = "pdf.serve/1";
+
+enum class RequestKind { Enrich, Basic, Ping, Stats, Cancel, Shutdown };
+
+const char* kind_name(RequestKind k);
+
+struct Request {
+  std::int64_t id = 0;
+  RequestKind kind = RequestKind::Enrich;
+  /// Exactly one of `circuit` (registry name) or `bench_text` (inline
+  /// .bench source) for job kinds.
+  std::string circuit;
+  std::string bench_text;
+  TargetSetConfig target;  // n_p / n_p0 (defaults match the bench drivers)
+  GeneratorConfig gen;     // seed / heuristic
+  bool want_manifest = false;  // attach a pdf.run_manifest/1 document
+  bool want_tests = false;     // attach the test patterns, not just counts
+  std::int64_t cancel_target = 0;  // Cancel: the job id to cancel
+};
+
+/// Parses one request line. Throws obs::JsonError on malformed JSON and
+/// pdf::ConfigError on a structurally valid line with bad fields (unknown
+/// kind/heuristic, missing netlist, zero budgets). Never aborts.
+Request parse_request(const std::string& line);
+
+/// Canonical JSON for a request (round-trips through parse_request).
+obs::Json request_json(const Request& req);
+
+/// Best-effort `id` extraction from a line that failed parse_request, so an
+/// error response can still be correlated; 0 when unrecoverable.
+std::int64_t salvage_request_id(const std::string& line);
+
+enum class Status { Ok, Error, Rejected, Cancelled };
+
+const char* status_name(Status s);
+
+struct ErrorInfo {
+  std::string kind;  // "parse_error" | "config_error" | "overload" |
+                     // "cancelled" | "shutting_down" | "internal"
+  std::string message;
+  int line = -1;  // source line for parse_error; -1 = absent
+};
+
+struct Response {
+  std::int64_t id = 0;
+  Status status = Status::Ok;
+  obs::Json result;    // deterministic job result (object), else null
+  ErrorInfo error;     // meaningful unless status == Ok
+  std::uint64_t retry_after_ms = 0;  // Rejected: client backoff hint
+  /// StageCache stage hit/miss deltas observed across this job. Exact for a
+  /// serial server; approximate attribution under concurrent requests
+  /// (global counters are sampled around the job).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t queue_ns = 0;  // admission -> worker pickup
+  std::uint64_t run_ns = 0;    // worker pickup -> completion
+  obs::Json manifest;  // pdf.run_manifest/1 when requested, else null
+
+  obs::Json to_json() const;
+  /// to_json().dump(): the wire format (newline appended by the writer).
+  std::string to_line() const;
+};
+
+/// Parses one response line (pdf_load and the tests). Throws obs::JsonError
+/// on malformed JSON or a missing/unknown status.
+Response parse_response(const std::string& line);
+
+/// Maps an exception thrown while parsing or running a request onto the
+/// typed error taxonomy. `eptr` must be non-null.
+ErrorInfo classify_error(std::exception_ptr eptr);
+
+}  // namespace pdf::serve

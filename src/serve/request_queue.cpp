@@ -1,0 +1,28 @@
+#include "serve/request_queue.hpp"
+
+#include "runtime/metrics.hpp"
+
+namespace pdf::serve {
+
+Admission record_admission(Admission a, std::size_t depth_after) {
+  auto& m = runtime::Metrics::global();
+  static auto& accepted = m.counter("serve.admit.accepted");
+  static auto& rejected = m.counter("serve.admit.rejected");
+  static auto& closed = m.counter("serve.admit.closed");
+  static auto& depth = m.histogram("serve.queue.depth");
+  switch (a) {
+    case Admission::Accepted:
+      accepted.add();
+      depth.record(depth_after);
+      break;
+    case Admission::Rejected:
+      rejected.add();
+      break;
+    case Admission::Closed:
+      closed.add();
+      break;
+  }
+  return a;
+}
+
+}  // namespace pdf::serve

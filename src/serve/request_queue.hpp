@@ -1,0 +1,114 @@
+// Bounded admission-controlled FIFO between the protocol front-end and the
+// serve workers.
+//
+// Admission is non-blocking by design: a full queue must push back on the
+// client *immediately* (reject-with-retry-after) rather than stall the
+// connection reader — the daemon's only unbounded resource is the socket
+// backlog the kernel already bounds. Workers block on pop() until work or
+// close(); close() lets already-admitted jobs drain (pop keeps returning
+// them) while every new try_push is turned away, which is exactly the
+// SIGTERM graceful-drain sequence.
+//
+// Metrics: `serve.queue.depth` (histogram, sampled at every admission) and
+// the `serve.admit.{accepted,rejected,closed}` counters land in the runtime
+// registry next to the other serve.* metrics.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace pdf::serve {
+
+enum class Admission { Accepted, Rejected, Closed };
+
+template <typename Job>
+class RequestQueue {
+ public:
+  /// `capacity` is the maximum number of queued (not yet picked up) jobs.
+  explicit RequestQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Non-blocking admission; never waits for space.
+  Admission try_push(Job job) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_) return note(Admission::Closed);
+      if (jobs_.size() >= capacity_) return note(Admission::Rejected);
+      jobs_.push_back(std::move(job));
+      note(Admission::Accepted, jobs_.size());
+    }
+    ready_cv_.notify_one();
+    return Admission::Accepted;
+  }
+
+  /// Blocks until a job is available or the queue is closed *and* empty
+  /// (drain complete) — then returns nullopt forever.
+  std::optional<Job> pop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    ready_cv_.wait(lk, [&] { return closed_ || !jobs_.empty(); });
+    if (jobs_.empty()) return std::nullopt;
+    Job job = std::move(jobs_.front());
+    jobs_.pop_front();
+    return job;
+  }
+
+  /// Stops admitting; queued jobs keep draining through pop().
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    ready_cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+
+  std::size_t depth() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return jobs_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Removes the first queued job matching `pred`; returns it if found.
+  /// (Cancellation of a not-yet-started job.)
+  template <typename Pred>
+  std::optional<Job> remove_if(Pred pred) {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+      if (pred(*it)) {
+        Job job = std::move(*it);
+        jobs_.erase(it);
+        return job;
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  // Defined in request_queue.cpp (non-template): keeps the metrics handles
+  // out of every instantiation.
+  static Admission note(Admission a, std::size_t depth_after = 0);
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::deque<Job> jobs_;
+  bool closed_ = false;
+};
+
+/// Shared metric-recording hook for all RequestQueue instantiations.
+Admission record_admission(Admission a, std::size_t depth_after);
+
+template <typename Job>
+Admission RequestQueue<Job>::note(Admission a, std::size_t depth_after) {
+  return record_admission(a, depth_after);
+}
+
+}  // namespace pdf::serve

@@ -1,0 +1,289 @@
+#include "serve/server.hpp"
+
+#include <condition_variable>
+#include <utility>
+
+#include "runtime/metrics.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace pdf::serve {
+
+namespace {
+
+runtime::Metrics::Counter& cancelled_counter() {
+  static auto& c =
+      runtime::Metrics::global().counter("serve.jobs.cancelled");
+  return c;
+}
+
+runtime::Metrics::Histogram& queue_hist() {
+  static auto& h =
+      runtime::Metrics::global().histogram("serve.latency.queue_ns");
+  return h;
+}
+
+Response make_error(std::int64_t id, Status status, std::string kind,
+                    std::string message) {
+  Response r;
+  r.id = id;
+  r.status = status;
+  r.error.kind = std::move(kind);
+  r.error.message = std::move(message);
+  return r;
+}
+
+}  // namespace
+
+Server::Server(ServerConfig cfg)
+    : cfg_(std::move(cfg)), queue_(cfg_.queue_depth) {
+  if (cfg_.concurrency == 0) cfg_.concurrency = 1;
+  if (!cfg_.store_dir.empty()) cache_.emplace(cfg_.store_dir);
+  ctx_.cache = cache_ ? &*cache_ : nullptr;
+  ctx_.backend = cfg_.backend;
+  ctx_.store_dir = cfg_.store_dir;
+  ctx_.manifest_dir = cfg_.manifest_dir;
+  workers_.reserve(cfg_.concurrency);
+  for (std::size_t i = 0; i < cfg_.concurrency; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+Server::~Server() { drain(); }
+
+void Server::submit(Request req, std::function<void(Response)> done) {
+  switch (req.kind) {
+    case RequestKind::Enrich:
+    case RequestKind::Basic:
+      break;
+    case RequestKind::Cancel:
+      done(cancel(req));
+      return;
+    case RequestKind::Shutdown: {
+      Response r;
+      r.id = req.id;
+      r.result["draining"] = true;
+      done(std::move(r));
+      if (cfg_.shutdown_hook) cfg_.shutdown_hook();
+      return;
+    }
+    default:
+      done(control(req));
+      return;
+  }
+
+  Job job;
+  job.req = std::move(req);
+  job.done = std::move(done);
+  job.state = std::make_shared<JobState>();
+  job.admitted = std::chrono::steady_clock::now();
+  const std::int64_t id = job.req.id;
+  {
+    std::lock_guard<std::mutex> lk(active_mu_);
+    job.serial = next_serial_++;
+    active_.emplace(id, job.state);
+  }
+  const auto state = job.state;
+  auto done_copy = job.done;  // try_push consumes the job on every path
+
+  switch (queue_.try_push(std::move(job))) {
+    case Admission::Accepted:
+      return;
+    case Admission::Rejected: {
+      Response r = make_error(id, Status::Rejected, "overload",
+                              "queue full (depth " +
+                                  std::to_string(queue_.capacity()) +
+                                  "); retry after backoff");
+      r.retry_after_ms = cfg_.retry_after_ms;
+      forget(id, state);
+      done_copy(std::move(r));
+      return;
+    }
+    case Admission::Closed: {
+      forget(id, state);
+      done_copy(make_error(id, Status::Rejected, "shutting_down",
+                           "server is draining; not accepting new jobs"));
+      return;
+    }
+  }
+}
+
+Response Server::call(Request req) {
+  // Workers fire `done` asynchronously; rendezvous on a promise-like latch.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::optional<Response> out;
+  submit(std::move(req), [&](Response r) {
+    std::lock_guard<std::mutex> lk(mu);
+    out = std::move(r);
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk, [&] { return out.has_value(); });
+  return std::move(*out);
+}
+
+void Server::worker_main() {
+  // Distinct per-worker slot: sim-backend scratch is keyed by worker_slot(),
+  // and unscoped external threads all share slot 0 (see thread_pool.hpp).
+  runtime::ExternalWorkerScope scope;
+  while (auto popped = queue_.pop()) {
+    Job job = std::move(*popped);
+    const std::uint64_t queue_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - job.admitted)
+            .count());
+    queue_hist().record(queue_ns);
+
+    bool cancelled = false;
+    {
+      std::lock_guard<std::mutex> lk(job.state->mu);
+      cancelled = job.state->cancelled;
+      job.state->phase = cancelled ? JobPhase::Done : JobPhase::Running;
+    }
+    if (cancelled) {
+      cancelled_counter().add();
+      Response r = make_error(job.req.id, Status::Cancelled, "cancelled",
+                              "job cancelled before it started");
+      r.queue_ns = queue_ns;
+      finish(job, std::move(r));
+      continue;
+    }
+
+    Response r = run_job(job.req, ctx_, job.serial);
+    r.queue_ns = queue_ns;
+    finish(job, std::move(r));
+  }
+}
+
+void Server::finish(Job& job, Response resp) {
+  {
+    std::lock_guard<std::mutex> lk(job.state->mu);
+    job.state->phase = JobPhase::Done;
+  }
+  forget(job.req.id, job.state);
+  job.done(std::move(resp));
+}
+
+void Server::forget(std::int64_t id, const std::shared_ptr<JobState>& state) {
+  std::lock_guard<std::mutex> lk(active_mu_);
+  auto [it, end] = active_.equal_range(id);
+  for (; it != end; ++it) {
+    if (it->second == state) {
+      active_.erase(it);
+      return;
+    }
+  }
+}
+
+Response Server::cancel(const Request& req) {
+  std::shared_ptr<JobState> state;
+  {
+    std::lock_guard<std::mutex> lk(active_mu_);
+    auto it = active_.find(req.cancel_target);
+    if (it != active_.end()) state = it->second;
+  }
+  Response r;
+  r.id = req.id;
+  if (!state) {
+    r.result["cancelled"] = false;
+    r.result["state"] = "unknown";
+    return r;
+  }
+  {
+    std::lock_guard<std::mutex> lk(state->mu);
+    if (state->phase != JobPhase::Queued) {
+      // Jobs are not interrupted mid-run; the engines run to completion.
+      r.result["cancelled"] = false;
+      r.result["state"] =
+          state->phase == JobPhase::Running ? "running" : "done";
+      return r;
+    }
+    state->cancelled = true;
+  }
+  // Pull it out of the queue if a worker hasn't claimed it yet; either way
+  // its `done` gets a Cancelled response (here, or from the worker that
+  // popped it concurrently and sees the flag).
+  if (auto removed = queue_.remove_if(
+          [&](const Job& j) { return j.state == state; })) {
+    cancelled_counter().add();
+    finish(*removed, make_error(removed->req.id, Status::Cancelled,
+                                "cancelled",
+                                "job cancelled while queued"));
+  }
+  r.result["cancelled"] = true;
+  r.result["state"] = "queued";
+  return r;
+}
+
+Response Server::control(const Request& req) {
+  Response r;
+  r.id = req.id;
+  switch (req.kind) {
+    case RequestKind::Ping:
+      r.result["pong"] = true;
+      r.result["protocol"] = kProtocolVersion;
+      break;
+    case RequestKind::Stats:
+      r.result = stats();
+      break;
+    default:
+      return make_error(req.id, Status::Error, "internal",
+                        "unroutable control request");
+  }
+  return r;
+}
+
+obs::Json Server::stats() const {
+  auto& m = runtime::Metrics::global();
+  obs::Json doc;
+  doc["protocol"] = kProtocolVersion;
+  doc["backend"] = cfg_.backend;
+  doc["concurrency"] = static_cast<std::int64_t>(cfg_.concurrency);
+  doc["store_enabled"] = cache_.has_value();
+
+  obs::Json queue;
+  queue["depth"] = static_cast<std::int64_t>(queue_.depth());
+  queue["capacity"] = static_cast<std::int64_t>(queue_.capacity());
+  queue["closed"] = queue_.closed();
+  doc["queue"] = std::move(queue);
+
+  obs::Json admit;
+  admit["accepted"] = m.counter("serve.admit.accepted").read();
+  admit["rejected"] = m.counter("serve.admit.rejected").read();
+  admit["closed"] = m.counter("serve.admit.closed").read();
+  doc["admit"] = std::move(admit);
+
+  obs::Json jobs;
+  jobs["completed"] = m.counter("serve.jobs.completed").read();
+  jobs["failed"] = m.counter("serve.jobs.failed").read();
+  jobs["cancelled"] = m.counter("serve.jobs.cancelled").read();
+  doc["jobs"] = std::move(jobs);
+
+  obs::Json cache;
+  cache["hits"] = m.counter("serve.cache.hits").read();
+  cache["misses"] = m.counter("serve.cache.misses").read();
+  doc["cache"] = std::move(cache);
+
+  obs::Json latency;
+  for (const char* name :
+       {"serve.latency.queue_ns", "serve.latency.run_ns"}) {
+    const auto snap = m.histogram(name).snapshot();
+    obs::Json h;
+    h["count"] = snap.count;
+    h["p50"] = snap.p50();
+    h["p99"] = snap.p99();
+    h["max"] = snap.max;
+    latency[name] = std::move(h);
+  }
+  doc["latency"] = std::move(latency);
+  return doc;
+}
+
+void Server::drain() {
+  std::call_once(drain_once_, [&] {
+    queue_.close();
+    for (auto& w : workers_) w.join();
+  });
+}
+
+}  // namespace pdf::serve

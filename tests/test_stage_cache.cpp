@@ -3,9 +3,12 @@
 // per-stage hit/miss counters.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <thread>
+#include <vector>
 
 #include "enrich/enrichment.hpp"
 #include "faultsim/batch_sim.hpp"
@@ -188,6 +191,73 @@ TEST(StageCacheTest, CorruptedRecordsFallBackToRecomputation) {
   // hits again without recomputation (stats decode bit-identically).
   const GenerationResult healed = run();
   EXPECT_EQ(healed.stats.seconds, again.stats.seconds);
+}
+
+// The pdf_serve daemon shards jobs across worker threads that all write into
+// ONE StageCache. ArtifactStore::put publishes via a unique temp file
+// (pid + atomic counter) and an atomic rename, so concurrent writers —
+// distinct keys or racing on the same key — must never corrupt a record or
+// lose an update. This stress covers both patterns and then proves every
+// record decodes correctly from a cold reopen.
+TEST(StageCacheTest, ConcurrentWritersNeverCorruptTheStore) {
+  TempDir dir;
+  StageCache cache(dir.path);
+  constexpr std::uint64_t kThreads = 8;
+  constexpr std::uint64_t kKeysPerThread = 24;
+  constexpr std::uint64_t kSharedKey = 777;
+
+  const auto value_for = [](std::uint64_t key) {
+    UnionCoverage c;
+    c.p0_detected = static_cast<std::size_t>(key);
+    c.p1_detected = static_cast<std::size_t>(key * 3 + 1);
+    c.p0_total = static_cast<std::size_t>(key + 100);
+    c.p1_total = static_cast<std::size_t>(key + 200);
+    return c;
+  };
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::uint64_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t k = 0; k < kKeysPerThread; ++k) {
+        // Mostly distinct keys, plus everyone hammering one shared key
+        // (duplicate computes are legal; torn records are not).
+        const std::uint64_t key =
+            k % 4 == 3 ? kSharedKey : 1000 * (t + 1) + k;
+        const UnionCoverage got =
+            cache.memoize<UnionCoverage>({key}, [&] { return value_for(key); });
+        const UnionCoverage want = value_for(key);
+        if (got.p0_detected != want.p0_detected ||
+            got.p1_detected != want.p1_detected ||
+            got.p0_total != want.p0_total || got.p1_total != want.p1_total) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // Cold reopen: every key must hit (no lost publishes) and decode to the
+  // value its writer computed (no cross-key or torn writes).
+  StageCache reopened(dir.path);
+  const auto must_hit = [&](std::uint64_t key) {
+    bool recomputed = false;
+    const UnionCoverage got = reopened.memoize<UnionCoverage>({key}, [&] {
+      recomputed = true;
+      return value_for(key);
+    });
+    EXPECT_FALSE(recomputed) << "key " << key << " was lost";
+    EXPECT_EQ(got.p0_detected, value_for(key).p0_detected);
+    EXPECT_EQ(got.p1_total, value_for(key).p1_total);
+  };
+  for (std::uint64_t t = 0; t < kThreads; ++t) {
+    for (std::uint64_t k = 0; k < kKeysPerThread; ++k) {
+      if (k % 4 != 3) must_hit(1000 * (t + 1) + k);
+    }
+  }
+  must_hit(kSharedKey);
 }
 
 TEST(StageCacheTest, CachedDetectionMatrixHitMatchesComputed) {

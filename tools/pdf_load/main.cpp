@@ -1,0 +1,294 @@
+// pdf_load — client and load generator for the pdf_serve daemon.
+//
+// Opens --clients connections, pushes --jobs enrichment jobs through them
+// (each client works synchronously: send one line, read one line), honours
+// admission-control rejections by backing off retry_after_ms and resending,
+// and reports throughput, client-observed latency percentiles and the
+// server-attributed cache hit/miss totals.
+//
+// A --hot-fraction of the jobs share one (circuit, seed) pair — after the
+// first completion these are pure StageCache hits and measure the warm
+// path; the rest get distinct seeds and measure cold generation.
+//
+// --verify recomputes every distinct job in-process through the same
+// serve::run_job the daemon uses (cache disabled) and compares the
+// deterministic `result` objects byte-for-byte; any mismatch is a protocol
+// determinism bug and exits nonzero.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/job.hpp"
+#include "serve/protocol.hpp"
+#include "serve/socket_io.hpp"
+#include "sim/backend.hpp"
+
+namespace {
+
+using namespace pdf;
+
+struct Flags {
+  std::string socket_path = "pdf_serve.sock";
+  std::size_t jobs = 32;
+  std::size_t clients = 4;
+  std::vector<std::string> circuits = {"s27"};
+  std::size_t n_p = 400;
+  std::size_t n_p0 = 60;
+  std::uint64_t seed_base = 1;
+  double hot_fraction = 0.5;
+  std::size_t max_retries = 200;
+  bool basic = false;
+  bool verify = false;
+  bool quiet = false;
+};
+
+[[noreturn]] void usage(const char* argv0, const std::string& err) {
+  std::fprintf(stderr, "pdf_load: %s\n", err.c_str());
+  std::fprintf(stderr,
+               "usage: %s [--socket PATH] [--jobs N] [--clients N]"
+               " [--circuits a,b] [--np N] [--np0 N] [--seed-base S]"
+               " [--hot-fraction F] [--max-retries N] [--basic] [--verify]"
+               " [--quiet]\n",
+               argv0);
+  std::exit(2);
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const auto comma = s.find(',', pos);
+    const auto end = comma == std::string::npos ? s.size() : comma;
+    if (end > pos) out.push_back(s.substr(pos, end - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+Flags parse_flags(int argc, char** argv) {
+  Flags f;
+  auto need = [&](int i) -> std::string {
+    if (i + 1 >= argc) usage(argv[0], std::string(argv[i]) + " needs a value");
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--socket") f.socket_path = need(i), ++i;
+    else if (a == "--jobs") f.jobs = std::stoul(need(i)), ++i;
+    else if (a == "--clients") f.clients = std::stoul(need(i)), ++i;
+    else if (a == "--circuits") f.circuits = split_csv(need(i)), ++i;
+    else if (a == "--np") f.n_p = std::stoul(need(i)), ++i;
+    else if (a == "--np0") f.n_p0 = std::stoul(need(i)), ++i;
+    else if (a == "--seed-base") f.seed_base = std::stoull(need(i)), ++i;
+    else if (a == "--hot-fraction") f.hot_fraction = std::stod(need(i)), ++i;
+    else if (a == "--max-retries") f.max_retries = std::stoul(need(i)), ++i;
+    else if (a == "--basic") f.basic = true;
+    else if (a == "--verify") f.verify = true;
+    else if (a == "--quiet") f.quiet = true;
+    else usage(argv[0], "unknown flag " + a);
+  }
+  if (f.jobs == 0 || f.clients == 0) usage(argv[0], "--jobs/--clients must be > 0");
+  if (f.circuits.empty()) usage(argv[0], "--circuits must name a circuit");
+  return f;
+}
+
+/// Deterministic job mix: job j is "hot" (shared circuit+seed — warm cache
+/// after the first run) when j * hot_fraction wraps, otherwise cold with a
+/// distinct seed.
+serve::Request make_request(const Flags& flags, std::size_t j) {
+  serve::Request req;
+  req.id = static_cast<std::int64_t>(j + 1);
+  req.kind = flags.basic ? serve::RequestKind::Basic
+                         : serve::RequestKind::Enrich;
+  const bool hot =
+      static_cast<std::size_t>(static_cast<double>(j) * flags.hot_fraction) !=
+      static_cast<std::size_t>(static_cast<double>(j + 1) * flags.hot_fraction);
+  req.circuit = flags.circuits[j % flags.circuits.size()];
+  req.target.n_p = flags.n_p;
+  req.target.n_p0 = flags.n_p0;
+  req.gen.seed = hot ? flags.seed_base : flags.seed_base + 1 + j;
+  return req;
+}
+
+struct Results {
+  std::mutex mu;
+  std::vector<double> latency_ms;
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  /// job index -> result line, for --verify.
+  std::map<std::size_t, std::string> result_bytes;
+  std::vector<std::string> failures;
+};
+
+void client_main(const Flags& flags, std::size_t client, Results* out) {
+  std::string err;
+  const int fd = serve::connect_unix(flags.socket_path, &err);
+  if (fd < 0) {
+    std::lock_guard<std::mutex> lk(out->mu);
+    out->failures.push_back("client " + std::to_string(client) + ": " + err);
+    return;
+  }
+  serve::LineReader reader(fd);
+
+  for (std::size_t j = client; j < flags.jobs; j += flags.clients) {
+    const serve::Request req = make_request(flags, j);
+    const std::string line = serve::request_json(req).dump() + "\n";
+    const auto t0 = std::chrono::steady_clock::now();
+    bool done = false;
+    for (std::size_t attempt = 0; !done && attempt <= flags.max_retries;
+         ++attempt) {
+      std::string resp_line;
+      if (!serve::write_all(fd, line) || !reader.read_line(&resp_line)) {
+        std::lock_guard<std::mutex> lk(out->mu);
+        out->failures.push_back("client " + std::to_string(client) +
+                                ": connection lost");
+        serve::close_fd(fd);
+        return;
+      }
+      serve::Response resp;
+      try {
+        resp = serve::parse_response(resp_line);
+      } catch (const obs::JsonError& e) {
+        std::lock_guard<std::mutex> lk(out->mu);
+        out->failures.push_back("client " + std::to_string(client) +
+                                ": bad response: " + e.what());
+        serve::close_fd(fd);
+        return;
+      }
+      switch (resp.status) {
+        case serve::Status::Rejected: {
+          // Admission pushback: honour the hint and resend.
+          {
+            std::lock_guard<std::mutex> lk(out->mu);
+            ++out->retries;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              resp.retry_after_ms ? resp.retry_after_ms : 10));
+          break;
+        }
+        case serve::Status::Ok: {
+          const double ms =
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+          std::lock_guard<std::mutex> lk(out->mu);
+          ++out->ok;
+          out->latency_ms.push_back(ms);
+          out->cache_hits += resp.cache_hits;
+          out->cache_misses += resp.cache_misses;
+          out->result_bytes.emplace(j, resp.result.dump());
+          done = true;
+          break;
+        }
+        default: {
+          std::lock_guard<std::mutex> lk(out->mu);
+          ++out->errors;
+          out->failures.push_back("job " + std::to_string(req.id) + ": [" +
+                                  resp.error.kind + "] " +
+                                  resp.error.message);
+          done = true;
+          break;
+        }
+      }
+    }
+    if (!done) {
+      std::lock_guard<std::mutex> lk(out->mu);
+      ++out->errors;
+      out->failures.push_back("job " + std::to_string(req.id) +
+                              ": retry budget exhausted");
+    }
+  }
+  serve::close_fd(fd);
+}
+
+double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+/// Recomputes each distinct job in-process (no cache) and compares result
+/// bytes. Distinct jobs are memoized locally so hot duplicates verify once.
+std::size_t verify_results(const Flags& flags, const Results& results) {
+  serve::JobContext ctx;
+  ctx.backend = sim::selected_backend().name();
+  std::map<std::string, std::string> expected;  // request line -> result bytes
+  std::size_t mismatches = 0;
+  for (const auto& [j, bytes] : results.result_bytes) {
+    const serve::Request req = make_request(flags, j);
+    const std::string key = serve::request_json(req).dump();
+    auto it = expected.find(key);
+    if (it == expected.end()) {
+      const serve::Response ref = serve::run_job(req, ctx);
+      it = expected.emplace(key, ref.result.dump()).first;
+    }
+    if (it->second != bytes) {
+      ++mismatches;
+      std::fprintf(stderr, "pdf_load: VERIFY MISMATCH job %zu\n  want %s\n  got  %s\n",
+                   j, it->second.c_str(), bytes.c_str());
+    }
+  }
+  return mismatches;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = parse_flags(argc, argv);
+  if (!serve::sockets_supported()) {
+    std::fprintf(stderr, "pdf_load: no socket support on this platform\n");
+    return 2;
+  }
+
+  Results results;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(flags.clients);
+  for (std::size_t c = 0; c < flags.clients; ++c) {
+    clients.emplace_back(client_main, flags, c, &results);
+  }
+  for (auto& t : clients) t.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  for (const auto& f : results.failures) {
+    std::fprintf(stderr, "pdf_load: %s\n", f.c_str());
+  }
+
+  std::size_t mismatches = 0;
+  if (flags.verify) mismatches = verify_results(flags, results);
+
+  if (!flags.quiet) {
+    std::printf("jobs %zu ok %llu errors %llu retries %llu\n", flags.jobs,
+                static_cast<unsigned long long>(results.ok),
+                static_cast<unsigned long long>(results.errors),
+                static_cast<unsigned long long>(results.retries));
+    std::printf("wall %.3fs throughput %.1f jobs/s\n", secs,
+                secs > 0 ? static_cast<double>(results.ok) / secs : 0.0);
+    std::printf("latency_ms p50 %.2f p99 %.2f\n",
+                percentile(results.latency_ms, 0.50),
+                percentile(results.latency_ms, 0.99));
+    std::printf("cache hits %llu misses %llu\n",
+                static_cast<unsigned long long>(results.cache_hits),
+                static_cast<unsigned long long>(results.cache_misses));
+    if (flags.verify) {
+      std::printf("verify %s\n", mismatches == 0 ? "ok" : "MISMATCH");
+    }
+  }
+
+  const bool ok = results.errors == 0 && results.failures.empty() &&
+                  results.ok == flags.jobs && mismatches == 0;
+  return ok ? 0 : 1;
+}
