@@ -13,7 +13,7 @@
 // at 1, 2, 4 and 8 pool threads, verifies every matrix is bit-identical to
 // the single-thread run, and reports wall time and speedup per thread count.
 //   micro_engines backends [--circuit NAME] [--csv] [--metrics]
-//                          [--metrics-json FILE]
+//                          [--metrics-json FILE] [--bench-json FILE]
 // backend comparison: builds the same detection matrix through every
 // registered sim::SimBackend, verifies all matrices are bit-identical to the
 // scalar reference and that the steady-state sweeps allocate nothing (the
@@ -36,10 +36,11 @@
 // stage-cache hit/miss split. Exits nonzero on any mismatch or if the hot
 // half of the stream produced no cache hits.
 //   micro_engines obs [--circuit NAME] [--csv]
-// span-tracing overhead on the robust-sim hot loop: times the loop bare,
+// instrumentation overhead on the robust-sim hot loop: times the loop bare,
 // with PDF_TRACE_SPAN while tracing is disabled (the steady state of every
-// run without --trace; budget < 2%), and with a live TraceSession, and
-// reports the disabled/enabled overhead percentages.
+// run without --trace; budget < 2%), with PDF_LOG while logging is off
+// (same one-relaxed-load contract and budget), and with a live
+// TraceSession, and reports the overhead percentages.
 // Any other invocation falls through to the normal google-benchmark driver.
 #include <benchmark/benchmark.h>
 
@@ -49,6 +50,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <functional>
 #include <map>
 #include <mutex>
@@ -62,6 +64,7 @@
 #include "faultsim/batch_sim.hpp"
 #include "faultsim/fault_sim.hpp"
 #include "gen/registry.hpp"
+#include "obs/log.hpp"
 #include "obs/manifest.hpp"
 #include "obs/trace.hpp"
 #include "serve/job.hpp"
@@ -399,7 +402,8 @@ int run_thread_scaling(const std::string& name, bool csv, bool metrics) {
 // ---- backend-comparison mode -----------------------------------------------
 
 int run_backend_compare(const std::string& name, bool csv, bool metrics,
-                        const std::string& metrics_json) {
+                        const std::string& metrics_json,
+                        const std::string& bench_json) {
   if (!has_benchmark(name)) {
     std::fprintf(stderr, "unknown circuit '%s' (see bench_atpg --list)\n",
                  name.c_str());
@@ -506,6 +510,33 @@ int run_backend_compare(const std::string& name, bool csv, bool metrics,
     if (!obs::write_run_manifest(metrics_json, info)) {
       std::fprintf(stderr, "warning: could not write manifest to %s\n",
                    metrics_json.c_str());
+    }
+  }
+  if (!bench_json.empty()) {
+    // Normalized pdf.bench_record/1 record (same shape bench/common.hpp
+    // emits) keyed on the bit-parallel backend — the perf trajectory this
+    // mode gates. Consumed by tools/pdf_bench_diff.
+    const Row* bitpar = nullptr;
+    for (const Row& r : rows) {
+      if (std::strcmp(r.backend, "bitpar") == 0) bitpar = &r;
+    }
+    obs::Json doc;
+    doc["schema"] = "pdf.bench_record/1";
+    doc["bench"] = "micro_engines.backends";
+    doc["circuit"] = name;
+    doc["backend"] = "bitpar";
+    doc["threads"] = static_cast<std::int64_t>(runtime::global_threads());
+    doc["wall_ns"] = static_cast<std::uint64_t>(
+        (bitpar != nullptr ? bitpar->ms : 0.0) * 1e6);
+    doc["throughput_counter"] = "sim.tests_x_faults_per_sec";
+    doc["throughput_value"] = static_cast<std::uint64_t>(work);
+    doc["throughput_per_sec"] = bitpar != nullptr ? bitpar->throughput : 0.0;
+    doc["cache_hit_rate"] = 0.0;  // backend sweeps never touch the store
+    std::ofstream f(bench_json, std::ios::binary | std::ios::trunc);
+    if (f) f << doc.dump() << "\n";
+    if (!f) {
+      std::fprintf(stderr, "warning: could not write bench record to %s\n",
+                   bench_json.c_str());
     }
   }
   return all_identical && all_zero_alloc && bitpar_speedup >= 5.0 ? 0 : 1;
@@ -667,6 +698,19 @@ int run_obs_mode(const std::string& name, bool csv) {
       },
       rounds);
 
+  // Log statement present, logging off: the PDF_LOG macro mirrors the
+  // PDF_TRACE_SPAN cost contract — one relaxed load per iteration when the
+  // level gate fails, no formatting, no allocation.
+  obs::set_log_level(obs::LogLevel::Off);
+  const double log_off_ms = measure_ms(
+      [&] {
+        for (int r = 0; r < repeats; ++r) {
+          PDF_LOG(Debug, "obs.robust_sim").num("r", std::int64_t{r});
+          benchmark::DoNotOptimize(simulate(cc, tests[r % kTests], scratch));
+        }
+      },
+      rounds);
+
   // Span marker present, tracing enabled: two clock reads plus a ring write.
   obs::TraceSession session;
   if (!session.start(std::size_t{1} << 20)) {
@@ -686,13 +730,16 @@ int run_obs_mode(const std::string& name, bool csv) {
   const std::uint64_t dropped = session.dropped();
 
   const double disabled_pct = (disabled_ms / base_ms - 1.0) * 100.0;
+  const double log_off_pct = (log_off_ms / base_ms - 1.0) * 100.0;
   const double enabled_pct = (enabled_ms / base_ms - 1.0) * 100.0;
-  std::printf("== span-tracing overhead on robust simulation ==\n");
+  std::printf("== instrumentation overhead on robust simulation ==\n");
   std::printf("circuit: %s (%zu nodes), repeats per round: %d, best of %d\n",
               name.c_str(), nl.node_count(), repeats, rounds);
   std::printf("bare loop:          %10.3f ms\n", base_ms);
   std::printf("span, tracing off:  %10.3f ms (%+.2f%%)\n", disabled_ms,
               disabled_pct);
+  std::printf("log, logging off:   %10.3f ms (%+.2f%%)\n", log_off_ms,
+              log_off_pct);
   std::printf("span, tracing on:   %10.3f ms (%+.2f%%)\n", enabled_ms,
               enabled_pct);
   std::printf("events recorded: %llu, dropped: %llu\n",
@@ -700,20 +747,26 @@ int run_obs_mode(const std::string& name, bool csv) {
               static_cast<unsigned long long>(dropped));
   if (csv) {
     std::printf(
-        "\ncsv:\ncircuit,base_ms,disabled_ms,enabled_ms,disabled_pct,"
-        "enabled_pct,events,dropped\n");
-    std::printf("%s,%.4f,%.4f,%.4f,%.3f,%.3f,%llu,%llu\n", name.c_str(),
-                base_ms, disabled_ms, enabled_ms, disabled_pct, enabled_pct,
+        "\ncsv:\ncircuit,base_ms,disabled_ms,log_off_ms,enabled_ms,"
+        "disabled_pct,log_off_pct,enabled_pct,events,dropped\n");
+    std::printf("%s,%.4f,%.4f,%.4f,%.4f,%.3f,%.3f,%.3f,%llu,%llu\n",
+                name.c_str(), base_ms, disabled_ms, log_off_ms, enabled_ms,
+                disabled_pct, log_off_pct, enabled_pct,
                 static_cast<unsigned long long>(events),
                 static_cast<unsigned long long>(dropped));
   }
-  // The acceptance budget for disabled-tracing overhead is 2%; gate CI at a
-  // much looser bound so scheduler noise on loaded runners can't flake the
-  // job while a real regression (a lock or clock read on the disabled path,
-  // typically >> 25%) still fails it.
+  // The acceptance budget for either disabled path (tracing, logging) is
+  // 2%; gate CI at a much looser bound so scheduler noise on loaded runners
+  // can't flake the job while a real regression (a lock, clock read, or
+  // formatting on a disabled path, typically >> 25%) still fails it.
   if (disabled_pct > 25.0) {
     std::fprintf(stderr, "FAIL: disabled-tracing overhead %.2f%% > 25%%\n",
                  disabled_pct);
+    return 1;
+  }
+  if (log_off_pct > 25.0) {
+    std::fprintf(stderr, "FAIL: disabled-logging overhead %.2f%% > 25%%\n",
+                 log_off_pct);
     return 1;
   }
   return 0;
@@ -850,6 +903,7 @@ int main(int argc, char** argv) {
   std::string circuit_name = "s13207_like";
   std::string store_dir = ".artifact-store.micro";
   std::string metrics_json;
+  std::string bench_json;
   for (int i = 1; i < argc; ++i) {
     const bool any_mode = compare || thread_scaling || store_mode ||
                           obs_mode || backend_mode || serve_mode;
@@ -877,6 +931,9 @@ int main(int argc, char** argv) {
     } else if (backend_mode && std::strcmp(argv[i], "--metrics-json") == 0 &&
                i + 1 < argc) {
       metrics_json = argv[++i];
+    } else if (backend_mode && std::strcmp(argv[i], "--bench-json") == 0 &&
+               i + 1 < argc) {
+      bench_json = argv[++i];
     } else if (thread_scaling && std::strcmp(argv[i], "--backend") == 0 &&
                i + 1 < argc) {
       try {
@@ -898,7 +955,8 @@ int main(int argc, char** argv) {
   if (store_mode) return run_store_mode(circuit_name, store_dir, csv, metrics);
   if (obs_mode) return run_obs_mode(circuit_name, csv);
   if (backend_mode) {
-    return run_backend_compare(circuit_name, csv, metrics, metrics_json);
+    return run_backend_compare(circuit_name, csv, metrics, metrics_json,
+                               bench_json);
   }
   if (serve_mode) return run_serve_mode(circuit_name, store_dir, csv, metrics);
 

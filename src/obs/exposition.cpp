@@ -1,0 +1,151 @@
+#include "obs/exposition.hpp"
+
+#include <cstdio>
+
+namespace pdf::obs {
+
+namespace {
+
+using HistSnapshot = runtime::Metrics::Histogram::Snapshot;
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void type_line(std::string& out, const std::string& name, const char* type) {
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+void sample(std::string& out, const std::string& name, std::uint64_t v) {
+  out += name;
+  out += ' ';
+  append_u64(out, v);
+  out += '\n';
+}
+
+void sample(std::string& out, const std::string& name, double v) {
+  out += name;
+  out += ' ';
+  append_double(out, v);
+  out += '\n';
+}
+
+void histogram_block(std::string& out, const std::string& base,
+                     const HistSnapshot& h) {
+  type_line(out, base, "histogram");
+  // Cumulative buckets up to the highest non-empty one. The log2 uppers of
+  // buckets 0..63 are exact uint64 bounds; bucket 64 (values >= 2^63) folds
+  // into the mandatory +Inf bucket.
+  std::size_t top = 0;
+  for (std::size_t b = 0; b < HistSnapshot{}.buckets.size() && b < 64; ++b) {
+    if (h.buckets[b] != 0) top = b;
+  }
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b <= top; ++b) {
+    cumulative += h.buckets[b];
+    out += base;
+    out += "_bucket{le=\"";
+    append_u64(out, runtime::Metrics::Histogram::bucket_upper(b));
+    out += "\"} ";
+    append_u64(out, cumulative);
+    out += '\n';
+  }
+  out += base;
+  out += "_bucket{le=\"+Inf\"} ";
+  append_u64(out, h.count);
+  out += '\n';
+  sample(out, base + "_sum", h.sum);
+  sample(out, base + "_count", h.count);
+}
+
+}  // namespace
+
+Json histogram_json(const HistSnapshot& h) {
+  Json j;
+  j["count"] = h.count;
+  j["sum"] = h.sum;
+  j["p50"] = h.p50();
+  j["p90"] = h.p90();
+  j["p99"] = h.p99();
+  j["max"] = h.max;
+  return j;
+}
+
+Json snapshot_json(const runtime::Metrics::Snapshot& snap) {
+  Json counters{Json::Object{}};
+  for (const auto& [name, v] : snap.counters) counters[name] = v;
+  Json timers{Json::Object{}};
+  for (const auto& [name, t] : snap.timers) {
+    Json tj;
+    tj["total_ns"] = t.total_ns;
+    tj["calls"] = t.calls;
+    timers[name] = std::move(tj);
+  }
+  Json histograms{Json::Object{}};
+  for (const auto& [name, h] : snap.histograms) {
+    histograms[name] = histogram_json(h);
+  }
+  Json doc;
+  doc["counters"] = std::move(counters);
+  doc["timers"] = std::move(timers);
+  doc["histograms"] = std::move(histograms);
+  return doc;
+}
+
+std::string prometheus_name(std::string_view name, std::string_view prefix,
+                            std::string_view suffix) {
+  std::string out;
+  out.reserve(prefix.size() + name.size() + suffix.size() + 1);
+  out.append(prefix);
+  if (!prefix.empty()) out += '_';
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  out.append(suffix);
+  return out;
+}
+
+std::string prometheus_text(const runtime::Metrics::Snapshot& snap,
+                            const std::vector<Gauge>& gauges,
+                            std::string_view prefix) {
+  std::string out;
+  for (const auto& [name, v] : snap.counters) {
+    const std::string n = prometheus_name(name, prefix, "_total");
+    type_line(out, n, "counter");
+    sample(out, n, v);
+  }
+  for (const auto& [name, t] : snap.timers) {
+    const std::string secs = prometheus_name(name, prefix, "_seconds_total");
+    type_line(out, secs, "counter");
+    sample(out, secs, static_cast<double>(t.total_ns) / 1e9);
+    const std::string calls = prometheus_name(name, prefix, "_calls_total");
+    type_line(out, calls, "counter");
+    sample(out, calls, t.calls);
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    histogram_block(out, prometheus_name(name, prefix), h);
+  }
+  for (const auto& g : gauges) {
+    const std::string n = prometheus_name(g.name, prefix);
+    type_line(out, n, "gauge");
+    sample(out, n, g.value);
+  }
+  return out;
+}
+
+}  // namespace pdf::obs

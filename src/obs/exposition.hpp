@@ -1,0 +1,61 @@
+// Renders a runtime::Metrics snapshot for external consumers.
+//
+// Two formats from the same Snapshot:
+//  - snapshot_json(): the dependency-free obs::Json tree the run manifest
+//    already embeds (counters as ints, timers as {total_ns, calls},
+//    histograms as {count, sum, p50, p90, p99, max}). Key-sorted and
+//    byte-stable like every obs::Json dump.
+//  - prometheus_text(): Prometheus text exposition format 0.0.4, the body
+//    the `prom` admin request returns. Counters become `<prefix>_<name>_total`,
+//    timers a `_seconds_total` / `_calls_total` pair, histograms native
+//    Prometheus histograms whose `le` bounds are the log2 bucket uppers
+//    (only buckets up to the highest non-empty one are emitted, plus the
+//    mandatory `+Inf`). Metric names are sanitized to [a-zA-Z0-9_:] with
+//    dots mapped to underscores.
+//
+// Rendering works on a Snapshot, not on the live registry, so callers
+// control the quiesce point and can render deltas (Snapshot::delta_since)
+// with the same code path.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "runtime/metrics.hpp"
+
+namespace pdf::obs {
+
+/// One instantaneous value exported alongside the cumulative snapshot
+/// (queue depth, in-flight jobs, uptime — things no Counter accumulates).
+struct Gauge {
+  std::string name;  // dotted, sanitized like the snapshot metrics
+  double value = 0.0;
+};
+
+/// JSON rendering of one histogram snapshot: {count, sum, p50, p90, p99,
+/// max}. Shared by the run manifest and the `stats` admin request.
+Json histogram_json(const runtime::Metrics::Histogram::Snapshot& h);
+
+/// JSON rendering of a full snapshot: {"counters": {...}, "timers":
+/// {name: {total_ns, calls}}, "histograms": {name: histogram_json}}.
+Json snapshot_json(const runtime::Metrics::Snapshot& snap);
+
+/// A metric name in Prometheus form: `<prefix>_<name><suffix>` with every
+/// character outside [a-zA-Z0-9_:] replaced by '_'.
+std::string prometheus_name(std::string_view name, std::string_view prefix,
+                            std::string_view suffix = "");
+
+/// Prometheus text exposition (format 0.0.4) of `snap` plus optional
+/// gauges. Deterministic: name-sorted within each kind, `%.17g` doubles.
+std::string prometheus_text(const runtime::Metrics::Snapshot& snap,
+                            const std::vector<Gauge>& gauges = {},
+                            std::string_view prefix = "pdf");
+
+/// The Content-Type a Prometheus scraper expects for prometheus_text().
+inline constexpr const char* kPrometheusContentType =
+    "text/plain; version=0.0.4";
+
+}  // namespace pdf::obs

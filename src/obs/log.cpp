@@ -1,0 +1,193 @@
+#include "obs/log.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "base/error.hpp"
+#include "obs/json.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace pdf::obs {
+
+namespace detail {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::Off)};
+}  // namespace detail
+
+namespace {
+
+std::mutex& sink_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+struct SinkState {
+  LogSink sink;  // empty -> stderr
+  std::uint64_t rate_limit = 1000;
+  std::uint64_t window_start_s = 0;
+  std::uint64_t emitted_in_window = 0;
+};
+
+SinkState& sink_state() {
+  static SinkState s;
+  return s;
+}
+
+std::string& line_buf() {
+  static thread_local std::string buf;
+  return buf;
+}
+
+std::int64_t wall_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void append_key(std::string& buf, std::string_view key) {
+  buf += ",\"";
+  buf += Json::escape(key);
+  buf += "\":";
+}
+
+void emit(std::string_view line) {
+  std::lock_guard<std::mutex> lk(sink_mu());
+  SinkState& s = sink_state();
+  if (s.rate_limit != 0) {
+    const std::uint64_t now_s = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    if (now_s != s.window_start_s) {
+      s.window_start_s = now_s;
+      s.emitted_in_window = 0;
+    }
+    if (s.emitted_in_window >= s.rate_limit) {
+      static runtime::Metrics::Counter& dropped =
+          runtime::Metrics::global().counter("log.dropped");
+      dropped.add(1);
+      return;
+    }
+    ++s.emitted_in_window;
+  }
+  if (s.sink) {
+    s.sink(line);
+  } else {
+    std::fprintf(stderr, "%.*s\n", static_cast<int>(line.size()),
+                 line.data());
+  }
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(
+      detail::g_log_level.load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel lv) {
+  detail::g_log_level.store(static_cast<int>(lv), std::memory_order_relaxed);
+}
+
+const char* log_level_name(LogLevel lv) {
+  switch (lv) {
+    case LogLevel::Debug:
+      return "debug";
+    case LogLevel::Info:
+      return "info";
+    case LogLevel::Warn:
+      return "warn";
+    case LogLevel::Error:
+      return "error";
+    case LogLevel::Off:
+      return "off";
+  }
+  return "off";
+}
+
+LogLevel parse_log_level(std::string_view s) {
+  if (s == "debug") return LogLevel::Debug;
+  if (s == "info") return LogLevel::Info;
+  if (s == "warn") return LogLevel::Warn;
+  if (s == "error") return LogLevel::Error;
+  if (s == "off") return LogLevel::Off;
+  throw ConfigError("unknown log level '" + std::string(s) +
+                    "' (expected debug|info|warn|error|off)");
+}
+
+void init_log_level_from_env() {
+  const char* env = std::getenv("PDF_LOG_LEVEL");
+  if (env == nullptr) return;
+  try {
+    set_log_level(parse_log_level(env));
+  } catch (const ConfigError&) {
+    // A stale env var must not kill a daemon; the explicit flag still works.
+  }
+}
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lk(sink_mu());
+  sink_state().sink = std::move(sink);
+}
+
+void set_log_rate_limit(std::uint64_t lines_per_sec) {
+  std::lock_guard<std::mutex> lk(sink_mu());
+  SinkState& s = sink_state();
+  s.rate_limit = lines_per_sec;
+  s.emitted_in_window = 0;
+}
+
+LogEvent::LogEvent(LogLevel lv, std::string_view event) : buf_(line_buf()) {
+  buf_.clear();
+  buf_ += "{\"event\":\"";
+  buf_ += Json::escape(event);
+  buf_ += "\",\"level\":\"";
+  buf_ += log_level_name(lv);
+  buf_ += "\",\"tid\":";
+  buf_ += std::to_string(runtime::worker_slot());
+  buf_ += ",\"ts_ms\":";
+  buf_ += std::to_string(wall_ms());
+}
+
+LogEvent::~LogEvent() {
+  buf_ += '}';
+  emit(buf_);
+}
+
+LogEvent& LogEvent::str(std::string_view key, std::string_view value) {
+  append_key(buf_, key);
+  buf_ += '"';
+  buf_ += Json::escape(value);
+  buf_ += '"';
+  return *this;
+}
+
+LogEvent& LogEvent::num(std::string_view key, std::int64_t value) {
+  append_key(buf_, key);
+  buf_ += std::to_string(value);
+  return *this;
+}
+
+LogEvent& LogEvent::num(std::string_view key, std::uint64_t value) {
+  append_key(buf_, key);
+  buf_ += std::to_string(value);
+  return *this;
+}
+
+LogEvent& LogEvent::num(std::string_view key, double value) {
+  append_key(buf_, key);
+  char tmp[40];
+  std::snprintf(tmp, sizeof(tmp), "%.17g", value);
+  buf_ += tmp;
+  return *this;
+}
+
+LogEvent& LogEvent::flag(std::string_view key, bool value) {
+  append_key(buf_, key);
+  buf_ += value ? "true" : "false";
+  return *this;
+}
+
+}  // namespace pdf::obs

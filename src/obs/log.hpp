@@ -1,0 +1,95 @@
+// Leveled structured JSON logging for the long-lived daemons.
+//
+// One line per event, one JSON object per line, key-sorted is NOT promised
+// (fields append in call order) — consumers parse, they don't diff. Every
+// line carries {"event", "level", "tid", "ts_ms"} plus whatever fields the
+// call site attaches.
+//
+// Cost model mirrors PDF_TRACE_SPAN (obs/trace.hpp):
+//  - disabled (level above the line's): one relaxed atomic load per
+//    PDF_LOG — no clock read, no formatting, no allocation. The default
+//    level is Off, so engines and tables pay nothing unless a daemon
+//    opts in via PDF_LOG_LEVEL or --log-level.
+//  - enabled: the line is formatted into a thread_local buffer (amortized
+//    zero allocation) and handed to the sink under a mutex. Logging is for
+//    daemon control paths (admission, drain, cancellation, errors), not
+//    for per-gate hot loops — the mutex is deliberate, ordering lines
+//    beats sharding them.
+//
+// A per-second rate limit guards the sink against error storms: lines over
+// the budget are dropped and counted on the `log.dropped` metric, so a gap
+// in the log is observable rather than silent.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace pdf::obs {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+namespace detail {
+/// Hot-path threshold: lines below this level are skipped. Defaults to Off.
+extern std::atomic<int> g_log_level;
+}  // namespace detail
+
+/// True when a line at `lv` would be emitted. Single relaxed load.
+inline bool log_enabled(LogLevel lv) {
+  return static_cast<int>(lv) >= detail::g_log_level.load(std::memory_order_relaxed);
+}
+
+LogLevel log_level();
+void set_log_level(LogLevel lv);
+
+/// "debug" | "info" | "warn" | "error" | "off".
+const char* log_level_name(LogLevel lv);
+
+/// Parses a level name (case-sensitive, the five names above); throws
+/// base::ConfigError on anything else.
+LogLevel parse_log_level(std::string_view s);
+
+/// Applies PDF_LOG_LEVEL from the environment if set (invalid values are
+/// ignored — a daemon must not die because of a stale env var). Called by
+/// the daemon mains before flag parsing so --log-level wins.
+void init_log_level_from_env();
+
+/// Receives one formatted line (no trailing newline). Called under the log
+/// mutex — keep it fast. Passing nullptr restores the default stderr sink.
+using LogSink = std::function<void(std::string_view line)>;
+void set_log_sink(LogSink sink);
+
+/// Lines per second before drops kick in (default 1000). 0 disables the
+/// limit. Dropped lines tick the `log.dropped` counter.
+void set_log_rate_limit(std::uint64_t lines_per_sec);
+
+/// Builder for one log line; emits on destruction. Construct only through
+/// PDF_LOG so the disabled path stays a single load.
+class LogEvent {
+ public:
+  LogEvent(LogLevel lv, std::string_view event);
+  ~LogEvent();
+  LogEvent(const LogEvent&) = delete;
+  LogEvent& operator=(const LogEvent&) = delete;
+
+  LogEvent& str(std::string_view key, std::string_view value);
+  LogEvent& num(std::string_view key, std::int64_t value);
+  LogEvent& num(std::string_view key, std::uint64_t value);
+  LogEvent& num(std::string_view key, double value);
+  LogEvent& flag(std::string_view key, bool value);
+
+ private:
+  std::string& buf_;  // thread_local line buffer
+};
+
+/// Emits a structured line when `lvl` (a LogLevel enumerator name) clears
+/// the threshold; otherwise costs one relaxed load. Chain fields:
+///   PDF_LOG(Info, "serve.job.done").num("id", id).str("circuit", name);
+#define PDF_LOG(lvl, event)                                        \
+  if (!::pdf::obs::log_enabled(::pdf::obs::LogLevel::lvl)) {       \
+  } else                                                           \
+    ::pdf::obs::LogEvent(::pdf::obs::LogLevel::lvl, event)
+
+}  // namespace pdf::obs

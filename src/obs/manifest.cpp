@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "obs/exposition.hpp"
 #include "runtime/metrics.hpp"
 
 namespace pdf::obs {
@@ -24,17 +25,6 @@ Json build_info() {
   b["build_type"] = "debug";
 #endif
   return b;
-}
-
-Json histogram_json(const runtime::Metrics::Histogram::Snapshot& h) {
-  Json j;
-  j["count"] = h.count;
-  j["sum"] = h.sum;
-  j["p50"] = h.p50();
-  j["p90"] = h.p90();
-  j["p99"] = h.p99();
-  j["max"] = h.max;
-  return j;
 }
 
 }  // namespace
@@ -68,27 +58,7 @@ Json run_manifest(const RunInfo& info) {
   }
   doc["circuits"] = std::move(circuits);
 
-  Json counters;
-  counters = Json(Json::Object{});
-  for (const auto& [name, v] : m.counters) counters[name] = v;
-  Json timers;
-  timers = Json(Json::Object{});
-  for (const auto& [name, t] : m.timers) {
-    Json tj;
-    tj["total_ns"] = t.total_ns;
-    tj["calls"] = t.calls;
-    timers[name] = std::move(tj);
-  }
-  Json histograms;
-  histograms = Json(Json::Object{});
-  for (const auto& [name, h] : m.histograms) {
-    histograms[name] = histogram_json(h);
-  }
-  Json metrics;
-  metrics["counters"] = std::move(counters);
-  metrics["timers"] = std::move(timers);
-  metrics["histograms"] = std::move(histograms);
-  doc["metrics"] = std::move(metrics);
+  doc["metrics"] = snapshot_json(m);
 
   // Store totals pulled out of the flat counter map: the numbers a
   // trajectory dashboard reads first.

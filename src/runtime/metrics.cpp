@@ -82,6 +82,68 @@ std::uint64_t Metrics::Histogram::Snapshot::percentile(double q) const {
   return max;
 }
 
+namespace {
+
+std::uint64_t clamped_sub(std::uint64_t a, std::uint64_t b) {
+  return a > b ? a - b : 0;
+}
+
+}  // namespace
+
+void Metrics::Histogram::Snapshot::merge(const Snapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  if (other.max > max) max = other.max;
+  for (std::size_t b = 0; b < kBuckets; ++b) buckets[b] += other.buckets[b];
+}
+
+Metrics::Histogram::Snapshot Metrics::Histogram::Snapshot::delta_since(
+    const Snapshot& earlier) const {
+  Snapshot out;
+  out.count = clamped_sub(count, earlier.count);
+  out.sum = clamped_sub(sum, earlier.sum);
+  out.max = max;  // interval upper bound; see the header contract
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    out.buckets[b] = clamped_sub(buckets[b], earlier.buckets[b]);
+  }
+  return out;
+}
+
+void Metrics::Snapshot::merge(const Snapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, t] : other.timers) {
+    auto& mine = timers[name];
+    mine.total_ns += t.total_ns;
+    mine.calls += t.calls;
+  }
+  for (const auto& [name, h] : other.histograms) histograms[name].merge(h);
+}
+
+Metrics::Snapshot Metrics::Snapshot::delta_since(
+    const Snapshot& earlier) const {
+  Snapshot out;
+  for (const auto& [name, v] : counters) {
+    auto it = earlier.counters.find(name);
+    out.counters[name] =
+        it == earlier.counters.end() ? v : clamped_sub(v, it->second);
+  }
+  for (const auto& [name, t] : timers) {
+    auto it = earlier.timers.find(name);
+    TimerValue d = t;
+    if (it != earlier.timers.end()) {
+      d.total_ns = clamped_sub(t.total_ns, it->second.total_ns);
+      d.calls = clamped_sub(t.calls, it->second.calls);
+    }
+    out.timers[name] = d;
+  }
+  for (const auto& [name, h] : histograms) {
+    auto it = earlier.histograms.find(name);
+    out.histograms[name] =
+        it == earlier.histograms.end() ? h : h.delta_since(it->second);
+  }
+  return out;
+}
+
 Metrics& Metrics::global() {
   static Metrics m;
   return m;

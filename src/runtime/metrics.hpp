@@ -125,6 +125,18 @@ class Metrics {
       std::uint64_t p50() const { return percentile(0.50); }
       std::uint64_t p90() const { return percentile(0.90); }
       std::uint64_t p99() const { return percentile(0.99); }
+
+      /// Accumulates `other` into this snapshot: buckets/count/sum add,
+      /// max takes the larger. Merging deltas from disjoint intervals (or
+      /// disjoint processes) yields the combined distribution exactly.
+      void merge(const Snapshot& other);
+
+      /// The records observed between `earlier` and this snapshot:
+      /// buckets/count/sum subtract (clamped at 0, so a reset() between the
+      /// two snapshots degrades to "this" rather than underflowing). The
+      /// delta keeps this snapshot's max — an upper bound for the interval,
+      /// since per-interval maxima are not recoverable from running maxima.
+      Snapshot delta_since(const Snapshot& earlier) const;
     };
     Snapshot snapshot() const;
     void reset();
@@ -159,6 +171,18 @@ class Metrics {
     std::map<std::string, std::uint64_t> counters;
     std::map<std::string, TimerValue> timers;
     std::map<std::string, Histogram::Snapshot> histograms;
+
+    /// Accumulates `other` into this snapshot, metric by metric: counters
+    /// and timers add, histograms merge bucket-wise; metrics present in
+    /// only one operand carry over unchanged.
+    void merge(const Snapshot& other);
+
+    /// The activity between `earlier` and this snapshot: counters/timers
+    /// subtract (clamped at 0) and histograms take their bucket-wise delta.
+    /// Metrics that did not exist at `earlier` appear with their full
+    /// value. This is what the live `stats` admin request and the
+    /// --stats-every poller diff against.
+    Snapshot delta_since(const Snapshot& earlier) const;
   };
   Snapshot snapshot() const;
 

@@ -13,10 +13,14 @@ RequestKind kind_from_string(const std::string& s) {
   if (s == "basic") return RequestKind::Basic;
   if (s == "ping") return RequestKind::Ping;
   if (s == "stats") return RequestKind::Stats;
+  if (s == "health") return RequestKind::Health;
+  if (s == "jobs") return RequestKind::Jobs;
+  if (s == "prom") return RequestKind::Prom;
   if (s == "cancel") return RequestKind::Cancel;
   if (s == "shutdown") return RequestKind::Shutdown;
-  throw ConfigError("unknown request kind '" + s +
-                    "' (enrich, basic, ping, stats, cancel, shutdown)");
+  throw ConfigError(
+      "unknown request kind '" + s +
+      "' (enrich, basic, ping, stats, health, jobs, prom, cancel, shutdown)");
 }
 
 CompactionHeuristic heuristic_from_string(const std::string& s) {
@@ -58,6 +62,9 @@ const char* kind_name(RequestKind k) {
     case RequestKind::Basic: return "basic";
     case RequestKind::Ping: return "ping";
     case RequestKind::Stats: return "stats";
+    case RequestKind::Health: return "health";
+    case RequestKind::Jobs: return "jobs";
+    case RequestKind::Prom: return "prom";
     case RequestKind::Cancel: return "cancel";
     case RequestKind::Shutdown: return "shutdown";
   }

@@ -27,7 +27,24 @@ namespace pdf::serve {
 
 inline constexpr const char* kProtocolVersion = "pdf.serve/1";
 
-enum class RequestKind { Enrich, Basic, Ping, Stats, Cancel, Shutdown };
+/// The admin request family (`stats`, `health`, `jobs`, `prom`): read-only
+/// introspection answered synchronously on the connection-reader thread —
+/// never enqueued, never touching a worker shard — so admin pollers observe
+/// the daemon without perturbing enrichment `result` bytes. Admin result
+/// objects carry `"schema": "pdf.admin/1"`.
+inline constexpr const char* kAdminProtocolVersion = "pdf.admin/1";
+
+enum class RequestKind {
+  Enrich,
+  Basic,
+  Ping,
+  Stats,     // pdf.admin/1: metrics snapshot with p50/p90/p99
+  Health,    // pdf.admin/1: uptime, queue depth, in-flight, cache hit rate
+  Jobs,      // pdf.admin/1: JobState registry listing
+  Prom,      // pdf.admin/1: Prometheus text exposition
+  Cancel,
+  Shutdown
+};
 
 const char* kind_name(RequestKind k);
 

@@ -1,8 +1,13 @@
 #include "serve/server.hpp"
 
 #include <condition_variable>
+#include <filesystem>
+#include <memory>
 #include <utility>
 
+#include "obs/exposition.hpp"
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -30,6 +35,20 @@ Response make_error(std::int64_t id, Status status, std::string kind,
   r.error.kind = std::move(kind);
   r.error.message = std::move(message);
   return r;
+}
+
+const char* phase_name(int phase) {
+  switch (phase) {
+    case 0: return "queued";
+    case 1: return "running";
+    default: return "done";
+  }
+}
+
+double hit_rate(std::uint64_t hits, std::uint64_t misses) {
+  const std::uint64_t total = hits + misses;
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits) / static_cast<double>(total);
 }
 
 }  // namespace
@@ -77,9 +96,14 @@ void Server::submit(Request req, std::function<void(Response)> done) {
   job.state = std::make_shared<JobState>();
   job.admitted = std::chrono::steady_clock::now();
   const std::int64_t id = job.req.id;
+  job.state->id = id;
+  job.state->kind = job.req.kind;
+  job.state->circuit = job.req.circuit.empty() ? "inline" : job.req.circuit;
+  job.state->admitted = job.admitted;
   {
     std::lock_guard<std::mutex> lk(active_mu_);
     job.serial = next_serial_++;
+    job.state->serial = job.serial;
     active_.emplace(id, job.state);
   }
   const auto state = job.state;
@@ -87,6 +111,10 @@ void Server::submit(Request req, std::function<void(Response)> done) {
 
   switch (queue_.try_push(std::move(job))) {
     case Admission::Accepted:
+      PDF_LOG(Debug, "serve.job.admitted")
+          .num("id", id)
+          .num("serial", state->serial)
+          .str("circuit", state->circuit);
       return;
     case Admission::Rejected: {
       Response r = make_error(id, Status::Rejected, "overload",
@@ -94,11 +122,17 @@ void Server::submit(Request req, std::function<void(Response)> done) {
                                   std::to_string(queue_.capacity()) +
                                   "); retry after backoff");
       r.retry_after_ms = cfg_.retry_after_ms;
+      PDF_LOG(Warn, "serve.admit.rejected")
+          .num("id", id)
+          .num("queue_capacity",
+               static_cast<std::uint64_t>(queue_.capacity()))
+          .num("retry_after_ms", cfg_.retry_after_ms);
       forget(id, state);
       done_copy(std::move(r));
       return;
     }
     case Admission::Closed: {
+      PDF_LOG(Warn, "serve.admit.closed").num("id", id);
       forget(id, state);
       done_copy(make_error(id, Status::Rejected, "shutting_down",
                            "server is draining; not accepting new jobs"));
@@ -142,6 +176,10 @@ void Server::worker_main() {
     }
     if (cancelled) {
       cancelled_counter().add();
+      PDF_LOG(Info, "serve.job.cancelled")
+          .num("id", job.req.id)
+          .num("serial", job.serial)
+          .str("stage", "pre-run");
       Response r = make_error(job.req.id, Status::Cancelled, "cancelled",
                               "job cancelled before it started");
       r.queue_ns = queue_ns;
@@ -149,8 +187,63 @@ void Server::worker_main() {
       continue;
     }
 
+    // Best-effort slow-job capture: one TraceSession may run process-wide,
+    // so when another job (or an external --trace) already holds it this
+    // job simply goes uncaptured. Spans from jobs running concurrently with
+    // the captured one land in the same file — distinguishable by tid, and
+    // the interference is itself diagnostic.
+    std::unique_ptr<obs::TraceSession> capture;
+    if (cfg_.slow_job_ms > 0) {
+      capture = std::make_unique<obs::TraceSession>();
+      if (!capture->start()) capture.reset();
+    }
+
     Response r = run_job(job.req, ctx_, job.serial);
     r.queue_ns = queue_ns;
+
+    if (capture) {
+      capture->stop();
+      if (r.run_ns > cfg_.slow_job_ms * 1'000'000) {
+        static auto& slow =
+            runtime::Metrics::global().counter("serve.jobs.slow");
+        slow.add();
+        const auto dir = cfg_.manifest_dir.empty()
+                             ? std::filesystem::path(".")
+                             : std::filesystem::path(cfg_.manifest_dir);
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);  // best-effort
+        const std::string path =
+            (dir / ("job-" + std::to_string(job.serial) + ".trace.json"))
+                .string();
+        const bool written = capture->write_chrome_json(path);
+        PDF_LOG(Warn, "serve.job.slow")
+            .num("id", job.req.id)
+            .num("serial", job.serial)
+            .str("circuit", job.state->circuit)
+            .num("run_ns", r.run_ns)
+            .num("threshold_ms", cfg_.slow_job_ms)
+            .str("trace", written ? path : "(write failed)")
+            .num("spans", static_cast<std::uint64_t>(
+                              capture->events().size()));
+      }
+      capture.reset();
+    }
+
+    if (r.status == Status::Ok) {
+      PDF_LOG(Debug, "serve.job.done")
+          .num("id", job.req.id)
+          .num("serial", job.serial)
+          .str("circuit", job.state->circuit)
+          .num("queue_ns", r.queue_ns)
+          .num("run_ns", r.run_ns);
+    } else {
+      PDF_LOG(Error, "serve.job.failed")
+          .num("id", job.req.id)
+          .num("serial", job.serial)
+          .str("circuit", job.state->circuit)
+          .str("error_kind", r.error.kind)
+          .str("error", r.error.message);
+    }
     finish(job, std::move(r));
   }
 }
@@ -210,6 +303,10 @@ Response Server::cancel(const Request& req) {
                                 "cancelled",
                                 "job cancelled while queued"));
   }
+  PDF_LOG(Info, "serve.job.cancelled")
+      .num("id", req.cancel_target)
+      .num("serial", state->serial)
+      .str("stage", "queued");
   r.result["cancelled"] = true;
   r.result["state"] = "queued";
   return r;
@@ -226,6 +323,20 @@ Response Server::control(const Request& req) {
     case RequestKind::Stats:
       r.result = stats();
       break;
+    case RequestKind::Health:
+      r.result = health();
+      break;
+    case RequestKind::Jobs:
+      r.result = jobs();
+      break;
+    case RequestKind::Prom: {
+      obs::Json p;
+      p["schema"] = kAdminProtocolVersion;
+      p["content_type"] = obs::kPrometheusContentType;
+      p["text"] = prometheus();
+      r.result = std::move(p);
+      break;
+    }
     default:
       return make_error(req.id, Status::Error, "internal",
                         "unroutable control request");
@@ -236,6 +347,7 @@ Response Server::control(const Request& req) {
 obs::Json Server::stats() const {
   auto& m = runtime::Metrics::global();
   obs::Json doc;
+  doc["schema"] = kAdminProtocolVersion;
   doc["protocol"] = kProtocolVersion;
   doc["backend"] = cfg_.backend;
   doc["concurrency"] = static_cast<std::int64_t>(cfg_.concurrency);
@@ -267,22 +379,109 @@ obs::Json Server::stats() const {
   obs::Json latency;
   for (const char* name :
        {"serve.latency.queue_ns", "serve.latency.run_ns"}) {
-    const auto snap = m.histogram(name).snapshot();
-    obs::Json h;
-    h["count"] = snap.count;
-    h["p50"] = snap.p50();
-    h["p99"] = snap.p99();
-    h["max"] = snap.max;
-    latency[name] = std::move(h);
+    latency[name] = obs::histogram_json(m.histogram(name).snapshot());
   }
   doc["latency"] = std::move(latency);
+
+  // The full registry (counters, timers, every histogram with
+  // p50/p90/p99), rendered by the same code path as the run manifest.
+  doc["metrics"] = obs::snapshot_json(m.snapshot());
   return doc;
+}
+
+std::size_t Server::inflight() const {
+  std::lock_guard<std::mutex> lk(active_mu_);
+  std::size_t n = 0;
+  for (const auto& [id, state] : active_) {
+    std::lock_guard<std::mutex> slk(state->mu);
+    if (state->phase == JobPhase::Running) ++n;
+  }
+  return n;
+}
+
+obs::Json Server::health() const {
+  auto& m = runtime::Metrics::global();
+  const std::uint64_t hits = m.counter("store.hits").read();
+  const std::uint64_t misses = m.counter("store.misses").read();
+
+  obs::Json doc;
+  doc["schema"] = kAdminProtocolVersion;
+  doc["uptime_ms"] = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - started_)
+          .count());
+  doc["draining"] = queue_.closed();
+  doc["inflight"] = static_cast<std::int64_t>(inflight());
+
+  obs::Json queue;
+  queue["depth"] = static_cast<std::int64_t>(queue_.depth());
+  queue["capacity"] = static_cast<std::int64_t>(queue_.capacity());
+  doc["queue"] = std::move(queue);
+
+  obs::Json cache;
+  cache["enabled"] = cache_.has_value();
+  cache["hits"] = hits;
+  cache["misses"] = misses;
+  cache["hit_rate"] = hit_rate(hits, misses);
+  doc["cache"] = std::move(cache);
+  return doc;
+}
+
+obs::Json Server::jobs() const {
+  obs::Json list{obs::Json::Array{}};
+  const auto now = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lk(active_mu_);
+    for (const auto& [id, state] : active_) {
+      obs::Json j;
+      int phase;
+      {
+        std::lock_guard<std::mutex> slk(state->mu);
+        phase = static_cast<int>(state->phase);
+        j["cancelled"] = state->cancelled;
+      }
+      j["id"] = state->id;
+      j["serial"] = state->serial;
+      j["kind"] = kind_name(state->kind);
+      j["circuit"] = state->circuit;
+      j["phase"] = phase_name(phase);
+      j["age_ms"] = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              now - state->admitted)
+              .count());
+      list.push_back(std::move(j));
+    }
+  }
+  obs::Json doc;
+  doc["schema"] = kAdminProtocolVersion;
+  doc["jobs"] = std::move(list);
+  return doc;
+}
+
+std::string Server::prometheus() const {
+  auto& m = runtime::Metrics::global();
+  const std::uint64_t hits = m.counter("store.hits").read();
+  const std::uint64_t misses = m.counter("store.misses").read();
+  const std::vector<obs::Gauge> gauges = {
+      {"serve.uptime.seconds",
+       std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                     started_)
+           .count()},
+      {"serve.queue.depth_now", static_cast<double>(queue_.depth())},
+      {"serve.jobs.inflight", static_cast<double>(inflight())},
+      {"serve.cache.hit_rate", hit_rate(hits, misses)},
+  };
+  return obs::prometheus_text(m.snapshot(), gauges);
 }
 
 void Server::drain() {
   std::call_once(drain_once_, [&] {
+    PDF_LOG(Info, "serve.drain")
+        .num("queued", static_cast<std::uint64_t>(queue_.depth()))
+        .num("inflight", static_cast<std::uint64_t>(inflight()));
     queue_.close();
     for (auto& w : workers_) w.join();
+    PDF_LOG(Info, "serve.drained");
   });
 }
 

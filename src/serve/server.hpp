@@ -15,8 +15,13 @@
 // jobs are as isolated as pool workers are.
 //
 // Metrics (runtime registry): serve.admit.{accepted,rejected,closed},
-// serve.queue.depth, serve.jobs.{completed,failed,cancelled},
+// serve.queue.depth, serve.jobs.{completed,failed,cancelled,slow},
 // serve.latency.{queue_ns,run_ns} histograms, serve.cache.{hits,misses}.
+//
+// The pdf.admin/1 family (stats/health/jobs/prom) is answered synchronously
+// by the submitting thread from registry snapshots and the JobState map —
+// admin reads never enqueue, never run on a worker, and never write a
+// metric a job reads, so polling them cannot perturb job `result` bytes.
 #pragma once
 
 #include <chrono>
@@ -51,6 +56,10 @@ struct ServerConfig {
   /// Invoked (on the submitting thread) when a shutdown request arrives, so
   /// the daemon can kick its own graceful-exit path. May be empty.
   std::function<void()> shutdown_hook;
+  /// Jobs whose run time exceeds this threshold get their span tree dumped
+  /// as `job-<serial>.trace.json` next to the manifests (cwd when
+  /// manifest_dir is empty). 0 disables capture.
+  std::uint64_t slow_job_ms = 0;
 };
 
 class Server {
@@ -80,8 +89,12 @@ class Server {
   std::size_t queue_depth() const { return queue_.depth(); }
   const JobContext& context() const { return ctx_; }
 
-  /// Point-in-time server statistics (the `stats` request payload).
-  obs::Json stats() const;
+  /// pdf.admin/1 payloads. All are cheap, synchronous, read-only views;
+  /// submit() routes the matching request kinds here.
+  obs::Json stats() const;   // full metrics snapshot with p50/p90/p99
+  obs::Json health() const;  // uptime, queue depth, in-flight, hit rate
+  obs::Json jobs() const;    // JobState registry listing
+  std::string prometheus() const;  // text exposition (obs/exposition.hpp)
 
  private:
   enum class JobPhase { Queued, Running, Done };
@@ -89,6 +102,12 @@ class Server {
     std::mutex mu;
     JobPhase phase = JobPhase::Queued;
     bool cancelled = false;
+    // Identity for the `jobs` admin listing; immutable after submit().
+    std::int64_t id = 0;
+    std::uint64_t serial = 0;
+    RequestKind kind = RequestKind::Enrich;
+    std::string circuit;  // registry name, or "inline" for bench text
+    std::chrono::steady_clock::time_point admitted;
   };
   struct Job {
     Request req;
@@ -103,8 +122,11 @@ class Server {
   void forget(std::int64_t id, const std::shared_ptr<JobState>& state);
   Response control(const Request& req);
   Response cancel(const Request& req);
+  std::size_t inflight() const;  // active jobs in phase Running
 
   ServerConfig cfg_;
+  const std::chrono::steady_clock::time_point started_ =
+      std::chrono::steady_clock::now();
   std::optional<store::StageCache> cache_;
   JobContext ctx_;
   RequestQueue<Job> queue_;

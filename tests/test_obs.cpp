@@ -7,14 +7,21 @@
 // them up (histograms and trace rings are written from pool workers).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <set>
 #include <sstream>
+#include <thread>
+#include <vector>
 
+#include "base/error.hpp"
 #include "enrich/enrichment.hpp"
 #include "gen/registry.hpp"
+#include "obs/exposition.hpp"
 #include "obs/json.hpp"
+#include "obs/log.hpp"
 #include "obs/manifest.hpp"
 #include "obs/trace.hpp"
 #include "runtime/metrics.hpp"
@@ -318,6 +325,357 @@ TEST(ObsManifest, SchemaRoundTrip) {
   EXPECT_TRUE(doc.at("store").contains("misses"));
   EXPECT_EQ(doc.at("trace").at("events").as_int(), 5);
   EXPECT_EQ(doc.at("trace").at("dropped").as_int(), 1);
+}
+
+// ---- snapshot merge / delta -------------------------------------------------
+
+TEST(ObsSnapshot, HistogramMergeAddsAndKeepsLargerMax) {
+  Metrics::Histogram::Snapshot a;
+  a.count = 3;
+  a.sum = 10;
+  a.max = 6;
+  a.buckets[1] = 1;
+  a.buckets[2] = 1;
+  a.buckets[3] = 1;
+
+  Metrics::Histogram::Snapshot b;
+  b.count = 1;
+  b.sum = 100;
+  b.max = 100;
+  b.buckets[7] = 1;
+
+  a.merge(b);
+  EXPECT_EQ(a.count, 4u);
+  EXPECT_EQ(a.sum, 110u);
+  EXPECT_EQ(a.max, 100u);
+  EXPECT_EQ(a.buckets[1], 1u);
+  EXPECT_EQ(a.buckets[7], 1u);
+}
+
+TEST(ObsSnapshot, HistogramDeltaSubtractsAndClampsOnReset) {
+  Metrics::Histogram::Snapshot earlier;
+  earlier.count = 5;
+  earlier.sum = 50;
+  earlier.max = 40;
+  earlier.buckets[3] = 5;
+
+  Metrics::Histogram::Snapshot later = earlier;
+  later.count = 8;
+  later.sum = 80;
+  later.max = 64;
+  later.buckets[3] = 6;
+  later.buckets[6] = 2;
+
+  const auto delta = later.delta_since(earlier);
+  EXPECT_EQ(delta.count, 3u);
+  EXPECT_EQ(delta.sum, 30u);
+  EXPECT_EQ(delta.buckets[3], 1u);
+  EXPECT_EQ(delta.buckets[6], 2u);
+  // The interval max is not recoverable; the delta carries the later max as
+  // an upper bound.
+  EXPECT_EQ(delta.max, 64u);
+
+  // A reset() between the two snapshots makes `later` smaller than
+  // `earlier`; each field clamps at 0 instead of underflowing to 2^64-ish.
+  Metrics::Histogram::Snapshot fresh;
+  fresh.count = 2;
+  fresh.sum = 4;
+  fresh.max = 3;
+  fresh.buckets[2] = 2;
+  const auto clamped = fresh.delta_since(earlier);
+  EXPECT_EQ(clamped.count, 0u);  // 2 - 5 clamps
+  EXPECT_EQ(clamped.sum, 0u);    // 4 - 50 clamps
+  EXPECT_EQ(clamped.buckets[2], 2u);  // bucket new since `earlier`
+  EXPECT_EQ(clamped.buckets[3], 0u);  // 0 - 5 clamps
+}
+
+TEST(ObsSnapshot, MetricsDeltaCoversAllKindsAndNewMetrics) {
+  Metrics::Snapshot earlier;
+  earlier.counters["a"] = 10;
+  earlier.timers["t"] = {1000, 2};
+
+  Metrics::Snapshot later;
+  later.counters["a"] = 15;
+  later.counters["born.later"] = 7;
+  later.timers["t"] = {1800, 5};
+  later.histograms["h"].count = 1;
+  later.histograms["h"].sum = 9;
+  later.histograms["h"].max = 9;
+  later.histograms["h"].buckets[4] = 1;
+
+  const auto d = later.delta_since(earlier);
+  EXPECT_EQ(d.counters.at("a"), 5u);
+  // Metrics that did not exist at `earlier` appear with their full value.
+  EXPECT_EQ(d.counters.at("born.later"), 7u);
+  EXPECT_EQ(d.timers.at("t").total_ns, 800u);
+  EXPECT_EQ(d.timers.at("t").calls, 3u);
+  EXPECT_EQ(d.histograms.at("h").count, 1u);
+
+  // Clamped: a counter that went backwards (reset) reads 0, not 2^64-ish.
+  Metrics::Snapshot rewound;
+  rewound.counters["a"] = 3;
+  EXPECT_EQ(rewound.delta_since(earlier).counters.at("a"), 0u);
+
+  // merge() reassembles the whole from delta + base.
+  Metrics::Snapshot sum = earlier;
+  sum.merge(d);
+  EXPECT_EQ(sum.counters.at("a"), 15u);
+  EXPECT_EQ(sum.counters.at("born.later"), 7u);
+  EXPECT_EQ(sum.timers.at("t").total_ns, 1800u);
+  EXPECT_EQ(sum.timers.at("t").calls, 5u);
+  EXPECT_EQ(sum.histograms.at("h").sum, 9u);
+}
+
+// Snapshots taken while writers are live must be internally consistent and
+// monotone; after the writers join, the final snapshot is exact. (Runs under
+// the CI ThreadSanitizer job via the Obs prefix.)
+TEST(ObsSnapshot, ConcurrentWritersYieldMonotoneConsistentSnapshots) {
+  Metrics m;
+  auto& ctr = m.counter("obssnap.ticks");
+  auto& hist = m.histogram("obssnap.values");
+
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) {}
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        ctr.add(1);
+        hist.record(static_cast<std::uint64_t>(t) * kPerThread + i);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+
+  std::uint64_t last_count = 0;
+  Metrics::Snapshot mid;
+  for (int i = 0; i < 50; ++i) {
+    const auto snap = m.snapshot();
+    const auto& h = snap.histograms.at("obssnap.values");
+    // Monotone: counts never go backwards across successive snapshots.
+    EXPECT_GE(h.count, last_count);
+    last_count = h.count;
+    // Internally consistent: the bucket mass always sums to the count.
+    std::uint64_t bucket_mass = 0;
+    for (const auto b : h.buckets) bucket_mass += b;
+    EXPECT_EQ(bucket_mass, h.count);
+    if (i == 25) mid = snap;
+  }
+  for (auto& w : writers) w.join();
+
+  const auto fin = m.snapshot();
+  EXPECT_EQ(fin.counters.at("obssnap.ticks"), kThreads * kPerThread);
+  EXPECT_EQ(fin.histograms.at("obssnap.values").count, kThreads * kPerThread);
+  EXPECT_EQ(fin.histograms.at("obssnap.values").max,
+            kThreads * kPerThread - 1);
+  // Delta over the second half plus the mid snapshot equals the final.
+  auto rebuilt = mid;
+  rebuilt.merge(fin.delta_since(mid));
+  EXPECT_EQ(rebuilt.counters.at("obssnap.ticks"),
+            fin.counters.at("obssnap.ticks"));
+  EXPECT_EQ(rebuilt.histograms.at("obssnap.values").count,
+            fin.histograms.at("obssnap.values").count);
+  EXPECT_EQ(rebuilt.histograms.at("obssnap.values").sum,
+            fin.histograms.at("obssnap.values").sum);
+}
+
+// ---- Prometheus exposition --------------------------------------------------
+
+TEST(ObsExposition, PrometheusNameSanitization) {
+  EXPECT_EQ(obs::prometheus_name("store.hits", "pdf", "_total"),
+            "pdf_store_hits_total");
+  EXPECT_EQ(obs::prometheus_name("serve.latency.run_ns", "pdf"),
+            "pdf_serve_latency_run_ns");
+  EXPECT_EQ(obs::prometheus_name("weird-name fn()", "pdf"),
+            "pdf_weird_name_fn__");
+  EXPECT_EQ(obs::prometheus_name("keep:colon_09", ""), "keep:colon_09");
+}
+
+// The exposition format is a contract with external scrapers, so this is an
+// exact-string golden test over a hand-built snapshot.
+TEST(ObsExposition, PrometheusGoldenFormat) {
+  Metrics::Snapshot snap;
+  snap.counters["store.hits"] = 3;
+  snap.timers["atpg.total"] = {1500000000, 2};
+  auto& h = snap.histograms["serve.latency.run_ns"];
+  h.count = 3;
+  h.sum = 10;
+  h.max = 6;
+  h.buckets[1] = 1;  // value 1
+  h.buckets[2] = 1;  // value 3
+  h.buckets[3] = 1;  // value 6
+
+  const std::string text =
+      obs::prometheus_text(snap, {{"jobs.inflight", 2.0}});
+  const std::string expected =
+      "# TYPE pdf_store_hits_total counter\n"
+      "pdf_store_hits_total 3\n"
+      "# TYPE pdf_atpg_total_seconds_total counter\n"
+      "pdf_atpg_total_seconds_total 1.5\n"
+      "# TYPE pdf_atpg_total_calls_total counter\n"
+      "pdf_atpg_total_calls_total 2\n"
+      "# TYPE pdf_serve_latency_run_ns histogram\n"
+      "pdf_serve_latency_run_ns_bucket{le=\"0\"} 0\n"
+      "pdf_serve_latency_run_ns_bucket{le=\"1\"} 1\n"
+      "pdf_serve_latency_run_ns_bucket{le=\"3\"} 2\n"
+      "pdf_serve_latency_run_ns_bucket{le=\"7\"} 3\n"
+      "pdf_serve_latency_run_ns_bucket{le=\"+Inf\"} 3\n"
+      "pdf_serve_latency_run_ns_sum 10\n"
+      "pdf_serve_latency_run_ns_count 3\n"
+      "# TYPE pdf_jobs_inflight gauge\n"
+      "pdf_jobs_inflight 2\n";
+  EXPECT_EQ(text, expected);
+}
+
+TEST(ObsExposition, EmptyHistogramStillEmitsMandatoryLines) {
+  Metrics::Snapshot snap;
+  snap.histograms["empty"];  // all-zero snapshot
+  const std::string text = obs::prometheus_text(snap);
+  EXPECT_NE(text.find("pdf_empty_bucket{le=\"+Inf\"} 0\n"), std::string::npos);
+  EXPECT_NE(text.find("pdf_empty_sum 0\n"), std::string::npos);
+  EXPECT_NE(text.find("pdf_empty_count 0\n"), std::string::npos);
+}
+
+TEST(ObsExposition, SnapshotJsonShapes) {
+  Metrics::Snapshot snap;
+  snap.counters["c"] = 42;
+  snap.timers["t"] = {700, 7};
+  auto& h = snap.histograms["h"];
+  h.count = 1;
+  h.sum = 5;
+  h.max = 5;
+  h.buckets[3] = 1;
+
+  const obs::Json doc = obs::snapshot_json(snap);
+  EXPECT_EQ(doc.at("counters").at("c").as_int(), 42);
+  EXPECT_EQ(doc.at("timers").at("t").at("total_ns").as_int(), 700);
+  EXPECT_EQ(doc.at("timers").at("t").at("calls").as_int(), 7);
+  EXPECT_EQ(doc.at("histograms").at("h").at("count").as_int(), 1);
+  EXPECT_EQ(doc.at("histograms").at("h").at("p50").as_int(), 5);
+  // Round-trips through the parser (the admin protocol embeds this).
+  const obs::Json again = obs::Json::parse(doc.dump());
+  EXPECT_EQ(again.at("counters").at("c").as_int(), 42);
+}
+
+// ---- structured logging -----------------------------------------------------
+
+/// Captures emitted lines and restores sink/level/rate-limit on destruction.
+class LogCapture {
+ public:
+  LogCapture() {
+    obs::set_log_sink([this](std::string_view line) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      lines_.emplace_back(line);
+    });
+  }
+  ~LogCapture() {
+    obs::set_log_sink(nullptr);
+    obs::set_log_level(obs::LogLevel::Off);
+    obs::set_log_rate_limit(1000);
+  }
+  std::vector<std::string> lines() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return lines_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::string> lines_;
+};
+
+TEST(ObsLog, LevelGatingAndFieldFormatting) {
+  LogCapture cap;
+  obs::set_log_level(obs::LogLevel::Warn);
+
+  EXPECT_FALSE(obs::log_enabled(obs::LogLevel::Debug));
+  EXPECT_FALSE(obs::log_enabled(obs::LogLevel::Info));
+  EXPECT_TRUE(obs::log_enabled(obs::LogLevel::Warn));
+  EXPECT_TRUE(obs::log_enabled(obs::LogLevel::Error));
+
+  PDF_LOG(Info, "obslog.suppressed").num("n", std::int64_t{1});
+  PDF_LOG(Warn, "obslog.kept")
+      .str("circuit", "s27")
+      .num("id", std::int64_t{-3})
+      .num("ratio", 0.5)
+      .flag("draining", true)
+      .str("quoted", "a\"b\\c");
+
+  const auto lines = cap.lines();
+  ASSERT_EQ(lines.size(), 1u);
+  const obs::Json doc = obs::Json::parse(lines[0]);
+  EXPECT_EQ(doc.at("event").as_string(), "obslog.kept");
+  EXPECT_EQ(doc.at("level").as_string(), "warn");
+  EXPECT_TRUE(doc.contains("tid"));
+  EXPECT_TRUE(doc.contains("ts_ms"));
+  EXPECT_EQ(doc.at("circuit").as_string(), "s27");
+  EXPECT_EQ(doc.at("id").as_int(), -3);
+  EXPECT_DOUBLE_EQ(doc.at("ratio").as_double(), 0.5);
+  EXPECT_EQ(doc.at("draining").as_bool(), true);
+  EXPECT_EQ(doc.at("quoted").as_string(), "a\"b\\c");
+}
+
+TEST(ObsLog, ParseLevelRoundTripAndErrors) {
+  EXPECT_EQ(obs::parse_log_level("debug"), obs::LogLevel::Debug);
+  EXPECT_EQ(obs::parse_log_level("info"), obs::LogLevel::Info);
+  EXPECT_EQ(obs::parse_log_level("warn"), obs::LogLevel::Warn);
+  EXPECT_EQ(obs::parse_log_level("error"), obs::LogLevel::Error);
+  EXPECT_EQ(obs::parse_log_level("off"), obs::LogLevel::Off);
+  for (const obs::LogLevel lv :
+       {obs::LogLevel::Debug, obs::LogLevel::Info, obs::LogLevel::Warn,
+        obs::LogLevel::Error, obs::LogLevel::Off}) {
+    EXPECT_EQ(obs::parse_log_level(obs::log_level_name(lv)), lv);
+  }
+  EXPECT_THROW(obs::parse_log_level("verbose"), ConfigError);
+  EXPECT_THROW(obs::parse_log_level(""), ConfigError);
+}
+
+TEST(ObsLog, RateLimitDropsAndCountsOverBudgetLines) {
+  LogCapture cap;
+  obs::set_log_level(obs::LogLevel::Info);
+  obs::set_log_rate_limit(2);
+
+  auto& dropped = runtime::Metrics::global().counter("log.dropped");
+  const std::uint64_t dropped_before = dropped.read();
+  constexpr int kLines = 50;
+  for (int i = 0; i < kLines; ++i) {
+    PDF_LOG(Info, "obslog.storm").num("i", std::int64_t{i});
+  }
+  const auto lines = cap.lines();
+  // The burst spans at most two one-second windows, so 2..4 lines land and
+  // every other line is dropped and counted.
+  EXPECT_GE(lines.size(), 2u);
+  EXPECT_LE(lines.size(), 4u);
+  EXPECT_EQ(dropped.read() - dropped_before, kLines - lines.size());
+}
+
+TEST(ObsLog, ConcurrentEmittersProduceWholeLines) {
+  LogCapture cap;
+  obs::set_log_level(obs::LogLevel::Info);
+  obs::set_log_rate_limit(0);  // unlimited: every line must arrive intact
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> emitters;
+  for (int t = 0; t < kThreads; ++t) {
+    emitters.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        PDF_LOG(Info, "obslog.concurrent")
+            .num("t", std::int64_t{t})
+            .num("i", std::int64_t{i});
+      }
+    });
+  }
+  for (auto& e : emitters) e.join();
+
+  const auto lines = cap.lines();
+  ASSERT_EQ(lines.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  for (const auto& line : lines) {
+    const obs::Json doc = obs::Json::parse(line);  // throws if torn
+    EXPECT_EQ(doc.at("event").as_string(), "obslog.concurrent");
+  }
 }
 
 // ---- determinism ------------------------------------------------------------

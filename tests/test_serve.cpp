@@ -1,6 +1,8 @@
 // serve subsystem tests: protocol round-trips, run_job determinism and
 // warm-cache byte-identity, Server admission control / backpressure,
-// cancellation, graceful drain, and per-request run-manifest emission under
+// cancellation, graceful drain, the pdf.admin/1 telemetry plane (stats /
+// health / jobs / prom answered live without perturbing result bytes,
+// slow-job trace capture), and per-request run-manifest emission under
 // concurrent sessions.
 #include <gtest/gtest.h>
 
@@ -13,6 +15,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "base/error.hpp"
@@ -393,6 +396,156 @@ TEST(ServeServerTest, DrainCompletesAdmittedJobsThenRejects) {
   EXPECT_EQ(rejected[0].status, serve::Status::Rejected);
   EXPECT_EQ(rejected[0].error.kind, "shutting_down");
   EXPECT_TRUE(server.draining());
+}
+
+// ---- pdf.admin/1 telemetry plane -------------------------------------------
+
+serve::Request admin_request(serve::RequestKind kind, std::int64_t id) {
+  serve::Request r;
+  r.kind = kind;
+  r.id = id;
+  return r;
+}
+
+// The determinism contract: admin queries answered concurrently with job
+// execution must leave every job's `result` byte-identical to a direct,
+// uncached, unobserved run.
+TEST(ServeServerTest, AdminQueriesDoNotPerturbResultBytes) {
+  TempDir dir;
+  serve::ServerConfig cfg;
+  cfg.concurrency = 4;
+  cfg.queue_depth = 32;
+  cfg.store_dir = dir.path.string();
+  serve::Server server(cfg);
+
+  Collector collector;
+  constexpr int kJobs = 10;
+  std::atomic<bool> stop{false};
+  // Hammer the admin surface from a separate thread while jobs run.
+  std::thread admin([&] {
+    std::int64_t id = 1000;
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const serve::RequestKind kind :
+           {serve::RequestKind::Stats, serve::RequestKind::Health,
+            serve::RequestKind::Jobs, serve::RequestKind::Prom}) {
+        const serve::Response r = server.call(admin_request(kind, ++id));
+        EXPECT_EQ(r.status, serve::Status::Ok);
+        EXPECT_EQ(r.result.at("schema").as_string(), "pdf.admin/1");
+      }
+    }
+  });
+  for (int i = 0; i < kJobs; ++i) {
+    server.submit(small_job(i + 1, 1 + static_cast<std::uint64_t>(i % 3)),
+                  collector.sink());
+  }
+  const auto responses = collector.wait_for(kJobs);
+  stop.store(true, std::memory_order_release);
+  admin.join();
+
+  const serve::JobContext uncached{nullptr, "bitpar", "", ""};
+  for (const auto& resp : responses) {
+    ASSERT_EQ(resp.status, serve::Status::Ok) << resp.error.message;
+    const serve::Request ref =
+        small_job(resp.id, 1 + static_cast<std::uint64_t>((resp.id - 1) % 3));
+    EXPECT_EQ(resp.result.dump(), serve::run_job(ref, uncached).result.dump());
+  }
+}
+
+TEST(ServeServerTest, HealthAndJobsReportLiveState) {
+  serve::ServerConfig cfg;
+  cfg.concurrency = 1;
+  cfg.queue_depth = 8;
+  serve::Server server(cfg);
+
+  Collector collector;
+  // One job occupies the single worker, one parks in the queue, so the
+  // jobs listing observably contains live entries.
+  server.submit(small_job(1, 7, 800), collector.sink());
+  server.submit(small_job(2, 8, 800), collector.sink());
+
+  const serve::Response health =
+      server.call(admin_request(serve::RequestKind::Health, 100));
+  ASSERT_EQ(health.status, serve::Status::Ok);
+  EXPECT_EQ(health.result.at("schema").as_string(), "pdf.admin/1");
+  EXPECT_GE(health.result.at("uptime_ms").as_int(), 0);
+  EXPECT_FALSE(health.result.at("draining").as_bool());
+  EXPECT_EQ(health.result.at("queue").at("capacity").as_int(), 8);
+  EXPECT_GE(health.result.at("inflight").as_int(), 0);
+  EXPECT_FALSE(health.result.at("cache").at("enabled").as_bool());
+
+  const serve::Response jobs =
+      server.call(admin_request(serve::RequestKind::Jobs, 101));
+  ASSERT_EQ(jobs.status, serve::Status::Ok);
+  const auto& list = jobs.result.at("jobs").as_array();
+  EXPECT_GE(list.size(), 1u);  // at least the queued job is still live
+  for (const auto& j : list) {
+    EXPECT_GT(j.at("id").as_int(), 0);
+    EXPECT_EQ(j.at("kind").as_string(), "enrich");
+    EXPECT_EQ(j.at("circuit").as_string(), "s27");
+    const std::string phase = j.at("phase").as_string();
+    EXPECT_TRUE(phase == "queued" || phase == "running" || phase == "done")
+        << phase;
+    EXPECT_GE(j.at("age_ms").as_int(), 0);
+    EXPECT_FALSE(j.at("cancelled").as_bool());
+  }
+
+  const serve::Response prom =
+      server.call(admin_request(serve::RequestKind::Prom, 102));
+  ASSERT_EQ(prom.status, serve::Status::Ok);
+  EXPECT_EQ(prom.result.at("content_type").as_string(),
+            "text/plain; version=0.0.4");
+  const std::string text = prom.result.at("text").as_string();
+  EXPECT_NE(text.find("# TYPE pdf_serve_jobs_inflight gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE pdf_serve_uptime_seconds gauge"),
+            std::string::npos);
+
+  collector.wait_for(2);
+  server.drain();
+  const serve::Response drained =
+      server.call(admin_request(serve::RequestKind::Health, 103));
+  EXPECT_TRUE(drained.result.at("draining").as_bool());
+}
+
+TEST(ServeServerTest, SlowJobThresholdCapturesChromeTrace) {
+  TempDir manifest_dir;
+  serve::ServerConfig cfg;
+  cfg.concurrency = 1;
+  cfg.queue_depth = 4;
+  cfg.manifest_dir = manifest_dir.path.string();
+  cfg.slow_job_ms = 1;  // a 800-pattern s27 job takes well over 1 ms
+  serve::Server server(cfg);
+
+  Collector collector;
+  server.submit(small_job(1, 9, 800), collector.sink());
+  const auto responses = collector.wait_for(1);
+  ASSERT_EQ(responses[0].status, serve::Status::Ok)
+      << responses[0].error.message;
+  server.drain();
+
+  std::vector<fs::path> traces;
+  for (const auto& entry : fs::directory_iterator(manifest_dir.path)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 11 &&
+        name.compare(name.size() - 11, 11, ".trace.json") == 0) {
+      traces.push_back(entry.path());
+    }
+  }
+  ASSERT_EQ(traces.size(), 1u);
+  std::ifstream in(traces[0]);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const obs::Json doc = obs::Json::parse(buf.str());
+  ASSERT_TRUE(doc.contains("traceEvents"));
+  EXPECT_GT(doc.at("traceEvents").as_array().size(), 0u);
+
+  const serve::Response stats =
+      server.call(admin_request(serve::RequestKind::Stats, 50));
+  EXPECT_GE(stats.result.at("metrics")
+                .at("counters")
+                .at("serve.jobs.slow")
+                .as_int(),
+            1);
 }
 
 // ---- per-request manifests under concurrency (satellite: run manifests) ----

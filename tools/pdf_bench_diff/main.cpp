@@ -1,0 +1,136 @@
+// pdf_bench_diff — regression gate over two pdf.bench_record/1 files.
+//
+//   pdf_bench_diff BASELINE CURRENT [--threshold PCT]
+//
+// Compares the normalized perf records that `--bench-json` emits (see
+// bench/common.hpp and `micro_engines backends`). The two records must
+// describe the same experiment (bench, circuit, backend, threads,
+// throughput_counter — any mismatch is exit 2: the comparison would be
+// meaningless). wall_ns and throughput_per_sec are then compared with a
+// noise threshold (default 20%): a slowdown or throughput drop beyond it
+// exits 1, so a CI step can gate on `pdf_bench_diff old.json new.json`.
+// Improvements and within-noise drift exit 0.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using pdf::obs::Json;
+
+Json load_record(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  const Json doc = Json::parse(buf.str());
+  if (!doc.is_object() || !doc.contains("schema") ||
+      doc.at("schema").as_string() != "pdf.bench_record/1") {
+    throw std::runtime_error(path + " is not a pdf.bench_record/1 document");
+  }
+  return doc;
+}
+
+/// Identity fields that must match for the perf comparison to mean anything.
+const char* const kIdentity[] = {"bench", "circuit", "backend",
+                                 "throughput_counter"};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s BASELINE.json CURRENT.json [--threshold PCT]\n"
+               "exit 0: within noise or improved; 1: regression; 2: usage/"
+               "mismatched records\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string base_path, cur_path;
+  double threshold_pct = 20.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      threshold_pct = std::atof(argv[++i]);
+    } else if (argv[i][0] == '-') {
+      usage(argv[0]);
+    } else if (base_path.empty()) {
+      base_path = argv[i];
+    } else if (cur_path.empty()) {
+      cur_path = argv[i];
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (base_path.empty() || cur_path.empty() || threshold_pct < 0) {
+    usage(argv[0]);
+  }
+
+  Json base, cur;
+  try {
+    base = load_record(base_path);
+    cur = load_record(cur_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pdf_bench_diff: %s\n", e.what());
+    return 2;
+  }
+
+  for (const char* key : kIdentity) {
+    const std::string b = base.contains(key) ? base.at(key).as_string() : "";
+    const std::string c = cur.contains(key) ? cur.at(key).as_string() : "";
+    if (b != c) {
+      std::fprintf(stderr,
+                   "pdf_bench_diff: records disagree on %s ('%s' vs '%s'); "
+                   "not comparable\n",
+                   key, b.c_str(), c.c_str());
+      return 2;
+    }
+  }
+  if (base.at("threads").as_int() != cur.at("threads").as_int()) {
+    std::fprintf(stderr, "pdf_bench_diff: thread counts differ (%lld vs %lld)"
+                         "; not comparable\n",
+                 static_cast<long long>(base.at("threads").as_int()),
+                 static_cast<long long>(cur.at("threads").as_int()));
+    return 2;
+  }
+
+  bool regressed = false;
+  // Higher-is-worse metric: wall time.
+  {
+    const double b = base.at("wall_ns").as_double();
+    const double c = cur.at("wall_ns").as_double();
+    const double pct = b > 0 ? (c / b - 1.0) * 100.0 : 0.0;
+    std::printf("wall_ns            %14.0f -> %14.0f  %+7.2f%%\n", b, c, pct);
+    if (pct > threshold_pct) regressed = true;
+  }
+  // Higher-is-better metric: throughput.
+  {
+    const double b = base.at("throughput_per_sec").as_double();
+    const double c = cur.at("throughput_per_sec").as_double();
+    const double pct = b > 0 ? (c / b - 1.0) * 100.0 : 0.0;
+    std::printf("throughput_per_sec %14.3e -> %14.3e  %+7.2f%%\n", b, c, pct);
+    if (pct < -threshold_pct) regressed = true;
+  }
+  {
+    const double b = base.at("cache_hit_rate").as_double();
+    const double c = cur.at("cache_hit_rate").as_double();
+    std::printf("cache_hit_rate     %14.3f -> %14.3f  (informational)\n", b,
+                c);
+  }
+
+  if (regressed) {
+    std::fprintf(stderr, "pdf_bench_diff: REGRESSION beyond %.1f%% noise "
+                         "threshold\n",
+                 threshold_pct);
+    return 1;
+  }
+  std::printf("within %.1f%% noise threshold\n", threshold_pct);
+  return 0;
+}

@@ -3,8 +3,11 @@
 // Opens --clients connections, pushes --jobs enrichment jobs through them
 // (each client works synchronously: send one line, read one line), honours
 // admission-control rejections by backing off retry_after_ms and resending,
-// and reports throughput, client-observed latency percentiles and the
-// server-attributed cache hit/miss totals.
+// and reports throughput, client-observed latency percentiles (p50/p90/p99
+// from a sharded runtime::Histogram), rejection/retry counts, and the
+// server-attributed cache hit/miss totals. With --stats-every S a background
+// poller sends `stats` (pdf.admin/1) on its own connection every S seconds
+// and prints the live server-side queue depth and run-time percentiles.
 //
 // A --hot-fraction of the jobs share one (circuit, seed) pair — after the
 // first completion these are pure StageCache hits and measure the warm
@@ -14,8 +17,9 @@
 // serve::run_job the daemon uses (cache disabled) and compares the
 // deterministic `result` objects byte-for-byte; any mismatch is a protocol
 // determinism bug and exits nonzero.
-#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -24,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/metrics.hpp"
 #include "serve/job.hpp"
 #include "serve/protocol.hpp"
 #include "serve/socket_io.hpp"
@@ -43,6 +48,7 @@ struct Flags {
   std::uint64_t seed_base = 1;
   double hot_fraction = 0.5;
   std::size_t max_retries = 200;
+  double stats_every = 0.0;  // seconds between live stats polls; 0 = off
   bool basic = false;
   bool verify = false;
   bool quiet = false;
@@ -53,8 +59,8 @@ struct Flags {
   std::fprintf(stderr,
                "usage: %s [--socket PATH] [--jobs N] [--clients N]"
                " [--circuits a,b] [--np N] [--np0 N] [--seed-base S]"
-               " [--hot-fraction F] [--max-retries N] [--basic] [--verify]"
-               " [--quiet]\n",
+               " [--hot-fraction F] [--max-retries N] [--stats-every SECS]"
+               " [--basic] [--verify] [--quiet]\n",
                argv0);
   std::exit(2);
 }
@@ -89,6 +95,7 @@ Flags parse_flags(int argc, char** argv) {
     else if (a == "--seed-base") f.seed_base = std::stoull(need(i)), ++i;
     else if (a == "--hot-fraction") f.hot_fraction = std::stod(need(i)), ++i;
     else if (a == "--max-retries") f.max_retries = std::stoul(need(i)), ++i;
+    else if (a == "--stats-every") f.stats_every = std::stod(need(i)), ++i;
     else if (a == "--basic") f.basic = true;
     else if (a == "--verify") f.verify = true;
     else if (a == "--quiet") f.quiet = true;
@@ -119,16 +126,24 @@ serve::Request make_request(const Flags& flags, std::size_t j) {
 
 struct Results {
   std::mutex mu;
-  std::vector<double> latency_ms;
   std::uint64_t ok = 0;
   std::uint64_t errors = 0;
-  std::uint64_t retries = 0;
+  std::uint64_t rejected = 0;  // Rejected responses observed
+  std::uint64_t retries = 0;   // resends after a rejection
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   /// job index -> result line, for --verify.
   std::map<std::size_t, std::string> result_bytes;
   std::vector<std::string> failures;
 };
+
+/// Per-request client-observed latency in microseconds. A sharded
+/// runtime::Histogram, so the client threads record lock-free and the
+/// summary reads exact merged percentiles after the join.
+runtime::Metrics::Histogram& latency_hist() {
+  static auto& h = runtime::Metrics::global().histogram("load.latency_us");
+  return h;
+}
 
 void client_main(const Flags& flags, std::size_t client, Results* out) {
   std::string err;
@@ -170,20 +185,21 @@ void client_main(const Flags& flags, std::size_t client, Results* out) {
           // Admission pushback: honour the hint and resend.
           {
             std::lock_guard<std::mutex> lk(out->mu);
-            ++out->retries;
+            ++out->rejected;
+            if (attempt < flags.max_retries) ++out->retries;
           }
           std::this_thread::sleep_for(std::chrono::milliseconds(
               resp.retry_after_ms ? resp.retry_after_ms : 10));
           break;
         }
         case serve::Status::Ok: {
-          const double ms =
-              std::chrono::duration<double, std::milli>(
+          const auto us =
+              std::chrono::duration_cast<std::chrono::microseconds>(
                   std::chrono::steady_clock::now() - t0)
                   .count();
+          latency_hist().record(static_cast<std::uint64_t>(us));
           std::lock_guard<std::mutex> lk(out->mu);
           ++out->ok;
-          out->latency_ms.push_back(ms);
           out->cache_hits += resp.cache_hits;
           out->cache_misses += resp.cache_misses;
           out->result_bytes.emplace(j, resp.result.dump());
@@ -211,11 +227,49 @@ void client_main(const Flags& flags, std::size_t client, Results* out) {
   serve::close_fd(fd);
 }
 
-double percentile(std::vector<double> v, double q) {
-  if (v.empty()) return 0.0;
-  std::sort(v.begin(), v.end());
-  const auto idx = static_cast<std::size_t>(q * static_cast<double>(v.size() - 1));
-  return v[idx];
+/// Polls the daemon's `stats` admin request on its own connection every
+/// --stats-every seconds and prints live server-side p50/p99 to stderr.
+/// Runs until `stop` flips; read-only, so it never perturbs the job mix.
+void stats_poller(const Flags& flags, std::atomic<bool>* stop) {
+  std::string err;
+  const int fd = serve::connect_unix(flags.socket_path, &err);
+  if (fd < 0) {
+    std::fprintf(stderr, "pdf_load: stats poller: %s\n", err.c_str());
+    return;
+  }
+  serve::LineReader reader(fd);
+  serve::Request req;
+  req.id = -1;
+  req.kind = serve::RequestKind::Stats;
+  const std::string line = serve::request_json(req).dump() + "\n";
+
+  while (!stop->load(std::memory_order_relaxed)) {
+    std::string resp_line;
+    if (!serve::write_all(fd, line) || !reader.read_line(&resp_line)) break;
+    try {
+      const serve::Response resp = serve::parse_response(resp_line);
+      const obs::Json& run =
+          resp.result.at("latency").at("serve.latency.run_ns");
+      std::fprintf(
+          stderr,
+          "pdf_load: [stats] queue %lld done %lld run_ms p50 %.2f p99 %.2f\n",
+          static_cast<long long>(resp.result.at("queue").at("depth").as_int()),
+          static_cast<long long>(
+              resp.result.at("jobs").at("completed").as_int()),
+          static_cast<double>(run.at("p50").as_int()) / 1e6,
+          static_cast<double>(run.at("p99").as_int()) / 1e6);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "pdf_load: stats poller: %s\n", e.what());
+    }
+    // Sleep in short slices so the poller stops promptly after the join.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(flags.stats_every);
+    while (!stop->load(std::memory_order_relaxed) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  serve::close_fd(fd);
 }
 
 /// Recomputes each distinct job in-process (no cache) and compares result
@@ -252,6 +306,11 @@ int main(int argc, char** argv) {
   }
 
   Results results;
+  std::atomic<bool> stop_poller{false};
+  std::thread poller;
+  if (flags.stats_every > 0.0) {
+    poller = std::thread(stats_poller, flags, &stop_poller);
+  }
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> clients;
   clients.reserve(flags.clients);
@@ -259,6 +318,10 @@ int main(int argc, char** argv) {
     clients.emplace_back(client_main, flags, c, &results);
   }
   for (auto& t : clients) t.join();
+  if (poller.joinable()) {
+    stop_poller.store(true, std::memory_order_relaxed);
+    poller.join();
+  }
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -271,15 +334,19 @@ int main(int argc, char** argv) {
   if (flags.verify) mismatches = verify_results(flags, results);
 
   if (!flags.quiet) {
-    std::printf("jobs %zu ok %llu errors %llu retries %llu\n", flags.jobs,
-                static_cast<unsigned long long>(results.ok),
+    std::printf("jobs %zu ok %llu errors %llu rejected %llu retries %llu\n",
+                flags.jobs, static_cast<unsigned long long>(results.ok),
                 static_cast<unsigned long long>(results.errors),
+                static_cast<unsigned long long>(results.rejected),
                 static_cast<unsigned long long>(results.retries));
     std::printf("wall %.3fs throughput %.1f jobs/s\n", secs,
                 secs > 0 ? static_cast<double>(results.ok) / secs : 0.0);
-    std::printf("latency_ms p50 %.2f p99 %.2f\n",
-                percentile(results.latency_ms, 0.50),
-                percentile(results.latency_ms, 0.99));
+    const auto lat = latency_hist().snapshot();
+    std::printf("latency_ms p50 %.2f p90 %.2f p99 %.2f max %.2f\n",
+                static_cast<double>(lat.p50()) / 1e3,
+                static_cast<double>(lat.p90()) / 1e3,
+                static_cast<double>(lat.p99()) / 1e3,
+                static_cast<double>(lat.max) / 1e3);
     std::printf("cache hits %llu misses %llu\n",
                 static_cast<unsigned long long>(results.cache_hits),
                 static_cast<unsigned long long>(results.cache_misses));

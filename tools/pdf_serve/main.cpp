@@ -10,7 +10,8 @@
 //   pdf_serve --socket /tmp/pdf.sock [--concurrency N] [--queue-depth N]
 //             [--threads N] [--backend scalar|bitpar] [--store DIR]
 //             [--no-store] [--manifest-dir DIR] [--retry-after-ms N]
-//             [--metrics]
+//             [--metrics] [--log-level debug|info|warn|error|off]
+//             [--slow-job-ms N]
 //   pdf_serve --once FILE|-  ... same job flags; reads request lines from
 //             FILE (or stdin), writes response lines to stdout. This is the
 //             single-shot path the CI serve-smoke job diffs daemon responses
@@ -34,6 +35,8 @@
 #include <unistd.h>
 #include <vector>
 
+#include "base/error.hpp"
+#include "obs/log.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 #include "serve/job.hpp"
@@ -57,6 +60,7 @@ struct Flags {
   std::string store_dir = ".artifact-store";
   std::string manifest_dir;
   bool metrics = false;
+  std::uint64_t slow_job_ms = 0;  // 0 = no slow-job trace capture
   bool once = false;
   std::string once_file;  // "-" = stdin
 };
@@ -67,7 +71,7 @@ struct Flags {
                "usage: %s [--socket PATH] [--concurrency N] [--queue-depth N]"
                " [--threads N] [--backend NAME] [--store DIR | --no-store]"
                " [--manifest-dir DIR] [--retry-after-ms N] [--metrics]"
-               " [--once FILE|-]\n",
+               " [--log-level LEVEL] [--slow-job-ms N] [--once FILE|-]\n",
                argv0);
   std::exit(2);
 }
@@ -90,6 +94,15 @@ Flags parse_flags(int argc, char** argv) {
     else if (a == "--no-store") f.use_store = false;
     else if (a == "--manifest-dir") f.manifest_dir = need(i), ++i;
     else if (a == "--metrics") f.metrics = true;
+    else if (a == "--slow-job-ms") f.slow_job_ms = std::stoull(need(i)), ++i;
+    else if (a == "--log-level") {
+      try {
+        obs::set_log_level(obs::parse_log_level(need(i)));
+      } catch (const ConfigError& e) {
+        usage(argv[0], e.what());
+      }
+      ++i;
+    }
     else if (a == "--once") f.once = true, f.once_file = need(i), ++i;
     else usage(argv[0], "unknown flag " + a);
   }
@@ -267,6 +280,7 @@ int run_daemon(const Flags& flags) {
   cfg.manifest_dir = flags.manifest_dir;
   cfg.backend = flags.backend;
   cfg.shutdown_hook = [] { on_signal(0); };
+  cfg.slow_job_ms = flags.slow_job_ms;
   serve::Server server(cfg);
 
   std::fprintf(stderr,
@@ -275,6 +289,13 @@ int run_daemon(const Flags& flags) {
                flags.socket_path.c_str(), flags.concurrency, flags.queue_depth,
                flags.backend.c_str(),
                flags.use_store ? flags.store_dir.c_str() : "off");
+  PDF_LOG(Info, "serve.listening")
+      .str("socket", flags.socket_path)
+      .num("concurrency", static_cast<std::uint64_t>(flags.concurrency))
+      .num("queue_depth", static_cast<std::uint64_t>(flags.queue_depth))
+      .str("backend", flags.backend)
+      .num("slow_job_ms", flags.slow_job_ms)
+      .str("log_level", obs::log_level_name(obs::log_level()));
 
   std::vector<std::shared_ptr<Connection>> connections;
   for (;;) {
@@ -289,6 +310,7 @@ int run_daemon(const Flags& flags) {
     if (fds[0].revents) {
       const int fd = serve::accept_connection(listen_fd);
       if (fd < 0) continue;
+      PDF_LOG(Debug, "serve.connection.accepted").num("fd", std::int64_t{fd});
       auto conn = std::make_shared<Connection>();
       conn->fd = fd;
       conn->reader = std::thread(connection_main, conn, &server);
@@ -300,6 +322,9 @@ int run_daemon(const Flags& flags) {
   // responses, then unblock the readers and join them.
   std::fprintf(stderr, "pdf_serve: draining (%zu queued)\n",
                server.queue_depth());
+  PDF_LOG(Info, "serve.signal")
+      .num("queued", static_cast<std::uint64_t>(server.queue_depth()))
+      .num("connections", static_cast<std::uint64_t>(connections.size()));
   serve::close_fd(listen_fd);
   ::unlink(flags.socket_path.c_str());
   server.drain();
@@ -322,6 +347,7 @@ int run_daemon(const Flags& flags) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::init_log_level_from_env();  // --log-level below overrides
   const Flags flags = parse_flags(argc, argv);
   try {
     sim::select_backend(flags.backend);
