@@ -9,7 +9,9 @@
 //   --threads N      size the runtime thread pool (default 1;
 //                    0 = hardware concurrency)
 //   --backend NAME   simulation backend for batched fault simulation
-//                    (scalar | bitpar; default bitpar — all backends emit
+//                    (scalar | bitpar | faultpar, plus avx2/avx512 on hosts
+//                    whose CPU supports them; default = the widest
+//                    registered test-parallel backend — all backends emit
 //                    bit-identical results, see DESIGN.md §11)
 //   --metrics        dump the runtime metrics registry to stderr at exit
 //   --metrics-json F write a machine-readable run manifest (JSON) to F
@@ -62,7 +64,8 @@ struct Options {
   std::size_t n_p0 = 300;
   std::uint64_t seed = 1;
   std::size_t threads = 1;
-  std::string backend = "bitpar";  // resolved sim::selected_backend() name
+  std::string backend;  // resolved to sim::selected_backend().name() in
+                        // parse_options; --backend overrides the selection
   bool csv = false;
   bool paper = false;
   bool metrics = false;
@@ -298,6 +301,9 @@ inline Options parse_options(int argc, char** argv,
     const unsigned hw = std::thread::hardware_concurrency();
     o.threads = hw == 0 ? 1 : hw;
   }
+  // Without --backend, manifests record whatever the capability dispatch
+  // actually selected (avx512 > avx2 > bitpar depending on the host).
+  if (o.backend.empty()) o.backend = sim::selected_backend().name();
   runtime::set_global_threads(o.threads);
   if (o.use_store) {
     o.stage_cache = std::make_shared<store::StageCache>(o.store_dir);

@@ -433,14 +433,23 @@ int run_backend_compare(const std::string& name, bool csv, bool metrics,
   const int rounds = 5;
   const double work = static_cast<double>(kTests) * ts.p0.size();
 
+  // The production sweep shape (n-detection analysis, ADI ordering,
+  // enrichment coverage) re-masks one fixed (tests, faults) batch over and
+  // over, so the steady-state number that matters is the prepared-path
+  // throughput: the width-independent PI pack + requirement plan built once
+  // via BatchSimulator::prepare and amortized across the sweep. Each backend
+  // also runs the one-shot path once and must produce the same bytes.
+
   std::printf("== detection_matrix backend comparison ==\n");
   std::printf("circuit: %s (%zu nodes), faults: %zu, tests: %zu\n",
               name.c_str(), nl.node_count(), ts.p0.size(), kTests);
-  std::printf("%8s %12s %10s %18s %10s %10s\n", "backend", "best ms", "speedup",
-              "tests*faults/sec", "identical", "zero-alloc");
+  std::printf("%8s %6s %12s %10s %12s %18s %10s %10s\n", "backend", "lanes",
+              "best ms", "speedup", "vs bitpar", "tests*faults/sec",
+              "identical", "zero-alloc");
 
   struct Row {
     const char* backend;
+    std::size_t lanes;
     double ms;
     double throughput;
     bool identical;
@@ -450,40 +459,65 @@ int run_backend_compare(const std::string& name, bool csv, bool metrics,
   DetectionMatrix reference;
   bool all_identical = true;
   bool all_zero_alloc = true;
+  sim::PreparedBatch prep;
   for (sim::SimBackend* backend : sim::all_backends()) {
     const BatchSimulator fsim(nl, backend);
-    DetectionMatrix m = fsim.detection_matrix(tests, ts.p0);  // warm scratch
+    fsim.prepare(tests, ts.p0, prep);
+    const DetectionMatrix one_shot = fsim.detection_matrix(tests, ts.p0);
+    DetectionMatrix m = fsim.detection_matrix(tests, ts.p0, prep);  // warm
     auto& grows = runtime::Metrics::global().counter(
         "sim." + std::string(backend->name()) + ".scratch_grows");
     const std::uint64_t grows_before = grows.read();
     const double ms = measure_ms(
-        [&] { m = fsim.detection_matrix(tests, ts.p0); }, rounds);
+        [&] { m = fsim.detection_matrix(tests, ts.p0, prep); }, rounds);
     const bool zero_alloc = grows.read() == grows_before;
     if (rows.empty()) reference = m;
-    const bool identical = m == reference;
+    const bool identical = m == reference && one_shot == reference;
     all_identical = all_identical && identical;
     all_zero_alloc = all_zero_alloc && zero_alloc;
     const double throughput = work / (ms / 1000.0);
-    rows.push_back({backend->name(), ms, throughput, identical, zero_alloc});
-    std::printf("%8s %12.3f %9.2fx %18.3e %10s %10s\n", backend->name(), ms,
-                rows.front().ms / ms, throughput, identical ? "yes" : "NO",
-                zero_alloc ? "yes" : "NO");
+    rows.push_back({backend->name(), backend->lanes(), ms, throughput,
+                    identical, zero_alloc});
+  }
+  const Row* bitpar_row = nullptr;
+  for (const Row& r : rows) {
+    if (std::strcmp(r.backend, "bitpar") == 0) bitpar_row = &r;
+  }
+  for (const Row& r : rows) {
+    std::printf("%8s %6zu %12.3f %9.2fx %11.2fx %18.3e %10s %10s\n", r.backend,
+                r.lanes, r.ms, rows.front().ms / r.ms,
+                bitpar_row != nullptr ? bitpar_row->ms / r.ms : 0.0,
+                r.throughput, r.identical ? "yes" : "NO",
+                r.zero_alloc ? "yes" : "NO");
   }
 
-  double bitpar_speedup = 0;
-  for (const Row& r : rows) {
-    if (std::strcmp(r.backend, "bitpar") == 0) {
-      bitpar_speedup = rows.front().ms / r.ms;
-    }
-  }
+  const double bitpar_speedup =
+      bitpar_row != nullptr ? rows.front().ms / bitpar_row->ms : 0.0;
   std::printf("bitpar over scalar: %.2fx (gate: >= 5x)\n", bitpar_speedup);
+  // Per-width speedups over bitpar — the wide backends' acceptance targets.
+  // Only gate the widths this host registered; clean degradation elsewhere.
+  bool wide_targets_met = true;
+  for (const Row& r : rows) {
+    double target = 0.0;
+    if (std::strcmp(r.backend, "avx2") == 0) target = 2.0;
+    if (std::strcmp(r.backend, "avx512") == 0) target = 3.5;
+    if (target == 0.0 || bitpar_row == nullptr) continue;
+    const double over_bitpar = bitpar_row->ms / r.ms;
+    const bool met = over_bitpar >= target;
+    wide_targets_met = wide_targets_met && met;
+    std::printf("%s over bitpar: %.2fx (gate: >= %.1fx) %s\n", r.backend,
+                over_bitpar, target, met ? "" : "FAIL");
+  }
 
   if (csv) {
-    std::printf("\ncsv:\nbackend,ms,speedup,throughput,identical,zero_alloc\n");
+    std::printf(
+        "\ncsv:\nbackend,lanes,ms,speedup,vs_bitpar,throughput,identical,"
+        "zero_alloc\n");
     for (const Row& r : rows) {
-      std::printf("%s,%.4f,%.3f,%.3e,%d,%d\n", r.backend, r.ms,
-                  rows.front().ms / r.ms, r.throughput, r.identical ? 1 : 0,
-                  r.zero_alloc ? 1 : 0);
+      std::printf("%s,%zu,%.4f,%.3f,%.3f,%.3e,%d,%d\n", r.backend, r.lanes,
+                  r.ms, rows.front().ms / r.ms,
+                  bitpar_row != nullptr ? bitpar_row->ms / r.ms : 0.0,
+                  r.throughput, r.identical ? 1 : 0, r.zero_alloc ? 1 : 0);
     }
   }
   if (metrics) {
@@ -513,33 +547,40 @@ int run_backend_compare(const std::string& name, bool csv, bool metrics,
     }
   }
   if (!bench_json.empty()) {
-    // Normalized pdf.bench_record/1 record (same shape bench/common.hpp
-    // emits) keyed on the bit-parallel backend — the perf trajectory this
-    // mode gates. Consumed by tools/pdf_bench_diff.
-    const Row* bitpar = nullptr;
+    // Normalized pdf.bench_record/1 records (same shape bench/common.hpp
+    // emits), consumed by tools/pdf_bench_diff. FILE keeps the bit-parallel
+    // record (the long-standing perf trajectory this mode gates) and
+    // FILE.<backend> adds one record per registered backend, so CI can diff
+    // each width against its own baseline — or against a synthesized one to
+    // gate wide-over-bitpar throughput ratios.
+    const auto write_record = [&](const std::string& path, const Row& r) {
+      obs::Json doc;
+      doc["schema"] = "pdf.bench_record/1";
+      doc["bench"] = "micro_engines.backends";
+      doc["circuit"] = name;
+      doc["backend"] = r.backend;
+      doc["threads"] = static_cast<std::int64_t>(runtime::global_threads());
+      doc["wall_ns"] = static_cast<std::uint64_t>(r.ms * 1e6);
+      doc["throughput_counter"] = "sim.tests_x_faults_per_sec";
+      doc["throughput_value"] = static_cast<std::uint64_t>(work);
+      doc["throughput_per_sec"] = r.throughput;
+      doc["cache_hit_rate"] = 0.0;  // backend sweeps never touch the store
+      std::ofstream f(path, std::ios::binary | std::ios::trunc);
+      if (f) f << doc.dump() << "\n";
+      if (!f) {
+        std::fprintf(stderr, "warning: could not write bench record to %s\n",
+                     path.c_str());
+      }
+    };
+    if (bitpar_row != nullptr) write_record(bench_json, *bitpar_row);
     for (const Row& r : rows) {
-      if (std::strcmp(r.backend, "bitpar") == 0) bitpar = &r;
-    }
-    obs::Json doc;
-    doc["schema"] = "pdf.bench_record/1";
-    doc["bench"] = "micro_engines.backends";
-    doc["circuit"] = name;
-    doc["backend"] = "bitpar";
-    doc["threads"] = static_cast<std::int64_t>(runtime::global_threads());
-    doc["wall_ns"] = static_cast<std::uint64_t>(
-        (bitpar != nullptr ? bitpar->ms : 0.0) * 1e6);
-    doc["throughput_counter"] = "sim.tests_x_faults_per_sec";
-    doc["throughput_value"] = static_cast<std::uint64_t>(work);
-    doc["throughput_per_sec"] = bitpar != nullptr ? bitpar->throughput : 0.0;
-    doc["cache_hit_rate"] = 0.0;  // backend sweeps never touch the store
-    std::ofstream f(bench_json, std::ios::binary | std::ios::trunc);
-    if (f) f << doc.dump() << "\n";
-    if (!f) {
-      std::fprintf(stderr, "warning: could not write bench record to %s\n",
-                   bench_json.c_str());
+      write_record(bench_json + "." + r.backend, r);
     }
   }
-  return all_identical && all_zero_alloc && bitpar_speedup >= 5.0 ? 0 : 1;
+  return all_identical && all_zero_alloc && bitpar_speedup >= 5.0 &&
+                 wide_targets_met
+             ? 0
+             : 1;
 }
 
 // ---- cold-vs-warm store mode -----------------------------------------------

@@ -49,6 +49,26 @@ DetectionMatrix BatchSimulator::detection_matrix(
   return backend_->detection_matrix(cc_, tests, faults);
 }
 
+void BatchSimulator::prepare(std::span<const TwoPatternTest> tests,
+                             std::span<const TargetFault> faults,
+                             sim::PreparedBatch& prep) const {
+  for (const TwoPatternTest& t : tests) {
+    if (t.pi_values.size() != cc_.inputs().size()) {
+      throw std::invalid_argument("BatchSimulator: bad test width");
+    }
+  }
+  sim::prepare_batch(cc_, tests, faults, prep);
+}
+
+DetectionMatrix BatchSimulator::detection_matrix(
+    std::span<const TwoPatternTest> tests,
+    std::span<const TargetFault> faults,
+    const sim::PreparedBatch& prep) const {
+  PDF_TRACE_SPAN("faultsim.detection_matrix");
+  const auto scope = matrix_timer().measure();
+  return backend_->detection_matrix_prepared(cc_, tests, faults, prep);
+}
+
 std::vector<bool> BatchSimulator::detects_any(
     std::span<const TwoPatternTest> tests,
     std::span<const TargetFault> faults) const {

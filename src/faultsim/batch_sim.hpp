@@ -41,10 +41,28 @@ class BatchSimulator {
   const sim::SimBackend& backend() const { return *backend_; }
 
   /// Full detection matrix: row f is a bitset over tests (bit t set when
-  /// tests[t] detects faults[f]), packed 64 per word. Parallel over 64-test
-  /// words on the global runtime pool.
+  /// tests[t] detects faults[f]), packed 64 per word regardless of how many
+  /// lanes the backend simulates at once (backend().lanes(): 64 for bitpar,
+  /// up to 512 for avx512 — a wide backend fills lanes()/64 matrix words per
+  /// simulation). Parallel over word columns on the global runtime pool.
   DetectionMatrix detection_matrix(std::span<const TwoPatternTest> tests,
                                    std::span<const TargetFault> faults) const;
+
+  /// Width-independent precomputation for a batch that will be re-masked
+  /// repeatedly (n-detection sweeps, ADI ordering): the PI bit-pack and
+  /// requirement plan built once, reusable with any backend. Validates test
+  /// widths; reuses `prep`'s buffers across calls.
+  void prepare(std::span<const TwoPatternTest> tests,
+               std::span<const TargetFault> faults,
+               sim::PreparedBatch& prep) const;
+
+  /// detection_matrix() with the setup supplied: `prep` must come from
+  /// prepare() on exactly the same (tests, faults). Byte-identical result;
+  /// steady-state calls skip the O(tests x inputs) pack and the requirement
+  /// flattening entirely.
+  DetectionMatrix detection_matrix(std::span<const TwoPatternTest> tests,
+                                   std::span<const TargetFault> faults,
+                                   const sim::PreparedBatch& prep) const;
 
   /// Per-fault flags: detected by at least one of `tests`.
   std::vector<bool> detects_any(std::span<const TwoPatternTest> tests,

@@ -10,6 +10,7 @@
 #include "obs/trace.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/thread_pool.hpp"
+#include "sim/backend.hpp"
 
 namespace pdf::serve {
 
@@ -56,6 +57,7 @@ double hit_rate(std::uint64_t hits, std::uint64_t misses) {
 Server::Server(ServerConfig cfg)
     : cfg_(std::move(cfg)), queue_(cfg_.queue_depth) {
   if (cfg_.concurrency == 0) cfg_.concurrency = 1;
+  if (cfg_.backend.empty()) cfg_.backend = sim::selected_backend().name();
   if (!cfg_.store_dir.empty()) cache_.emplace(cfg_.store_dir);
   ctx_.cache = cache_ ? &*cache_ : nullptr;
   ctx_.backend = cfg_.backend;

@@ -1,27 +1,53 @@
 #include "sim/backend.hpp"
 
-#include <array>
 #include <stdexcept>
+#include <vector>
+
+#include "sim/cpu_features.hpp"
 
 namespace pdf::sim {
 
 namespace {
 
-// The default stays bitpar: it is bit-identical to scalar (enforced by
-// pdf_check and test_backend) and an order of magnitude faster on
-// detection-matrix builds, so opting *down* to scalar is the explicit move.
+// This TU is compiled with baseline ISA flags. The avx2/avx512 accessors
+// live in TUs compiled with -mavx2/-mavx512f, so they are called — and
+// their singletons constructed — only after the cpuid probe says the host
+// can execute that code. Registration order is stable (scalar, bitpar,
+// faultpar, then ascending width) so diagnostics and test parameterization
+// are deterministic per host+PDF_SIMD.
+const std::vector<SimBackend*>& registry() {
+  static const std::vector<SimBackend*> backends = [] {
+    std::vector<SimBackend*> v = {&scalar_backend(), &bitpar_backend(),
+                                  &faultpar_backend()};
+    const SimdLevel level = simd_level();
+    if (level >= SimdLevel::kAvx2) v.push_back(&avx2_backend());
+    if (level >= SimdLevel::kAvx512) v.push_back(&avx512_backend());
+    return v;
+  }();
+  return backends;
+}
+
+// The default is the widest registered test-parallel backend: every backend
+// is bit-identical (enforced by pdf_check and test_backend), so the only
+// difference is throughput, and wider wins on the batched workloads behind
+// BatchSimulator. faultpar is never the default — it trades memory for
+// fault-axis parallelism and only pays off on particular shapes; opting
+// into it (or down to scalar/bitpar) is the explicit move.
 SimBackend*& selected_slot() {
-  static SimBackend* selected = &bitpar_backend();
+  static SimBackend* selected = [] {
+    SimBackend* widest = &bitpar_backend();
+    for (SimBackend* b : registry()) {
+      if (b == &faultpar_backend() || b == &scalar_backend()) continue;
+      if (b->lanes() > widest->lanes()) widest = b;
+    }
+    return widest;
+  }();
   return selected;
 }
 
 }  // namespace
 
-std::span<SimBackend* const> all_backends() {
-  static const std::array<SimBackend*, 2> backends = {&scalar_backend(),
-                                                      &bitpar_backend()};
-  return backends;
-}
+std::span<SimBackend* const> all_backends() { return registry(); }
 
 SimBackend* find_backend(std::string_view name) {
   for (SimBackend* b : all_backends()) {

@@ -24,6 +24,13 @@
 // the global pool's workers). `selected_backend()` is the process-wide
 // default used when a caller doesn't pin one explicitly — set it once at
 // startup (`--backend` in the bench drivers and pdf_check), not mid-run.
+//
+// Registration is capability-gated: the wide SIMD backends (avx2: 256
+// tests/word, avx512: 512 tests/word) are always compiled in — their TUs
+// carry the matching -m flags — but only appear in all_backends() when the
+// host CPU supports the ISA (sim/cpu_features.hpp; cap with PDF_SIMD). The
+// default selection is the widest registered test-parallel backend, so a
+// rebuilt binary automatically uses the fastest safe engine on each host.
 #pragma once
 
 #include <span>
@@ -34,6 +41,7 @@
 #include "core/compiled_circuit.hpp"
 #include "faults/screen.hpp"
 #include "faultsim/detection_matrix.hpp"
+#include "sim/prepared.hpp"
 
 namespace pdf::sim {
 
@@ -50,13 +58,33 @@ class SimBackend {
   /// (callers fall back to another backend or to FaultSimulator).
   virtual bool supports(const CompiledCircuit& cc) const = 0;
 
+  /// Tests simulated per packed word (1 scalar, 64 bitpar/faultpar, 256
+  /// avx2, 512 avx512). Purely informational — result bytes never depend on
+  /// it — but benches and reports use it for per-width labeling.
+  virtual std::size_t lanes() const { return 1; }
+
   /// Full fault-by-test detection matrix: bit (f, t) is set iff tests[t]
-  /// robustly detects faults[f]. Parallel over 64-test word columns on the
-  /// global runtime pool; bit-identical across backends and thread counts.
-  /// Test widths must match cc.inputs() (validated by BatchSimulator).
+  /// robustly detects faults[f]. Parallel over lanes()-test word columns on
+  /// the global runtime pool; bit-identical across backends and thread
+  /// counts. Test widths must match cc.inputs() (validated by
+  /// BatchSimulator).
   virtual DetectionMatrix detection_matrix(
       const CompiledCircuit& cc, std::span<const TwoPatternTest> tests,
       std::span<const TargetFault> faults) const = 0;
+
+  /// Same matrix, but with the width-independent setup (PI bit-pack +
+  /// requirement plan) supplied by the caller instead of rebuilt per call.
+  /// `prep` must have been built by prepare_batch() from exactly this
+  /// (cc, tests, faults); results are byte-identical to detection_matrix().
+  /// Sweep workloads (n-detection, ADI ordering) that re-mask the same
+  /// batch repeatedly prepare once and amortize the setup away. The default
+  /// ignores `prep` — backends without packed setup (scalar) gain nothing.
+  virtual DetectionMatrix detection_matrix_prepared(
+      const CompiledCircuit& cc, std::span<const TwoPatternTest> tests,
+      std::span<const TargetFault> faults, const PreparedBatch& prep) const {
+    (void)prep;
+    return detection_matrix(cc, tests, faults);
+  }
 };
 
 /// The scalar reference backend: one compiled triple simulation per test.
@@ -65,7 +93,22 @@ SimBackend& scalar_backend();
 /// The bit-parallel backend: 64 tests per word, 2-bit-plane {0,1,x} encoding.
 SimBackend& bitpar_backend();
 
-/// Every registered backend, in registration order (scalar first).
+/// The fault-parallel variant of bitpar: simulates all 64-test word columns
+/// first (shared plane buffer), then parallelizes across faults — fills the
+/// pool when faults vastly outnumber word columns. Always registered.
+SimBackend& faultpar_backend();
+
+/// The 256-tests/word AVX2 instantiation of the wide kernel. The accessor's
+/// TU is compiled with -mavx2: call only when simd_level() >= kAvx2 (the
+/// registry does; everyone else should go through find_backend()).
+SimBackend& avx2_backend();
+
+/// The 512-tests/word AVX-512 instantiation. TU compiled with -mavx512f:
+/// call only when simd_level() >= kAvx512.
+SimBackend& avx512_backend();
+
+/// Every registered backend, in registration order (scalar first, then
+/// bitpar, faultpar, and whichever wide backends the host CPU supports).
 std::span<SimBackend* const> all_backends();
 
 /// Lookup by name(); nullptr when unknown.
@@ -74,8 +117,10 @@ SimBackend* find_backend(std::string_view name);
 /// Comma-separated list of registered backend names (for error messages).
 std::string backend_names();
 
-/// The process-wide default backend (bitpar unless select_backend() changed
-/// it). Engines that don't take an explicit backend use this one.
+/// The process-wide default backend: the widest registered test-parallel
+/// backend (avx512 > avx2 > bitpar; never faultpar or scalar) unless
+/// select_backend() changed it. Engines that don't take an explicit backend
+/// use this one. Identical result bytes either way — only speed varies.
 SimBackend& selected_backend();
 
 /// Sets the process-wide default. Throws std::invalid_argument on an unknown

@@ -1,0 +1,29 @@
+// Avx2Backend: the wide kernel at 256 tests per word (4 x 64-lane subwords).
+//
+// Vec is a GCC vector-extension type, so the kernel stays plain C++ — the
+// bitwise plane ops in backend_wide.hpp compile straight to VPAND/VPOR/
+// VPXOR over ymm registers when this TU is built with -mavx2 (see
+// src/CMakeLists.txt, which probes the flag and applies it to this file
+// only). On a toolchain without the flag the same code still compiles and
+// runs correctly via GCC's scalar lowering — registration is gated by the
+// runtime cpuid probe either way, so this TU's code never executes on a
+// host that cannot, and a capable host never silently loses the backend.
+//
+// Subword k of wide word w is DetectionMatrix word w*4+k: result bytes are
+// bit-identical to bitpar/scalar by construction and enforced by the
+// parameterized test_backend suite and the all-pairs `backends_agree` check.
+#include "sim/backend_wide.hpp"
+
+namespace pdf::sim {
+
+namespace {
+using Vec256 = std::uint64_t __attribute__((vector_size(32)));
+static_assert(sizeof(Vec256) == 32);
+}  // namespace
+
+SimBackend& avx2_backend() {
+  static WideBackend<Vec256> backend("avx2", "sim.avx2.matrix");
+  return backend;
+}
+
+}  // namespace pdf::sim

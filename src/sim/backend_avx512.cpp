@@ -1,0 +1,21 @@
+// Avx512Backend: the wide kernel at 512 tests per word (8 x 64-lane
+// subwords). Identical in structure to backend_avx2.cpp one width up: the
+// vector-extension ops lower to zmm VPANDQ/VPORQ/VPXORQ when this TU is
+// built with -mavx512f, and the runtime cpuid probe gates registration so
+// the code only ever executes on AVX-512F hosts. Subword k of wide word w
+// is DetectionMatrix word w*8+k — bit-identical to every other backend.
+#include "sim/backend_wide.hpp"
+
+namespace pdf::sim {
+
+namespace {
+using Vec512 = std::uint64_t __attribute__((vector_size(64)));
+static_assert(sizeof(Vec512) == 64);
+}  // namespace
+
+SimBackend& avx512_backend() {
+  static WideBackend<Vec512> backend("avx512", "sim.avx512.matrix");
+  return backend;
+}
+
+}  // namespace pdf::sim

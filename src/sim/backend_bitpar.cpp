@@ -11,220 +11,18 @@
 //   detected(test, fault) = AND over requirements r, planes q specified in r:
 //                           known[r.line][q] & (value ^ ~required)
 //
-// Produces matrices bit-identical to ScalarBackend at a fraction of the cost
-// for large test sets (see `micro_engines backends`). The 64-test words are
-// independent of each other, so the matrix farms them out over the runtime
-// thread pool: each task simulates its words into per-worker plane scratch
-// and fills the corresponding word column of every fault row — the same
-// decomposition as ScalarBackend, bit-identical for any thread count.
-#include <algorithm>
-#include <stdexcept>
-#include <vector>
-
-#include "obs/trace.hpp"
-#include "runtime/metrics.hpp"
-#include "runtime/per_worker.hpp"
-#include "runtime/thread_pool.hpp"
-#include "sim/backend.hpp"
-#include "sim/triple_sim.hpp"
+// The kernel itself lives in backend_wide.hpp, shared with the faultpar/
+// avx2/avx512 backends; this TU is the Vec = std::uint64_t instantiation,
+// compiled with baseline ISA flags. Produces matrices bit-identical to
+// ScalarBackend at a fraction of the cost for large test sets (see
+// `micro_engines backends`); 64-test word columns farm out over the runtime
+// thread pool, bit-identical for any thread count.
+#include "sim/backend_wide.hpp"
 
 namespace pdf::sim {
-namespace {
-
-constexpr std::uint64_t kAll = ~std::uint64_t{0};
-
-runtime::Metrics::Counter& word_counter() {
-  static auto& c = runtime::Metrics::global().counter("sim.bitpar.words");
-  return c;
-}
-runtime::Metrics::Counter& grow_counter() {
-  static auto& c =
-      runtime::Metrics::global().counter("sim.bitpar.scratch_grows");
-  return c;
-}
-runtime::Metrics::Timer& matrix_timer() {
-  static auto& t = runtime::Metrics::global().timer("sim.bitpar.matrix");
-  return t;
-}
-
-/// One 3-valued signal across 64 tests: a bit of `value` is meaningful (and
-/// may be 1) only where the matching `known` bit is set.
-struct PlaneWord {
-  std::uint64_t value = 0;
-  std::uint64_t known = 0;
-};
-
-class BitParallelBackend final : public SimBackend {
- public:
-  const char* name() const override { return "bitpar"; }
-
-  bool supports(const CompiledCircuit& cc) const override {
-    return !cc.has_sequential();
-  }
-
-  DetectionMatrix detection_matrix(
-      const CompiledCircuit& cc, std::span<const TwoPatternTest> tests,
-      std::span<const TargetFault> faults) const override {
-    PDF_TRACE_SPAN("sim.bitpar.matrix");
-    const auto scope = matrix_timer().measure();
-    DetectionMatrix matrix(faults.size(), tests.size());
-    const std::size_t words = matrix.words_per_row();
-
-    runtime::global_pool().parallel_for(words, 1, [&](std::size_t w0,
-                                                      std::size_t w1) {
-      Scratch& s = scratch_.local();
-      if (s.planes[0].capacity() < cc.node_count()) grow_counter().add();
-      for (std::size_t w = w0; w < w1; ++w) {
-        const std::size_t base = w * 64;
-        const std::size_t lanes =
-            std::min<std::size_t>(64, tests.size() - base);
-        simulate_word(cc, tests, base, lanes, s.planes);
-        const std::uint64_t lane_mask =
-            lanes == 64 ? kAll : ((std::uint64_t{1} << lanes) - 1);
-
-        for (std::size_t fi = 0; fi < faults.size(); ++fi) {
-          std::uint64_t mask = lane_mask;
-          for (const auto& r : faults[fi].requirements) {
-            const V3 req[3] = {r.value.a1, r.value.a2, r.value.a3};
-            for (int q = 0; q < 3 && mask; ++q) {
-              if (!is_specified(req[q])) continue;
-              const PlaneWord& pw = s.planes[q][r.line];
-              mask &= pw.known & (req[q] == V3::One ? pw.value : ~pw.value);
-            }
-            if (!mask) break;
-          }
-          matrix.word(fi, w) = mask;
-        }
-      }
-      word_counter().add(w1 - w0);
-    });
-    return matrix;
-  }
-
- private:
-  struct Scratch {
-    std::vector<PlaneWord> planes[3];
-  };
-
-  /// Simulates one 64-test word; planes[q][node] for q in 0..2.
-  static void simulate_word(const CompiledCircuit& cc,
-                            std::span<const TwoPatternTest> tests,
-                            std::size_t base, std::size_t lanes,
-                            std::vector<PlaneWord> planes[3]) {
-    for (int q = 0; q < 3; ++q) {
-      planes[q].assign(cc.node_count(), PlaneWord{});
-    }
-
-    // Pack the PI triples lane by lane.
-    const std::span<const NodeId> inputs = cc.inputs();
-    for (std::size_t lane = 0; lane < lanes; ++lane) {
-      const TwoPatternTest& t = tests[base + lane];
-      if (t.pi_values.size() != inputs.size()) {
-        throw std::invalid_argument("BitParallelBackend: bad test width");
-      }
-      const std::uint64_t bit = std::uint64_t{1} << lane;
-      for (std::size_t i = 0; i < inputs.size(); ++i) {
-        const Triple tri = pi_triple(t.pi_values[i].a1, t.pi_values[i].a3);
-        const NodeId id = inputs[i];
-        const V3 vals[3] = {tri.a1, tri.a2, tri.a3};
-        for (int q = 0; q < 3; ++q) {
-          if (!is_specified(vals[q])) continue;
-#ifdef PATHDELAY_MUTATION_BITPLANE_PACKING
-          // Seeded bug (mutation testing only): a known-1 on the intermediate
-          // plane loses its `known` bit during packing, so steady-state
-          // intermediate requirements silently stop matching in this backend
-          // while ScalarBackend still detects — the exact class of packing
-          // defect the cross-backend differential check exists to catch.
-          if (q == 1 && vals[q] == V3::One) {
-            planes[q][id].value |= bit;
-            continue;
-          }
-#endif
-          planes[q][id].known |= bit;
-          if (vals[q] == V3::One) planes[q][id].value |= bit;
-        }
-      }
-    }
-
-    // Word-parallel 3-valued evaluation per plane, level-packed over the
-    // compiled arrays.
-    for (NodeId id : cc.topo_order()) {
-      const GateType t = cc.type(id);
-      if (t == GateType::Input) continue;
-      const std::span<const NodeId> fanin = cc.fanins(id);
-      for (int q = 0; q < 3; ++q) {
-        auto& out = planes[q][id];
-        switch (t) {
-          case GateType::Buf:
-          case GateType::Not: {
-            const PlaneWord& a = planes[q][fanin[0]];
-            out.known = a.known;
-            out.value = t == GateType::Not ? (~a.value & a.known)
-                                           : (a.value & a.known);
-            break;
-          }
-          case GateType::And:
-          case GateType::Nand: {
-            std::uint64_t all_one = kAll;  // every fanin known-1
-            std::uint64_t any_zero = 0;    // some fanin known-0
-            for (NodeId f : fanin) {
-              const PlaneWord& a = planes[q][f];
-              all_one &= a.value & a.known;
-              any_zero |= ~a.value & a.known;
-            }
-            std::uint64_t one = all_one & ~any_zero;
-            std::uint64_t zero = any_zero;
-            if (t == GateType::Nand) std::swap(one, zero);
-            out.known = one | zero;
-            out.value = one;
-            break;
-          }
-          case GateType::Or:
-          case GateType::Nor: {
-            std::uint64_t any_one = 0;
-            std::uint64_t all_zero = kAll;
-            for (NodeId f : fanin) {
-              const PlaneWord& a = planes[q][f];
-              any_one |= a.value & a.known;
-              all_zero &= ~a.value & a.known;
-            }
-            std::uint64_t one = any_one;
-            std::uint64_t zero = all_zero & ~any_one;
-            if (t == GateType::Nor) std::swap(one, zero);
-            out.known = one | zero;
-            out.value = one;
-            break;
-          }
-          case GateType::Xor:
-          case GateType::Xnor: {
-            // xor3 is x as soon as any input is x: known = AND over fanin
-            // known, value = parity of the known values, masked to known.
-            std::uint64_t known = kAll;
-            std::uint64_t parity = 0;
-            for (NodeId f : fanin) {
-              const PlaneWord& a = planes[q][f];
-              known &= a.known;
-              parity ^= a.value;
-            }
-            out.known = known;
-            out.value = (t == GateType::Xnor ? ~parity : parity) & known;
-            break;
-          }
-          default:
-            throw std::logic_error("BitParallelBackend: unsupported gate " +
-                                   cc.netlist().node(id).name);
-        }
-      }
-    }
-  }
-
-  mutable runtime::PerWorker<Scratch> scratch_;
-};
-
-}  // namespace
 
 SimBackend& bitpar_backend() {
-  static BitParallelBackend backend;
+  static WideBackend<std::uint64_t> backend("bitpar", "sim.bitpar.matrix");
   return backend;
 }
 

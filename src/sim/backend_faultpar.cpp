@@ -1,0 +1,155 @@
+// FaultParallelBackend: bitpar's kernel with the parallel axis flipped to
+// faults.
+//
+// bitpar (and the wide backends) parallelize over test-word columns, which
+// starves the pool when a batch has few tests but many faults — the shape
+// n-detection analysis and ADI ordering produce (thousands of path faults
+// against a small candidate test set). faultpar runs the same Vec =
+// std::uint64_t kernel in two phases:
+//
+//   A. simulate every 64-test word column (per-worker plane scratch) and
+//      record each column's unique-atom masks into one shared table
+//      (words x atoms), parallel over columns;
+//   B. fill whole DetectionMatrix rows, parallel over faults, each task
+//      reading the (now read-only) atom-mask table.
+//
+// Each matrix word is the same pure function of (circuit, tests, fault) as
+// in bitpar, so results are bit-identical to every other backend for any
+// thread count; only the schedule differs. The cross-phase state is
+// O(words x unique requirement atoms) — far smaller than the plane buffer
+// a naive split would keep — but still scales with the test count, so
+// faultpar is never the process default; callers opt in per workload shape.
+//
+// The shared table and the call-wide pre-pack/plan live in the *calling*
+// thread's PerWorker slot, claimed before the parallel phases: pool tasks
+// write disjoint column ranges of the table in phase A and only read it in
+// phase B. Under the PerWorker contract (one external thread + the pool),
+// concurrent sibling calls can only be nested ones, which inline on their
+// own worker slot and thus get their own buffers.
+#include "sim/backend_wide.hpp"
+
+namespace pdf::sim {
+namespace {
+
+class FaultParallelBackend final : public SimBackend {
+ public:
+  const char* name() const override { return "faultpar"; }
+  std::size_t lanes() const override { return 64; }
+
+  bool supports(const CompiledCircuit& cc) const override {
+    return !cc.has_sequential();
+  }
+
+  DetectionMatrix detection_matrix(
+      const CompiledCircuit& cc, std::span<const TwoPatternTest> tests,
+      std::span<const TargetFault> faults) const override {
+    Scratch& cs = scratch_.local();
+    const std::size_t words = (tests.size() + 63) / 64;
+    const bool packed_grow =
+        cs.pack.codes.capacity() < cc.inputs().size() * words * 64 ||
+        cs.pack.bits.capacity() < cc.inputs().size() * 6 * words;
+    const std::size_t plan_cap = plan_capacity(cs.plan);
+    pack_tests(cc, tests, "faultpar", cs.pack);
+    build_req_plan(cc, faults, cs.plan);
+    if (packed_grow || plan_capacity(cs.plan) != plan_cap) {
+      grow_counter().add();
+    }
+    return run(cc, tests, faults, cs.pack, cs.plan);
+  }
+
+  DetectionMatrix detection_matrix_prepared(
+      const CompiledCircuit& cc, std::span<const TwoPatternTest> tests,
+      std::span<const TargetFault> faults,
+      const PreparedBatch& prep) const override {
+    return run(cc, tests, faults, prep.tests_pack, prep.plan);
+  }
+
+ private:
+  DetectionMatrix run(const CompiledCircuit& cc,
+                      std::span<const TwoPatternTest> tests,
+                      std::span<const TargetFault> faults,
+                      const PackedTests& pack, const ReqPlan& plan) const {
+    const obs::TraceSpan span("sim.faultpar.matrix");
+    const auto scope = timer().measure();
+    DetectionMatrix matrix(faults.size(), tests.size());
+    const std::size_t words = matrix.words_per_row();
+
+    Scratch& cs = scratch_.local();
+    const std::size_t atoms = plan.atoms.size();
+    if (cs.atom_table.capacity() < words * atoms) grow_counter().add();
+    cs.atom_table.resize(words * atoms);
+    std::uint64_t* const table = cs.atom_table.data();
+
+    // Phase A: simulate each 64-test column into per-worker plane scratch
+    // and record its atom masks in the shared table slice.
+    runtime::global_pool().parallel_for(
+        words, 1, [&](std::size_t w0, std::size_t w1) {
+          Scratch& s = scratch_.local();
+          if (s.planes[0].capacity() < cc.node_count()) grow_counter().add();
+          for (int q = 0; q < 3; ++q) s.planes[q].resize(cc.node_count());
+          PlaneVec<std::uint64_t>* const planes[3] = {s.planes[0].data(),
+                                                      s.planes[1].data(),
+                                                      s.planes[2].data()};
+          for (std::size_t w = w0; w < w1; ++w) {
+            const std::size_t base = w * 64;
+            const std::size_t lanes =
+                std::min<std::size_t>(64, tests.size() - base);
+            simulate_wide_word<std::uint64_t>(cc, pack, w, lanes, planes);
+            compute_atom_masks<std::uint64_t>(plan, planes, table + w * atoms);
+          }
+          word_counter().add(w1 - w0);
+        });
+
+    // Phase B: one task per fault chunk fills whole rows from the table.
+    const std::uint64_t tail_mask =
+        words == 0 ? 0
+                   : make_lane_mask<std::uint64_t>(tests.size() -
+                                                   (words - 1) * 64);
+    runtime::global_pool().parallel_for(
+        faults.size(), 1, [&](std::size_t f0, std::size_t f1) {
+          for (std::size_t fi = f0; fi < f1; ++fi) {
+            for (std::size_t w = 0; w < words; ++w) {
+              const std::uint64_t lane_mask =
+                  w + 1 == words ? tail_mask : ~std::uint64_t{0};
+              matrix.word(fi, w) = fault_mask<std::uint64_t>(
+                  plan, fi, table + w * atoms, lane_mask);
+            }
+          }
+        });
+    return matrix;
+  }
+
+  struct Scratch {
+    // Per-worker simulation state (phase A).
+    std::vector<PlaneVec<std::uint64_t>> planes[3];
+    // Call-wide state, used only through the calling thread's slot.
+    PackedTests pack;
+    ReqPlan plan;
+    std::vector<std::uint64_t> atom_table;  // words x atoms
+  };
+
+  static runtime::Metrics::Counter& word_counter() {
+    static auto& c = runtime::Metrics::global().counter("sim.faultpar.words");
+    return c;
+  }
+  static runtime::Metrics::Counter& grow_counter() {
+    static auto& c =
+        runtime::Metrics::global().counter("sim.faultpar.scratch_grows");
+    return c;
+  }
+  static runtime::Metrics::Timer& timer() {
+    static auto& t = runtime::Metrics::global().timer("sim.faultpar.matrix");
+    return t;
+  }
+
+  mutable runtime::PerWorker<Scratch> scratch_;
+};
+
+}  // namespace
+
+SimBackend& faultpar_backend() {
+  static FaultParallelBackend backend;
+  return backend;
+}
+
+}  // namespace pdf::sim

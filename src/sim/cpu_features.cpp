@@ -1,0 +1,61 @@
+#include "sim/cpu_features.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace pdf::sim {
+namespace {
+
+SimdLevel probe_host() {
+#if defined(__x86_64__) || defined(__i386__)
+  // __builtin_cpu_supports consults cpuid (plus xgetbv for OS state), so a
+  // "yes" means the instructions are actually executable, not just present
+  // in silicon. This TU is compiled with baseline flags only.
+  if (__builtin_cpu_supports("avx512f")) return SimdLevel::kAvx512;
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+  return SimdLevel::kNone;
+#else
+  return SimdLevel::kNone;
+#endif
+}
+
+SimdLevel env_cap() {
+  const char* env = std::getenv("PDF_SIMD");
+  if (env == nullptr || *env == '\0') return SimdLevel::kAvx512;
+  if (std::strcmp(env, "none") == 0) return SimdLevel::kNone;
+  if (std::strcmp(env, "avx2") == 0) return SimdLevel::kAvx2;
+  if (std::strcmp(env, "avx512") == 0) return SimdLevel::kAvx512;
+  // Unrecognized values cap at "none": a typo must not silently enable the
+  // widest path, and the degradation direction is always safe.
+  return SimdLevel::kNone;
+}
+
+}  // namespace
+
+SimdLevel detected_simd_level() {
+  static const SimdLevel level = probe_host();
+  return level;
+}
+
+SimdLevel simd_level() {
+  static const SimdLevel level = [] {
+    SimdLevel host = detected_simd_level();
+    SimdLevel cap = env_cap();
+    return host < cap ? host : cap;
+  }();
+  return level;
+}
+
+const char* simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+    case SimdLevel::kNone:
+      break;
+  }
+  return "none";
+}
+
+}  // namespace pdf::sim

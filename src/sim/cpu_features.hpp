@@ -1,0 +1,38 @@
+// Runtime CPU-capability probe for the SIMD simulation backends.
+//
+// The wide backends (avx2, avx512) are compiled into every binary — their
+// translation units carry the -mavx2 / -mavx512f flags — but they are only
+// *registered* (and thus reachable) when the host CPU reports the matching
+// feature bits. The probe runs once, on first use, from a TU compiled with
+// the baseline ISA, so merely asking the question never executes a wide
+// instruction.
+//
+// The PDF_SIMD environment variable caps (never raises) the detected level:
+//   PDF_SIMD=none     pretend the host has no wide SIMD (scalar/bitpar only)
+//   PDF_SIMD=avx2     cap at AVX2 even when AVX-512 is available
+//   PDF_SIMD=avx512   no cap (the default behavior, spelled out)
+// This is the supported way to exercise the "host without AVX" degradation
+// paths on a host that has it — tests and CI use it.
+#pragma once
+
+namespace pdf::sim {
+
+/// Widest supported register width family, ordered so levels compare.
+enum class SimdLevel {
+  kNone = 0,    // no usable wide SIMD (or a non-x86 host)
+  kAvx2 = 1,    // 256-bit integer ops
+  kAvx512 = 2,  // 512-bit foundation (AVX-512F)
+};
+
+/// The host's level as reported by cpuid, ignoring PDF_SIMD. Computed once.
+SimdLevel detected_simd_level();
+
+/// detected_simd_level() capped by the PDF_SIMD environment variable (read
+/// once, at first call — set it before the process touches any backend).
+/// This is what the backend registry consults.
+SimdLevel simd_level();
+
+/// "none" | "avx2" | "avx512" — for log lines and diagnostics.
+const char* simd_level_name(SimdLevel level);
+
+}  // namespace pdf::sim

@@ -1,0 +1,33 @@
+// Uniform PDF_BACKEND env hook for test binaries.
+//
+// Including this header makes the binary honor PDF_BACKEND=<name> before
+// main() (and before gtest_main) runs: the process-wide default backend is
+// switched, so every test that builds a BatchSimulator without naming a
+// backend exercises the selected one. CI's backend matrix sets it once per
+// job. An unknown name (including a wide backend the host CPU can't run —
+// those are unregistered, see sim/cpu_features.hpp) exits with a message
+// instead of silently testing the wrong engine; CI probes capabilities via
+// `pdf_check --list-backends` before picking matrix values.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+#include "sim/backend.hpp"
+
+namespace pdf::testutil {
+
+inline const bool backend_env_applied = [] {
+  if (const char* env = std::getenv("PDF_BACKEND")) {
+    try {
+      sim::select_backend(env);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "PDF_BACKEND: %s\n", e.what());
+      std::exit(2);
+    }
+  }
+  return true;
+}();
+
+}  // namespace pdf::testutil

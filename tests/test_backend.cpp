@@ -1,12 +1,16 @@
 // Parameterized backend conformance suite: every backend registered in
-// sim::all_backends() must agree bit-for-bit with the scalar per-test
-// FaultSimulator and with the brute-force oracle on the shared fixture
-// circuits, at any thread count.
+// sim::all_backends() — scalar, bitpar, faultpar, and whichever wide SIMD
+// backends the host CPU supports — must agree bit-for-bit with the scalar
+// per-test FaultSimulator and with the brute-force oracle on the shared
+// fixture circuits, at any thread count and at every tail-lane count. Each
+// backend is a gtest parameter, so a new registration inherits the whole
+// battery with zero test edits and failures name the backend directly.
 //
 // The PDF_BACKEND environment variable selects the process-wide default
-// backend before main() runs, so CI can run the *entire* test binary once
-// per backend (matrix job) — every test that builds a BatchSimulator without
-// naming a backend then exercises the selected one.
+// backend before main() runs (src/testutil/backend_env.hpp), so CI can run
+// the *entire* test binary once per backend (matrix job) — every test that
+// builds a BatchSimulator without naming a backend then exercises the
+// selected one.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -25,19 +29,12 @@
 #include "oracle/oracle.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sim/backend.hpp"
+#include "sim/cpu_features.hpp"
+#include "testutil/backend_env.hpp"
 #include "testutil/circuits.hpp"
 
 namespace pdf {
 namespace {
-
-// Honors PDF_BACKEND before any test runs (and before gtest_main), making
-// the whole binary run against the named backend.
-const bool g_env_backend_applied = [] {
-  if (const char* env = std::getenv("PDF_BACKEND")) {
-    sim::select_backend(env);
-  }
-  return true;
-}();
 
 // Restores the process-wide backend selection (and a 1-thread pool) no
 // matter how a test exits, so the PDF_BACKEND choice survives this suite.
@@ -126,16 +123,59 @@ PathTargets path_targets(const Netlist& nl) {
   return out;
 }
 
-TEST(Backend, RegistryListsScalarAndBitParallel) {
-  ASSERT_GE(sim::all_backends().size(), 2u);
-  EXPECT_STREQ(sim::all_backends().front()->name(), "scalar");
-  ASSERT_NE(sim::find_backend("scalar"), nullptr);
-  ASSERT_NE(sim::find_backend("bitpar"), nullptr);
+std::vector<sim::SimBackend*> registered_backends() {
+  const auto span = sim::all_backends();
+  return {span.begin(), span.end()};
+}
+
+TEST(Backend, RegistryOrderAndCapabilityGating) {
+  const auto backends = sim::all_backends();
+  ASSERT_GE(backends.size(), 3u);
+  EXPECT_STREQ(backends[0]->name(), "scalar");
+  EXPECT_STREQ(backends[1]->name(), "bitpar");
+  EXPECT_STREQ(backends[2]->name(), "faultpar");
   EXPECT_EQ(sim::find_backend("scalar"), &sim::scalar_backend());
   EXPECT_EQ(sim::find_backend("bitpar"), &sim::bitpar_backend());
-  for (sim::SimBackend* b : sim::all_backends()) {
+  EXPECT_EQ(sim::find_backend("faultpar"), &sim::faultpar_backend());
+  // The wide backends appear exactly when the (PDF_SIMD-capped) capability
+  // probe allows: unsupported hosts must degrade to an unregistered name,
+  // never to a registered-but-crashing backend.
+  const sim::SimdLevel level = sim::simd_level();
+  EXPECT_EQ(sim::find_backend("avx2") != nullptr,
+            level >= sim::SimdLevel::kAvx2);
+  EXPECT_EQ(sim::find_backend("avx512") != nullptr,
+            level >= sim::SimdLevel::kAvx512);
+  for (sim::SimBackend* b : backends) {
     EXPECT_NE(sim::backend_names().find(b->name()), std::string::npos);
   }
+}
+
+TEST(Backend, LanesMatchAdvertisedWidths) {
+  EXPECT_EQ(sim::scalar_backend().lanes(), 1u);
+  EXPECT_EQ(sim::bitpar_backend().lanes(), 64u);
+  EXPECT_EQ(sim::faultpar_backend().lanes(), 64u);
+  if (sim::SimBackend* b = sim::find_backend("avx2")) {
+    EXPECT_EQ(b->lanes(), 256u);
+  }
+  if (sim::SimBackend* b = sim::find_backend("avx512")) {
+    EXPECT_EQ(b->lanes(), 512u);
+  }
+}
+
+TEST(Backend, DefaultSelectionIsWidestTestParallel) {
+  if (std::getenv("PDF_BACKEND") != nullptr) {
+    GTEST_SKIP() << "PDF_BACKEND overrides the default selection";
+  }
+  // The startup default is the widest registered backend that parallelizes
+  // over test words — never scalar, never faultpar.
+  std::size_t widest = 0;
+  for (sim::SimBackend* b : sim::all_backends()) {
+    if (b == &sim::scalar_backend() || b == &sim::faultpar_backend()) continue;
+    widest = std::max(widest, b->lanes());
+  }
+  EXPECT_EQ(sim::selected_backend().lanes(), widest);
+  EXPECT_NE(&sim::selected_backend(), &sim::scalar_backend());
+  EXPECT_NE(&sim::selected_backend(), &sim::faultpar_backend());
 }
 
 TEST(Backend, SelectionRoundTripsAndRejectsUnknownNames) {
@@ -151,28 +191,36 @@ TEST(Backend, SelectionRoundTripsAndRejectsUnknownNames) {
   }
 }
 
-TEST(Backend, EveryBackendMatchesScalarSimulatorOnFixtures) {
+class BackendP : public ::testing::TestWithParam<sim::SimBackend*> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    All, BackendP, ::testing::ValuesIn(registered_backends()),
+    [](const ::testing::TestParamInfo<sim::SimBackend*>& info) {
+      return std::string(info.param->name());
+    });
+
+TEST_P(BackendP, MatchesScalarSimulatorOnFixtures) {
+  sim::SimBackend* backend = GetParam();
   for (const Netlist& nl : fixtures()) {
     const auto targets = probe_faults(nl);
     const auto tests = random_tests(nl, 0xabc0 + nl.node_count(), 70);
     const FaultSimulator scalar(nl);
     const CompiledCircuit cc(nl);
-    for (sim::SimBackend* backend : sim::all_backends()) {
-      ASSERT_TRUE(backend->supports(cc)) << backend->name();
-      const BatchSimulator fsim(nl, backend);
-      const DetectionMatrix m = fsim.detection_matrix(tests, targets);
-      for (std::size_t f = 0; f < targets.size(); ++f) {
-        for (std::size_t t = 0; t < tests.size(); ++t) {
-          ASSERT_EQ(m.bit(f, t), scalar.detects(tests[t], targets[f]))
-              << nl.name() << " backend " << backend->name() << " fault " << f
-              << " test " << t;
-        }
+    ASSERT_TRUE(backend->supports(cc)) << backend->name();
+    const BatchSimulator fsim(nl, backend);
+    const DetectionMatrix m = fsim.detection_matrix(tests, targets);
+    for (std::size_t f = 0; f < targets.size(); ++f) {
+      for (std::size_t t = 0; t < tests.size(); ++t) {
+        ASSERT_EQ(m.bit(f, t), scalar.detects(tests[t], targets[f]))
+            << nl.name() << " backend " << backend->name() << " fault " << f
+            << " test " << t;
       }
     }
   }
 }
 
-TEST(Backend, EveryBackendMatchesOracleOnPathFaults) {
+TEST_P(BackendP, MatchesOracleOnPathFaults) {
+  sim::SimBackend* backend = GetParam();
   for (const Netlist& nl : fixtures()) {
     // build_requirements only walks primitive-logic paths; the XOR fixture
     // is exercised against the scalar simulator in the probe-fault test.
@@ -186,35 +234,83 @@ TEST(Backend, EveryBackendMatchesOracleOnPathFaults) {
     if (pt.targets.empty()) continue;
     const auto tests = random_tests(nl, 0xdef0 + nl.node_count(), 40);
     const std::vector<bool> want = oracle::detects_any(nl, tests, pt.faults);
-    for (sim::SimBackend* backend : sim::all_backends()) {
-      const BatchSimulator fsim(nl, backend);
-      const std::vector<bool> got = fsim.detects_any(tests, pt.targets);
-      ASSERT_EQ(got.size(), want.size());
-      for (std::size_t i = 0; i < want.size(); ++i) {
-        EXPECT_EQ(got[i], want[i])
-            << nl.name() << " backend " << backend->name() << " fault " << i;
+    const BatchSimulator fsim(nl, backend);
+    const std::vector<bool> got = fsim.detects_any(tests, pt.targets);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i], want[i])
+          << nl.name() << " backend " << backend->name() << " fault " << i;
+    }
+  }
+}
+
+TEST_P(BackendP, MatricesIdenticalAcrossThreadCounts) {
+  SelectionGuard guard;
+  sim::SimBackend* backend = GetParam();
+  Rng rng(77);
+  const Netlist nl = testutil::random_small_netlist(rng);
+  const auto targets = probe_faults(nl);
+  const auto tests = random_tests(nl, 0x7777, 130);  // crosses a word boundary
+  const BatchSimulator fsim(nl, backend);
+  runtime::set_global_threads(1);
+  const DetectionMatrix m1 = fsim.detection_matrix(tests, targets);
+  runtime::set_global_threads(4);
+  const DetectionMatrix m4 = fsim.detection_matrix(tests, targets);
+  EXPECT_EQ(m1, m4) << backend->name();
+}
+
+// Partial-word handling at every lane width: one below / at / above each of
+// the 64 (bitpar/faultpar), 256 (avx2) and 512 (avx512) lane boundaries,
+// plus a single test. Every backend must match the scalar reference matrix
+// byte-for-byte — including the padding bits of the final word, which must
+// be zero (consumers like DetectionMatrix::any and popcount-based coverage
+// trust them).
+TEST_P(BackendP, TailMaskingAtLaneBoundaries) {
+  sim::SimBackend* backend = GetParam();
+  Rng rng(99);
+  const Netlist nl = testutil::random_small_netlist(rng);
+  const auto targets = probe_faults(nl);
+  const BatchSimulator ref(nl, &sim::scalar_backend());
+  const BatchSimulator fsim(nl, backend);
+  const std::size_t kCounts[] = {1, 63, 64, 65, 255, 256, 257, 511, 512, 513};
+  for (const std::size_t count : kCounts) {
+    const auto tests = random_tests(nl, 0x9a00 + count, count);
+    const DetectionMatrix want = ref.detection_matrix(tests, targets);
+    const DetectionMatrix got = fsim.detection_matrix(tests, targets);
+    ASSERT_EQ(got, want) << backend->name() << " at " << count << " tests";
+    if (count % 64 != 0) {
+      const std::size_t last = got.words_per_row() - 1;
+      for (std::size_t f = 0; f < targets.size(); ++f) {
+        ASSERT_EQ(got.word(f, last) >> (count % 64), 0u)
+            << backend->name() << " leaves padding bits at " << count
+            << " tests, fault " << f;
       }
     }
   }
 }
 
-TEST(Backend, MatricesIdenticalAcrossThreadCountsPerBackend) {
-  SelectionGuard guard;
-  Rng rng(77);
+// The prepared path (pack + requirement plan built once, re-masked per
+// call) must be byte-identical to the one-shot path for every backend and
+// at awkward tail counts — and the PreparedBatch must be reusable across
+// backends, since the precomputation is width-independent by design.
+TEST_P(BackendP, PreparedMatchesUnprepared) {
+  sim::SimBackend* backend = GetParam();
+  Rng rng(55);
   const Netlist nl = testutil::random_small_netlist(rng);
   const auto targets = probe_faults(nl);
-  const auto tests = random_tests(nl, 0x7777, 130);  // crosses a word boundary
-  for (sim::SimBackend* backend : sim::all_backends()) {
-    const BatchSimulator fsim(nl, backend);
-    runtime::set_global_threads(1);
-    const DetectionMatrix m1 = fsim.detection_matrix(tests, targets);
-    runtime::set_global_threads(4);
-    const DetectionMatrix m4 = fsim.detection_matrix(tests, targets);
-    EXPECT_EQ(m1, m4) << backend->name();
+  const BatchSimulator fsim(nl, backend);
+  sim::PreparedBatch prep;
+  for (const std::size_t count : {1, 65, 257, 513}) {
+    const auto tests = random_tests(nl, 0xb000 + count, count);
+    fsim.prepare(tests, targets, prep);  // reuses prep's buffers each round
+    const DetectionMatrix want = fsim.detection_matrix(tests, targets);
+    const DetectionMatrix got = fsim.detection_matrix(tests, targets, prep);
+    ASSERT_EQ(got, want) << backend->name() << " at " << count << " tests";
   }
 }
 
-TEST(Backend, SequentialCircuitsAreRejected) {
+TEST_P(BackendP, RejectsSequentialCircuits) {
+  sim::SimBackend* backend = GetParam();
   Netlist nl("seq");
   const NodeId a = nl.add_input("a");
   const NodeId ff = nl.add_gate("ff", GateType::Dff, {a});
@@ -223,10 +319,8 @@ TEST(Backend, SequentialCircuitsAreRejected) {
   nl.finalize();
   ASSERT_TRUE(nl.has_sequential());
   const CompiledCircuit cc(nl);
-  for (sim::SimBackend* backend : sim::all_backends()) {
-    EXPECT_FALSE(backend->supports(cc)) << backend->name();
-    EXPECT_THROW(BatchSimulator(nl, backend), std::logic_error);
-  }
+  EXPECT_FALSE(backend->supports(cc)) << backend->name();
+  EXPECT_THROW(BatchSimulator(nl, backend), std::logic_error);
 }
 
 }  // namespace

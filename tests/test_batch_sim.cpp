@@ -5,7 +5,10 @@
 #include "enrich/enrichment.hpp"
 #include "faultsim/fault_sim.hpp"
 #include "gen/registry.hpp"
+#include "runtime/metrics.hpp"
+#include "sim/backend.hpp"
 #include "sim/triple_sim.hpp"
+#include "testutil/backend_env.hpp"
 #include "testutil/circuits.hpp"
 
 namespace pdf {
@@ -112,6 +115,35 @@ TEST(BatchSim, EmptyInputs) {
   const TargetSets ts = build_target_sets(nl, cfg);
   const auto none = parallel.detects_any({}, ts.p0);
   for (bool b : none) EXPECT_FALSE(b);
+}
+
+TEST(BatchSim, ZeroAllocationAfterWarmupForEveryBackend) {
+  // The DESIGN.md §11 memory contract: after one warm-up call sized like the
+  // workload, repeated batched queries reuse the scratch arenas — the
+  // sim.<backend>.scratch_grows counter must not move. Covers every
+  // registered backend, including the shared plane buffer in faultpar and
+  // the wide-vector arenas in avx2/avx512.
+  const Netlist nl = benchmark_circuit("b03_like");
+  TargetSetConfig cfg;
+  cfg.n_p = 200;
+  cfg.n_p0 = 40;
+  const TargetSets ts = build_target_sets(nl, cfg);
+  ASSERT_FALSE(ts.p0.empty());
+  Rng rng(5);
+  // Multiple words at every lane width, with a partial tail.
+  const auto tests = random_tests(nl, 700, rng);
+  for (sim::SimBackend* backend : sim::all_backends()) {
+    const BatchSimulator fsim(nl, backend);
+    (void)fsim.detection_matrix(tests, ts.p0);  // warm the arenas
+    auto& grows = runtime::Metrics::global().counter(
+        std::string("sim.") + backend->name() + ".scratch_grows");
+    const std::uint64_t before = grows.read();
+    for (int i = 0; i < 3; ++i) {
+      (void)fsim.detection_matrix(tests, ts.p0);
+    }
+    EXPECT_EQ(grows.read(), before)
+        << backend->name() << " grew scratch after warm-up";
+  }
 }
 
 TEST(BatchSim, BadTestWidthThrows) {

@@ -8,7 +8,12 @@
 //
 //   pdf_check [--cases N] [--seed S | --seed from-git-sha] [--threads N]
 //             [--backend NAME] [--check NAME] [--repro FILE] [--replay FILE]
-//             [--list-checks] [--verbose]
+//             [--list-checks] [--list-backends] [--verbose]
+//
+// `--list-backends` prints one registered backend name per line and exits —
+// the capability probe CI uses to decide which PDF_BACKEND/--backend matrix
+// legs this host can run (wide SIMD backends only register on capable CPUs;
+// see src/sim/cpu_features.hpp).
 //
 // Exit status: 0 clean, 1 check failure (repro written), 2 usage/setup error.
 #include <cstdio>
@@ -44,7 +49,8 @@ struct Options {
   std::fprintf(stderr,
                "usage: %s [--cases N] [--seed S|from-git-sha] [--threads N]\n"
                "          [--backend %s] [--check NAME] [--repro FILE]\n"
-               "          [--replay FILE] [--list-checks] [--verbose]\n",
+               "          [--replay FILE] [--list-checks] [--list-backends]\n"
+               "          [--verbose]\n",
                argv0, pdf::sim::backend_names().c_str());
   std::exit(2);
 }
@@ -100,6 +106,11 @@ Options parse_options(int argc, char** argv) {
     } else if (arg == "--list-checks") {
       for (const Check& c : pdf::check::all_checks()) {
         std::printf("%s (every %zu cases)\n", c.name, c.stride);
+      }
+      std::exit(0);
+    } else if (arg == "--list-backends") {
+      for (pdf::sim::SimBackend* b : pdf::sim::all_backends()) {
+        std::printf("%s\n", b->name());
       }
       std::exit(0);
     } else if (arg == "--verbose") {

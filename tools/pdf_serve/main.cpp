@@ -8,7 +8,7 @@
 // and their responses flush before the process exits 0.
 //
 //   pdf_serve --socket /tmp/pdf.sock [--concurrency N] [--queue-depth N]
-//             [--threads N] [--backend scalar|bitpar] [--store DIR]
+//             [--threads N] [--backend NAME] [--store DIR]
 //             [--no-store] [--manifest-dir DIR] [--retry-after-ms N]
 //             [--metrics] [--log-level debug|info|warn|error|off]
 //             [--slow-job-ms N]
@@ -55,7 +55,7 @@ struct Flags {
   std::size_t queue_depth = 64;
   std::size_t threads = 1;
   std::uint64_t retry_after_ms = 50;
-  std::string backend = "bitpar";
+  std::string backend;  // empty = the process-wide capability default
   bool use_store = true;
   std::string store_dir = ".artifact-store";
   std::string manifest_dir;
@@ -107,6 +107,9 @@ Flags parse_flags(int argc, char** argv) {
     else usage(argv[0], "unknown flag " + a);
   }
   if (f.queue_depth == 0) usage(argv[0], "--queue-depth must be > 0");
+  // Without --backend, run (and label manifests/logs with) whatever the
+  // capability dispatch selected for this host.
+  if (f.backend.empty()) f.backend = sim::selected_backend().name();
   return f;
 }
 
